@@ -1,0 +1,95 @@
+// Ablation — message complexity across the library's algorithms.
+//
+// The paper contrasts its finite-state, bounded-bandwidth positive results
+// with Di Luna & Viglietta's exact dynamic algorithm, which "uses an
+// infinite number of states and an infinite bandwidth". This harness makes
+// the bandwidth axis concrete on one static network:
+//   - gossip: messages carry the known support (bounded by |Ω|);
+//   - Push-Sum / Metropolis: constant-size per known value;
+//   - distributed minimum base: the *mathematical* view message grows
+//     exponentially with the round, while the interned simulator message is
+//     constant — and the finite-state window variant caps even the
+//     mathematical object, which is the paper's point.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/gossip.hpp"
+#include "core/minbase_agent.hpp"
+#include "core/pushsum.hpp"
+#include "dynamics/schedules.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "runtime/executor.hpp"
+
+using namespace anonet;
+
+int main() {
+  const Digraph g = random_strongly_connected(8, 6, 5);
+  const std::vector<std::int64_t> inputs{1, 1, 2, 2, 3, 3, 1, 2};
+  const int n = g.vertex_count();
+  const int d = diameter(g);
+  std::printf(
+      "Bandwidth ablation on one static network (n = %d, D = %d), per-round "
+      "payload units delivered network-wide\n\n",
+      n, d);
+
+  // Gossip.
+  std::vector<SetGossipAgent> gossip_agents;
+  for (std::int64_t v : inputs) gossip_agents.emplace_back(v);
+  Executor<SetGossipAgent> gossip_exec(std::make_shared<StaticSchedule>(g),
+                                       std::move(gossip_agents),
+                                       CommModel::kSimpleBroadcast);
+  // Push-Sum.
+  std::vector<FrequencyPushSumAgent> ps_agents;
+  for (std::int64_t v : inputs) ps_agents.emplace_back(v);
+  Executor<FrequencyPushSumAgent> ps_exec(std::make_shared<StaticSchedule>(g),
+                                          std::move(ps_agents),
+                                          CommModel::kOutdegreeAware);
+  // Minimum base, unbounded and windowed.
+  auto registry = std::make_shared<ViewRegistry>();
+  auto codec = std::make_shared<LabelCodec>();
+  std::vector<MinBaseAgent> mb_agents, mb_window_agents;
+  const int window = n + 2 * d;
+  for (std::int64_t v : inputs) {
+    mb_agents.emplace_back(registry, codec, v, CommModel::kOutdegreeAware);
+    mb_window_agents.emplace_back(registry, codec, v,
+                                  CommModel::kOutdegreeAware, window);
+  }
+  Executor<MinBaseAgent> mb_exec(std::make_shared<StaticSchedule>(g),
+                                 std::move(mb_agents),
+                                 CommModel::kOutdegreeAware);
+  Executor<MinBaseAgent> mbw_exec(std::make_shared<StaticSchedule>(g),
+                                  std::move(mb_window_agents),
+                                  CommModel::kOutdegreeAware);
+
+  std::printf("%6s | %10s %12s | %14s %14s | %12s\n", "round", "gossip",
+              "Push-Sum", "view (math)", "view (capped)", "registry");
+  std::int64_t gossip_prev = 0, ps_prev = 0;
+  for (int round = 1; round <= 3 * window; ++round) {
+    gossip_exec.step();
+    ps_exec.step();
+    mb_exec.step();
+    mbw_exec.step();
+    if (round % 4 != 0 && round != 1) continue;
+    const std::int64_t gossip_units =
+        gossip_exec.stats().payload_units - gossip_prev;
+    const std::int64_t ps_units = ps_exec.stats().payload_units - ps_prev;
+    gossip_prev = gossip_exec.stats().payload_units;
+    ps_prev = ps_exec.stats().payload_units;
+    std::printf("%6d | %10lld %12lld | %14.3e %14.3e | %12zu\n", round,
+                static_cast<long long>(gossip_units),
+                static_cast<long long>(ps_units),
+                registry->tree_size(mb_exec.agent(0).view()),
+                registry->tree_size(mbw_exec.agent(0).view()),
+                registry->size());
+  }
+  std::printf(
+      "\nShape: gossip and Push-Sum payloads plateau at O(|support|) per "
+      "message; the mathematical view tree grows exponentially with the "
+      "round (the 'infinite bandwidth' regime) until the finite-state window "
+      "caps it at its n+2D horizon — while the interned registry grows only "
+      "polynomially, which is what makes the simulation tractable.\n");
+  return 0;
+}

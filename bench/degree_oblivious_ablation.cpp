@@ -1,0 +1,104 @@
+// Ablation — what outdegree awareness is worth on symmetric networks.
+//
+// Section 5 contrasts Metropolis (needs the endpoint degrees, quadratic
+// convergence [10]) with degree-oblivious variants [11, 24] "but its
+// temporal complexity is in O(n^4)". We reproduce the contrast: both
+// algorithms on the same symmetric rings, rounds until ε-agreement. The
+// uniform step 1/N (core/uniform_consensus.hpp) stands in for the
+// degree-oblivious family; a second sweep shows the extra cost of a loose
+// bound N, which Metropolis by construction does not pay.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/metropolis.hpp"
+#include "core/uniform_consensus.hpp"
+#include "dynamics/schedules.hpp"
+#include "graph/generators.hpp"
+#include "runtime/executor.hpp"
+
+using namespace anonet;
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+template <typename Agent, typename Make>
+int rounds_to_eps(Vertex n, Make make, CommModel model, int cap) {
+  std::vector<Agent> agents;
+  for (Vertex v = 0; v < n; ++v) agents.push_back(make(v));
+  Executor<Agent> exec(std::make_shared<StaticSchedule>(bidirectional_ring(n)),
+                       std::move(agents), model);
+  const double truth = 1.0 / static_cast<double>(n);
+  for (int round = 1; round <= cap; ++round) {
+    exec.step();
+    double error = 0.0;
+    for (const Agent& agent : exec.agents()) {
+      error = std::max(error, std::abs(agent.output() - truth));
+    }
+    if (error <= kEps) return round;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Degree-oblivious ablation on static rings (worst-case concentrated "
+      "input, eps = %.0e)\n\n",
+      kEps);
+  std::printf("%4s | %12s %8s | %16s | %7s\n", "n", "Metropolis", "/(n^2)",
+              "uniform (N = n)", "ratio");
+  for (Vertex n : {4, 6, 8, 12, 16}) {
+    const int metropolis = rounds_to_eps<MetropolisAgent>(
+        n, [](Vertex v) { return MetropolisAgent(v == 0 ? 1.0 : 0.0); },
+        CommModel::kOutdegreeAware, 2000000);
+    const int uniform = rounds_to_eps<UniformWeightAgent>(
+        n,
+        [n](Vertex v) {
+          return UniformWeightAgent(v == 0 ? 1.0 : 0.0,
+                                    static_cast<std::uint32_t>(n));
+        },
+        CommModel::kSymmetricBroadcast, 2000000);
+    const double n2 = static_cast<double>(n) * n;
+    std::printf("%4d | %12d %8.2f | %16d | %6.1fx\n", n, metropolis,
+                metropolis / n2, uniform,
+                static_cast<double>(uniform) / metropolis);
+  }
+
+  std::printf(
+      "\nA loose bound makes the oblivious step slower still — Metropolis "
+      "does not care about N at all (8-ring):\n\n");
+  std::printf("%14s | %10s %10s %10s %10s\n", "", "N=n", "N=2n", "N=4n",
+              "N=8n");
+  {
+    const Vertex n = 8;
+    const int metropolis = rounds_to_eps<MetropolisAgent>(
+        n, [](Vertex v) { return MetropolisAgent(v == 0 ? 1.0 : 0.0); },
+        CommModel::kOutdegreeAware, 2000000);
+    std::printf("%14s |", "uniform");
+    for (int multiplier : {1, 2, 4, 8}) {
+      const int uniform = rounds_to_eps<UniformWeightAgent>(
+          n,
+          [n, multiplier](Vertex v) {
+            return UniformWeightAgent(
+                v == 0 ? 1.0 : 0.0,
+                static_cast<std::uint32_t>(multiplier * n));
+          },
+          CommModel::kSymmetricBroadcast, 2000000);
+      std::printf(" %10d", uniform);
+    }
+    std::printf("\n%14s | %10d %10s %10s %10s\n", "Metropolis", metropolis,
+                "(same)", "(same)", "(same)");
+  }
+  std::printf(
+      "\nKnowing your audience buys speed: same model class, same inputs, "
+      "but the degree-aware weights converge several times faster, and a "
+      "loose bound costs the oblivious algorithm linearly in N — the price "
+      "of anonymity-without-audience-knowledge is time, not computability "
+      "(given the bound N).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Experiment F5 — Section 5.5 / Corollary 4.4: leaders unlock the multiset.
+// Measures exact-sum stabilization with ℓ = 1, 2, 3 leaders, in both the
+// static pipeline (minimum base + eq. (5)) and the dynamic one (leader
+// Push-Sum), and shows the ℓ = 0 baseline failing.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/census.hpp"
+#include "core/computability.hpp"
+#include "dynamics/schedules.hpp"
+#include "graph/generators.hpp"
+
+using namespace anonet;
+
+namespace {
+
+std::vector<std::int64_t> coded_inputs(const std::vector<std::int64_t>& values,
+                                       int leaders) {
+  std::vector<std::int64_t> inputs;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    inputs.push_back(
+        encode_leader_input(values[i], static_cast<int>(i) < leaders));
+  }
+  return inputs;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::int64_t> values{3, 1, 4, 1, 5, 9, 2, 6};
+  const auto n = static_cast<Vertex>(values.size());
+  std::printf(
+      "F5 — multiset recovery with leaders (inputs sum to 31, n = %d)\n\n",
+      n);
+  std::printf("%8s | %28s | %28s\n", "leaders", "static (minbase + eq. 5)",
+              "dynamic (leader Push-Sum)");
+
+  const Digraph mesh = random_symmetric_connected(n, 5, 12);
+  for (int leaders = 0; leaders <= 3; ++leaders) {
+    Attempt attempt;
+    attempt.rounds = 60;
+    std::string static_report, dynamic_report;
+    if (leaders == 0) {
+      attempt.model = CommModel::kSymmetricBroadcast;
+      attempt.knowledge = Knowledge::kNone;
+      const auto blocked = attempt_static(mesh, values, sum_function(), attempt);
+      static_report = blocked.success ? "computed (?!)" : "impossible (proved)";
+      attempt.model = CommModel::kOutdegreeAware;
+      attempt.rounds = 400;
+      const auto blocked_dyn = attempt_dynamic(
+          std::make_shared<RandomStronglyConnectedSchedule>(n, 3, 5), values,
+          sum_function(), attempt);
+      dynamic_report =
+          blocked_dyn.success ? "computed (?!)" : "impossible (proved)";
+    } else {
+      const std::vector<std::int64_t> inputs = coded_inputs(values, leaders);
+      attempt.model = CommModel::kSymmetricBroadcast;
+      attempt.knowledge = Knowledge::kLeaders;
+      attempt.parameter = leaders;
+      const auto static_result =
+          attempt_static(mesh, inputs, sum_function(), attempt);
+      static_report = static_result.success
+                          ? "exact from round " +
+                                std::to_string(static_result.stabilization_round)
+                          : "FAILED";
+      attempt.model = CommModel::kOutdegreeAware;
+      attempt.rounds = 800;
+      const auto dynamic_result = attempt_dynamic(
+          std::make_shared<RandomStronglyConnectedSchedule>(n, 3, 5), inputs,
+          sum_function(), attempt);
+      dynamic_report =
+          dynamic_result.success
+              ? "exact from round " +
+                    std::to_string(dynamic_result.stabilization_round)
+              : "FAILED";
+    }
+    std::printf("%8d | %28s | %28s\n", leaders, static_report.c_str(),
+                dynamic_report.c_str());
+  }
+  std::printf(
+      "\nShape: zero leaders — provably impossible; any ℓ >= 1 — exact "
+      "multiset, hence the sum, in finite time (the ℓ leaders' fibres pin "
+      "the scale factor of eq. (2)).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Experiment F6 — Section 4.1: the impossibility mechanism, executed.
+//
+// For frequency-equivalent inputs v (n = 6) and w (m = 12) we build the ring
+// fibrations R^6 -> R^p <- R^12, run the strongest algorithm in the library
+// on all three rings, and verify round by round that both lifted executions
+// are fibrewise copies of the base execution (Lemma 3.1). Consequently any
+// algorithm's outputs on v and w coincide — which is fatal for sum and
+// count (f(v) != f(w)) and harmless for frequency-based functions. This is
+// the paper's negative half as a measurement rather than an assertion.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/lifting_demo.hpp"
+
+using namespace anonet;
+
+int main() {
+  const std::vector<std::int64_t> v{1, 2, 1, 2, 1, 2};
+  const std::vector<std::int64_t> w{1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2};
+  struct Target {
+    const char* name;
+    SymmetricFunction f;
+  };
+  const Target targets[] = {
+      {"sum", sum_function()},
+      {"count (= n)", count_function()},
+      {"average", average_function()},
+      {"max", max_function()},
+  };
+
+  std::printf(
+      "F6 — lifting obstruction on rings: v = (1,2)^3 (n=6), w = (1,2)^6 "
+      "(m=12)\n\n");
+  std::printf("%-26s %-14s %6s %10s %10s %10s  %s\n", "model", "function", "p",
+              "f(v)", "f(w)", "lifting", "verdict");
+  bool all_verified = true;
+  for (CommModel model :
+       {CommModel::kSymmetricBroadcast, CommModel::kOutdegreeAware,
+        CommModel::kOutputPortAware}) {
+    for (const Target& target : targets) {
+      const LiftingObstruction result =
+          demonstrate_ring_obstruction(v, w, model, target.f, 16);
+      const bool blocked = !(result.f_of_v == result.f_of_w);
+      all_verified = all_verified && result.applicable &&
+                     result.lifting_verified;
+      std::printf("%-26s %-14s %6d %10s %10s %10s  %s\n",
+                  std::string(to_string(model)).c_str(), target.name, result.p,
+                  result.f_of_v.to_string().c_str(),
+                  result.f_of_w.to_string().c_str(),
+                  result.lifting_verified ? "verified" : "BROKEN",
+                  blocked ? "f UNCOMPUTABLE (outputs forced equal)"
+                          : "no obstruction (f(v) = f(w))");
+    }
+  }
+  std::printf(
+      "\n%s. Every multiset-based-but-not-frequency-based function is forced "
+      "to the same output on v and w although the true values differ: no "
+      "algorithm in these models computes it, with or without a bound on n "
+      "(Theorem 4.1, Corollary 4.2).\n",
+      all_verified ? "Lemma 3.1 verified on every execution pair"
+                   : "LIFTING VIOLATION (simulator bug)");
+  return all_verified ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Experiment F3 — Section 5: Metropolis averaging on symmetric networks.
+// The paper cites a quadratic convergence rate for networks strongly
+// connected in every round [10]. We measure rounds-to-ε against n and
+// report the growth ratio (should be polynomial, ~n^2, not exponential).
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/metropolis.hpp"
+#include "dynamics/schedules.hpp"
+#include "graph/generators.hpp"
+#include "runtime/executor.hpp"
+
+using namespace anonet;
+
+namespace {
+
+int rounds_to_epsilon(Vertex n, bool dynamic, double eps, int cap) {
+  std::vector<MetropolisAgent> agents;
+  for (Vertex v = 0; v < n; ++v) {
+    agents.emplace_back(v == 0 ? 1.0 : 0.0);  // worst-case concentrated mass
+  }
+  DynamicGraphPtr schedule;
+  if (dynamic) {
+    schedule = std::make_shared<RandomSymmetricSchedule>(
+        n, 2, static_cast<std::uint64_t>(n));
+  } else {
+    schedule = std::make_shared<StaticSchedule>(bidirectional_ring(n));
+  }
+  Executor<MetropolisAgent> exec(schedule, std::move(agents),
+                                 CommModel::kOutdegreeAware);
+  const double truth = 1.0 / static_cast<double>(n);
+  for (int round = 1; round <= cap; ++round) {
+    exec.step();
+    double error = 0.0;
+    for (const MetropolisAgent& agent : exec.agents()) {
+      error = std::max(error, std::abs(agent.output() - truth));
+    }
+    if (error <= eps) return round;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "F3 — Metropolis averaging: rounds to eps vs n (symmetric networks)\n\n");
+  const double eps = 1e-6;
+  std::printf("%6s | %18s %14s | %18s %14s\n", "n", "static ring", "/(n^2)",
+              "dynamic random", "/(n^2)");
+  for (Vertex n : {4, 6, 8, 12, 16, 24}) {
+    const int static_rounds = rounds_to_epsilon(n, false, eps, 200000);
+    const int dynamic_rounds = rounds_to_epsilon(n, true, eps, 200000);
+    std::printf("%6d | %18d %14.2f | %18d %14.2f\n", n, static_rounds,
+                static_rounds / static_cast<double>(n) / n, dynamic_rounds,
+                dynamic_rounds / static_cast<double>(n) / n);
+  }
+  std::printf(
+      "\nShape: the /(n^2) column stays within a constant band on rings "
+      "(quadratic convergence, [10]); the richly connected dynamic schedule "
+      "converges faster.\n");
+  return 0;
+}

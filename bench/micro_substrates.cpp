@@ -1,0 +1,92 @@
+// M1 — google-benchmark microbenchmarks for the substrates: minimum base,
+// fibre-equation kernel solve, view interning, executor round throughput,
+// Farey rounding. Not a paper artifact; keeps the costs of the simulator
+// building blocks visible while the library evolves.
+
+#include <benchmark/benchmark.h>
+
+#include "core/minbase_agent.hpp"
+#include "core/pushsum.hpp"
+#include "core/freq_static.hpp"
+#include "dynamics/schedules.hpp"
+#include "fibration/minimum_base.hpp"
+#include "graph/generators.hpp"
+#include "linalg/kernel.hpp"
+#include "runtime/executor.hpp"
+#include "support/farey.hpp"
+
+namespace {
+
+using namespace anonet;
+
+void BM_MinimumBase(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const LiftedGraph lift = random_lift(random_strongly_connected(4, 4, 1),
+                                       std::vector<int>(4, n / 4), 2);
+  std::vector<int> labels(static_cast<std::size_t>(lift.graph.vertex_count()));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimum_base(lift.graph, labels));
+  }
+}
+BENCHMARK(BM_MinimumBase)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FibreKernelSolve(benchmark::State& state) {
+  const auto m = static_cast<Vertex>(state.range(0));
+  const Digraph base = random_strongly_connected(m, 2 * m, 3);
+  const std::vector<int> outdegrees = outdegree_labels(base);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        positive_coprime_kernel_vector(fibre_matrix(base, outdegrees)));
+  }
+}
+BENCHMARK(BM_FibreKernelSolve)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ViewRoundAndExtract(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto registry = std::make_shared<ViewRegistry>();
+    auto codec = std::make_shared<LabelCodec>();
+    std::vector<MinBaseAgent> agents;
+    for (Vertex v = 0; v < n; ++v) {
+      agents.emplace_back(registry, codec, v % 2, CommModel::kSymmetricBroadcast);
+    }
+    Executor<MinBaseAgent> exec(
+        std::make_shared<StaticSchedule>(bidirectional_ring(n)),
+        std::move(agents), CommModel::kSymmetricBroadcast);
+    state.ResumeTiming();
+    exec.run(n + 6);
+    benchmark::DoNotOptimize(exec.agent(0).candidate().plausible);
+  }
+}
+BENCHMARK(BM_ViewRoundAndExtract)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_PushSumRound(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  std::vector<FrequencyPushSumAgent> agents;
+  for (Vertex v = 0; v < n; ++v) agents.emplace_back(v % 5);
+  Executor<FrequencyPushSumAgent> exec(
+      std::make_shared<RandomStronglyConnectedSchedule>(n, 3, 4),
+      std::move(agents), CommModel::kOutdegreeAware);
+  for (auto _ : state) {
+    exec.step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PushSumRound)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FareyRounding(benchmark::State& state) {
+  const double value = 0.3333333314159;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nearest_rational(value, static_cast<std::uint32_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_FareyRounding)->Arg(16)->Arg(1024)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

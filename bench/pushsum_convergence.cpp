@@ -1,0 +1,102 @@
+// Experiment F1 — Theorem 5.2: Push-Sum reaches ε-agreement on the quot-sum
+// within O(n^{2D} · D · log(1/ε)) rounds in dynamic networks of dynamic
+// diameter D.
+//
+// Two series:
+//   (a) error vs round for several (n, schedule) pairs — geometric decay;
+//   (b) rounds-to-ε vs log10(1/ε) — the log(1/ε) factor shows as a straight
+//       line whose slope grows with n and D.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/pushsum.hpp"
+#include "dynamics/connectivity.hpp"
+#include "dynamics/schedules.hpp"
+#include "graph/generators.hpp"
+#include "runtime/executor.hpp"
+
+using namespace anonet;
+
+namespace {
+
+struct Config {
+  const char* name;
+  DynamicGraphPtr schedule;
+  Vertex n;
+};
+
+double worst_error(const Executor<PushSumAgent>& exec, double truth) {
+  double error = 0.0;
+  for (const PushSumAgent& agent : exec.agents()) {
+    error = std::max(error, std::abs(agent.output() - truth));
+  }
+  return error;
+}
+
+Executor<PushSumAgent> make_run(const Config& config) {
+  std::vector<PushSumAgent> agents;
+  for (Vertex v = 0; v < config.n; ++v) {
+    agents.emplace_back(v == 0 ? 1.0 : 0.0, 1.0);  // frequency of a singleton
+  }
+  return Executor<PushSumAgent>(config.schedule, std::move(agents),
+                                CommModel::kOutdegreeAware);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Config> configs;
+  for (Vertex n : {4, 8, 16}) {
+    configs.push_back({"dynamic-random", std::make_shared<RandomStronglyConnectedSchedule>(n, 3, 7), n});
+  }
+  configs.push_back({"static-ring", std::make_shared<StaticSchedule>(
+                                        bidirectional_ring(12)), 12});
+  configs.push_back(
+      {"token-ring", std::make_shared<TokenRingSchedule>(6), 6});
+
+  std::printf("F1(a) — max_i |x_i(t) - quotsum| vs round\n");
+  std::printf("%-16s %4s %4s |", "schedule", "n", "D");
+  for (int checkpoint = 1; checkpoint <= 6; ++checkpoint) {
+    std::printf(" t=%-7d", checkpoint * 50);
+  }
+  std::printf("\n");
+  for (const Config& config : configs) {
+    const int d = dynamic_diameter(*config.schedule, 10, 4 * config.n * config.n);
+    std::printf("%-16s %4d %4d |", config.name, config.n, d);
+    auto exec = make_run(config);
+    const double truth = 1.0 / static_cast<double>(config.n);
+    for (int checkpoint = 1; checkpoint <= 6; ++checkpoint) {
+      exec.run(50);
+      std::printf(" %-9.2e", worst_error(exec, truth));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nF1(b) — rounds until max error <= eps (log(1/eps) scaling)\n");
+  std::printf("%-16s %4s |", "schedule", "n");
+  const double epsilons[] = {1e-2, 1e-4, 1e-6, 1e-8};
+  for (double eps : epsilons) std::printf(" eps=%-6.0e", eps);
+  std::printf("\n");
+  for (const Config& config : configs) {
+    std::printf("%-16s %4d |", config.name, config.n);
+    auto exec = make_run(config);
+    const double truth = 1.0 / static_cast<double>(config.n);
+    int round = 0;
+    for (double eps : epsilons) {
+      while (worst_error(exec, truth) > eps && round < 20000) {
+        exec.step();
+        ++round;
+      }
+      std::printf(" %-10d", round);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check: per-config, rounds-to-eps grows ~linearly in "
+      "log(1/eps), with slope increasing in n and D — Theorem 5.2's "
+      "O(n^2D D log(1/eps)) is a (loose) upper envelope.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment F4 — Corollary 5.3: with a known bound N >= n, rounding the
+// Push-Sum frequency estimates to Q_N turns asymptotic convergence into
+// exact finite-time computation, with stabilization in O(n^{2D} D log N)
+// rounds (distinct elements of Q_N are >= 1/N^2 apart, so the log(1/eps)
+// of Theorem 5.2 becomes ~2 log N).
+//
+// We sweep the bound N for fixed inputs and report the first round from
+// which every agent's rounded frequency is exact and stays exact — the
+// log N growth is the paper's predicted shape.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/pushsum.hpp"
+#include "dynamics/schedules.hpp"
+#include "runtime/executor.hpp"
+
+using namespace anonet;
+
+namespace {
+
+int lock_round(Vertex n, std::uint32_t bound, int horizon) {
+  std::vector<std::int64_t> inputs;
+  for (Vertex v = 0; v < n; ++v) inputs.push_back(v % 3 == 0 ? 1 : 0);
+  const Frequency truth = Frequency::of(inputs);
+  std::vector<FrequencyPushSumAgent> agents;
+  for (std::int64_t v : inputs) agents.emplace_back(v);
+  Executor<FrequencyPushSumAgent> exec(
+      std::make_shared<RandomStronglyConnectedSchedule>(
+          n, 3, static_cast<std::uint64_t>(n) * 7 + 1),
+      std::move(agents), CommModel::kOutdegreeAware);
+  int stable_since = -1;
+  for (int round = 1; round <= horizon; ++round) {
+    exec.step();
+    bool all_locked = true;
+    for (const FrequencyPushSumAgent& agent : exec.agents()) {
+      const auto rounded = agent.rounded_frequency(bound);
+      if (!rounded.has_value() || !(*rounded == truth)) {
+        all_locked = false;
+        break;
+      }
+    }
+    if (!all_locked) {
+      stable_since = -1;
+    } else if (stable_since == -1) {
+      stable_since = round;
+    }
+  }
+  return stable_since;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "F4 — exact frequency lock via Q_N rounding: stabilization round vs "
+      "the size bound N\n\n");
+  std::printf("%6s |", "n");
+  const int multipliers[] = {1, 2, 4, 8, 16, 32};
+  for (int m : multipliers) std::printf(" N=%2dn  ", m);
+  std::printf("\n");
+  for (Vertex n : {6, 9, 12}) {
+    std::printf("%6d |", n);
+    for (int m : multipliers) {
+      const int round =
+          lock_round(n, static_cast<std::uint32_t>(m) * n, 4000);
+      std::printf("  %-7d", round);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape: along each row the lock round grows ~linearly in log N "
+      "(each column doubles N); exactness itself never breaks — the rounded "
+      "value is the true frequency from the lock round on.\n");
+  return 0;
+}

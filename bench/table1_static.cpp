@@ -1,0 +1,142 @@
+// Regenerates Table 1 of the paper: computable function classes in static,
+// strongly connected anonymous networks, for each communication model and
+// each level of centralized help.
+//
+// For every cell we *measure* the strongest class by actually running the
+// library's algorithm for that cell on a panel of networks against one
+// representative function per class (max / average / sum) and checking exact
+// stabilization on f(v). Negative cells are cross-checked by the executable
+// lifting obstruction (bench/lifting_obstruction.cpp digs into those).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/census.hpp"
+#include "core/computability.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+using namespace anonet;
+
+namespace {
+
+struct Panel {
+  Digraph graph;
+  std::vector<std::int64_t> values;
+};
+
+// Test networks per model: frequencies {1:1/3, 2:2/3}-style mixes on graphs
+// with genuinely collapsible symmetry (lifts), plus irregular graphs.
+std::vector<Panel> make_panel(CommModel model) {
+  std::vector<Panel> panel;
+  auto add = [&panel](Digraph g, std::vector<std::int64_t> v) {
+    panel.push_back({std::move(g), std::move(v)});
+  };
+  if (model == CommModel::kSymmetricBroadcast) {
+    add(bidirectional_ring(6), {1, 2, 1, 2, 1, 2});
+    add(random_symmetric_connected(8, 4, 11), {4, 4, 4, 9, 9, 9, 4, 9});
+    add(torus(2, 4), {0, 1, 0, 1, 0, 1, 0, 1});
+  } else {
+    add(bidirectional_ring(6), {1, 2, 1, 2, 1, 2});
+    add(random_strongly_connected(7, 6, 3), {5, 5, 5, 2, 2, 2, 5});
+    {
+      const LiftedGraph lift =
+          random_lift(random_strongly_connected(3, 3, 8), {3, 3, 3}, 2);
+      std::vector<std::int64_t> values;
+      for (Vertex v : lift.projection) values.push_back(v == 0 ? 7 : 3);
+      add(lift.graph, std::move(values));
+    }
+  }
+  return panel;
+}
+
+// Measures whether `f` is exactly computed on every panel network.
+bool cell_computes(CommModel model, Knowledge knowledge,
+                   const SymmetricFunction& f) {
+  for (const Panel& panel : make_panel(model)) {
+    const Vertex n = panel.graph.vertex_count();
+    Attempt attempt;
+    attempt.model = model;
+    attempt.knowledge = knowledge;
+    attempt.rounds = 3 * n + 10;
+    std::vector<std::int64_t> inputs = panel.values;
+    switch (knowledge) {
+      case Knowledge::kNone:
+        break;
+      case Knowledge::kUpperBound:
+        attempt.parameter = 2 * n;  // any bound >= n
+        break;
+      case Knowledge::kExactSize:
+        attempt.parameter = n;
+        break;
+      case Knowledge::kLeaders:
+        attempt.parameter = 1;
+        inputs.clear();
+        for (std::size_t i = 0; i < panel.values.size(); ++i) {
+          inputs.push_back(encode_leader_input(panel.values[i], i == 0));
+        }
+        break;
+    }
+    const AttemptResult result = attempt_static(panel.graph, inputs, f, attempt);
+    if (!result.success || result.stabilization_round < 0) return false;
+  }
+  return true;
+}
+
+std::string cell_label(CommModel model, Knowledge knowledge) {
+  const bool set_based = cell_computes(model, knowledge, max_function());
+  const bool freq_based = cell_computes(model, knowledge, average_function());
+  const bool multi_based = cell_computes(model, knowledge, sum_function());
+  if (multi_based && freq_based && set_based) return "multiset-based";
+  if (freq_based && set_based) return "frequency-based";
+  if (set_based) return "set-based";
+  return "(nothing)";
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table 1 — computable functions in static, strongly connected networks "
+      "of n anonymous agents (measured)\n\n");
+  const CommModel models[] = {
+      CommModel::kSimpleBroadcast, CommModel::kOutdegreeAware,
+      CommModel::kSymmetricBroadcast, CommModel::kOutputPortAware};
+  const Knowledge rows[] = {Knowledge::kNone, Knowledge::kUpperBound,
+                            Knowledge::kExactSize, Knowledge::kLeaders};
+  // Paper's claims, for side-by-side comparison.
+  const char* paper[4][4] = {
+      {"set-based", "frequency-based", "frequency-based", "frequency-based"},
+      {"set-based", "frequency-based", "frequency-based", "frequency-based"},
+      {"set-based", "multiset-based", "multiset-based", "multiset-based"},
+      {"set-based", "multiset-based", "multiset-based", "multiset-based"},
+  };
+
+  std::printf("%-26s", "");
+  for (CommModel model : models) {
+    std::printf("| %-24s", std::string(to_string(model)).c_str());
+  }
+  std::printf("\n");
+  for (int i = 0; i < 4 * 26 + 8; ++i) std::printf("-");
+  std::printf("\n");
+
+  bool all_match = true;
+  for (int row = 0; row < 4; ++row) {
+    std::printf("%-26s", std::string(to_string(rows[row])).c_str());
+    for (int col = 0; col < 4; ++col) {
+      const std::string measured = cell_label(models[col], rows[row]);
+      const bool match = measured == paper[row][col];
+      all_match = all_match && match;
+      std::printf("| %-15s %-8s", measured.c_str(),
+                  match ? "(=paper)" : "(DIFFERS)");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nEvery cell: strongest of {max: set-based, average: frequency-based, "
+      "sum: multiset-based}\nexactly stabilized on a 3-network panel. "
+      "%s\n",
+      all_match ? "All 16 cells match the paper." : "MISMATCH — see above.");
+  return all_match ? 0 : 1;
+}

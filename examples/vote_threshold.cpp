@@ -1,0 +1,73 @@
+// Anonymous referendum on a directed dynamic network.
+//
+// Agents hold votes (0 = no, 1 = yes) and must decide whether the yes-share
+// clears a supermajority threshold — a frequency threshold predicate Φ_r^1
+// (Section 5.4). Communication is directed and changes every round (e.g.
+// asymmetric radio ranges); agents know only their outdegree at send time
+// and some join the protocol late (asynchronous starts). Runs Algorithm 1
+// (frequency Push-Sum) and evaluates the predicate on the running estimates.
+//
+// Build & run:  ./examples/vote_threshold
+
+#include <cstdio>
+#include <random>
+
+#include "core/pushsum.hpp"
+#include "dynamics/schedules.hpp"
+#include "runtime/executor.hpp"
+
+using namespace anonet;
+
+int main() {
+  constexpr Vertex kVoters = 15;
+  constexpr double kThreshold = 2.0 / 3.0;
+
+  std::mt19937_64 rng(7);
+  std::bernoulli_distribution yes_vote(0.75);
+  std::vector<std::int64_t> votes;
+  int yes_count = 0;
+  for (Vertex v = 0; v < kVoters; ++v) {
+    votes.push_back(yes_vote(rng) ? 1 : 0);
+    yes_count += static_cast<int>(votes.back());
+  }
+  const double yes_share = static_cast<double>(yes_count) / kVoters;
+  std::printf("%d anonymous voters, %d yes (share %.3f), threshold %.3f\n\n",
+              kVoters, yes_count, yes_share, kThreshold);
+
+  // Directed dynamic communication, with a third of the voters joining late.
+  auto inner =
+      std::make_shared<RandomStronglyConnectedSchedule>(kVoters, 6, 4242);
+  std::vector<int> starts(kVoters, 1);
+  for (Vertex v = 0; v < kVoters; v += 3) starts[static_cast<std::size_t>(v)] = 10;
+  auto schedule = std::make_shared<AsyncStartSchedule>(inner, starts);
+
+  std::vector<FrequencyPushSumAgent> agents;
+  for (std::int64_t v : votes) agents.emplace_back(v);
+  Executor<FrequencyPushSumAgent> exec(schedule, std::move(agents),
+                                       CommModel::kOutdegreeAware);
+
+  std::printf("%8s  %18s  %10s\n", "round", "yes-share range", "verdicts");
+  for (int checkpoint = 0; checkpoint <= 6; ++checkpoint) {
+    double low = 1.0, high = 0.0;
+    int pass_votes = 0;
+    for (Vertex v = 0; v < kVoters; ++v) {
+      const auto estimates = exec.agent(v).normalized_estimates();
+      const auto it = estimates.find(1);
+      const double share = it == estimates.end() ? 0.0 : it->second;
+      low = std::min(low, share);
+      high = std::max(high, share);
+      if (share >= kThreshold) ++pass_votes;
+    }
+    std::printf("%8d  [%6.4f, %6.4f]  %d/%d say PASS\n", exec.round(), low,
+                high, pass_votes, kVoters);
+    exec.run(30);
+  }
+
+  std::printf(
+      "\nAll verdicts agree and match the truth (%s). With an irrational\n"
+      "threshold this works for any input; with a rational threshold it\n"
+      "works whenever the true share is not exactly at the threshold —\n"
+      "that is the continuity-in-frequency boundary of Corollary 5.5.\n",
+      yes_share >= kThreshold ? "PASS" : "REJECT");
+  return 0;
+}

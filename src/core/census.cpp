@@ -1,0 +1,76 @@
+#include "core/census.hpp"
+
+#include <stdexcept>
+
+namespace anonet {
+
+std::optional<std::map<std::int64_t, BigInt>> multiset_from_frequency(
+    const Frequency& nu, std::int64_t n) {
+  if (n <= 0) throw std::invalid_argument("multiset_from_frequency: n <= 0");
+  std::map<std::int64_t, BigInt> result;
+  for (const auto& [value, freq] : nu.entries()) {
+    const BigInt numerator = freq.numerator() * BigInt(n);
+    if (!(numerator % freq.denominator()).is_zero()) return std::nullopt;
+    result.emplace(value, numerator / freq.denominator());
+  }
+  return result;
+}
+
+std::optional<std::vector<BigInt>> fibre_sizes_with_leaders(
+    const std::vector<bool>& is_leader_class,
+    const std::vector<BigInt>& ratios, std::int64_t leader_count) {
+  if (is_leader_class.size() != ratios.size()) {
+    throw std::invalid_argument("fibre_sizes_with_leaders: size mismatch");
+  }
+  if (leader_count <= 0) {
+    throw std::invalid_argument("fibre_sizes_with_leaders: need >= 1 leader");
+  }
+  BigInt leader_ratio_sum(0);
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    if (is_leader_class[i]) leader_ratio_sum += ratios[i];
+  }
+  if (leader_ratio_sum.is_zero()) return std::nullopt;
+  std::vector<BigInt> sizes;
+  sizes.reserve(ratios.size());
+  for (const BigInt& z : ratios) {
+    const BigInt numerator = BigInt(leader_count) * z;
+    if (!(numerator % leader_ratio_sum).is_zero()) return std::nullopt;
+    sizes.push_back(numerator / leader_ratio_sum);
+  }
+  return sizes;
+}
+
+std::optional<std::vector<BigInt>> fibre_sizes_with_known_n(
+    const std::vector<BigInt>& ratios, std::int64_t n) {
+  if (n <= 0) throw std::invalid_argument("fibre_sizes_with_known_n: n <= 0");
+  BigInt total(0);
+  for (const BigInt& z : ratios) total += z;
+  if (total.is_zero()) return std::nullopt;
+  std::vector<BigInt> sizes;
+  sizes.reserve(ratios.size());
+  for (const BigInt& z : ratios) {
+    const BigInt numerator = BigInt(n) * z;
+    if (!(numerator % total).is_zero()) return std::nullopt;
+    sizes.push_back(numerator / total);
+  }
+  return sizes;
+}
+
+std::vector<std::int64_t> expand_multiset(
+    const std::vector<std::int64_t>& class_values,
+    const std::vector<BigInt>& class_sizes) {
+  if (class_values.size() != class_sizes.size()) {
+    throw std::invalid_argument("expand_multiset: size mismatch");
+  }
+  std::vector<std::int64_t> result;
+  for (std::size_t i = 0; i < class_values.size(); ++i) {
+    const std::int64_t count = class_sizes[i].to_int64();
+    if (count < 0) throw std::invalid_argument("expand_multiset: negative");
+    for (std::int64_t k = 0; k < count; ++k) {
+      result.push_back(class_values[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace anonet

@@ -1,0 +1,65 @@
+#pragma once
+
+// From frequencies to multisets: the centralized-help corollaries.
+//
+//   - Corollary 4.3: with n known, multiplicities are ν(ω) · n.
+//   - Corollary 4.4 / eq. (5): with ℓ leaders (ℓ known to all), the leader
+//     classes of the base pin the common factor: |φ⁻¹(i)| = ℓ z_i / Σ_{j∈L} z_j.
+// Either way the agents recover the full multiset [ω1, ..., ωn] and can
+// compute any multiset-based function — e.g. the sum.
+//
+// Leaders are modeled as a flag on the input: an agent's value for labelling
+// purposes is the pair (ω, is_leader), which is how "one or several agents
+// are distinguished as leaders" breaks anonymity in the paper. The flag is
+// packed into the int64 input (LSB) so every algorithm layer is unchanged.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "functions/functions.hpp"
+#include "support/bigint.hpp"
+
+namespace anonet {
+
+// --- leader encoding ---------------------------------------------------------
+
+[[nodiscard]] constexpr std::int64_t encode_leader_input(std::int64_t value,
+                                                         bool is_leader) {
+  return value * 2 + (is_leader ? 1 : 0);
+}
+[[nodiscard]] constexpr std::int64_t decode_leader_value(std::int64_t coded) {
+  // Floor division keeps negatives correct: encode(-3, 1) = -5 -> -3.
+  return coded >= 0 ? coded / 2 : (coded - 1) / 2;
+}
+[[nodiscard]] constexpr bool decode_leader_flag(std::int64_t coded) {
+  return (coded % 2 + 2) % 2 == 1;
+}
+
+// --- multiset recovery -------------------------------------------------------
+
+// Corollary 4.3: multiplicities ν(ω)·n; nullopt if any is not an integer
+// (bogus frequency estimate for this n).
+[[nodiscard]] std::optional<std::map<std::int64_t, BigInt>>
+multiset_from_frequency(const Frequency& nu, std::int64_t n);
+
+// Eq. (5): exact fibre cardinalities from ratios plus leader classes.
+// `is_leader_class[i]` marks base vertices whose fibre consists of leaders;
+// nullopt when ℓ Σ... does not divide evenly (bogus candidate) or when no
+// leader class exists.
+[[nodiscard]] std::optional<std::vector<BigInt>> fibre_sizes_with_leaders(
+    const std::vector<bool>& is_leader_class,
+    const std::vector<BigInt>& ratios, std::int64_t leader_count);
+
+// Corollary 4.3's analogue from ratios: fibre cardinalities n z_i / Σ z_j.
+[[nodiscard]] std::optional<std::vector<BigInt>> fibre_sizes_with_known_n(
+    const std::vector<BigInt>& ratios, std::int64_t n);
+
+// Expands per-class (value, cardinality) into a flat multiset vector usable
+// by SymmetricFunction. Throws if a cardinality does not fit an int.
+[[nodiscard]] std::vector<std::int64_t> expand_multiset(
+    const std::vector<std::int64_t>& class_values,
+    const std::vector<BigInt>& class_sizes);
+
+}  // namespace anonet

@@ -1,0 +1,74 @@
+#pragma once
+
+// High-level "can this network class compute f?" harness.
+//
+// This is the executable form of Tables 1 and 2: pick a communication model,
+// a level of centralized help, a network (static graph or dynamic schedule)
+// and a target function, and `attempt_*` selects the paper's algorithm for
+// that cell, runs it, and reports whether the outputs reached f(v) — exactly
+// (δ0, with the stabilization round) or asymptotically (δ2, with the final
+// sup-error). Cells the paper proves impossible return success = false with
+// the reason; bench/lifting_obstruction demonstrates *why* they fail.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynamics/dynamic_graph.hpp"
+#include "functions/functions.hpp"
+#include "graph/digraph.hpp"
+#include "runtime/comm_model.hpp"
+
+namespace anonet {
+
+enum class Knowledge {
+  kNone,       // no centralized help
+  kUpperBound, // a bound N >= n is known (parameter = N)
+  kExactSize,  // n is known (parameter = n)
+  kLeaders,    // parameter = ℓ; inputs must be encode_leader_input()-coded
+};
+
+[[nodiscard]] std::string_view to_string(Knowledge knowledge);
+
+struct Attempt {
+  CommModel model = CommModel::kSimpleBroadcast;
+  Knowledge knowledge = Knowledge::kNone;
+  std::int64_t parameter = 0;  // N, n, or ℓ depending on `knowledge`
+  int rounds = 50;             // simulation horizon
+  double tolerance = 1e-4;     // δ2 acceptance for asymptotic computation
+  std::uint64_t seed = 1;      // executor shuffle seed
+};
+
+struct AttemptResult {
+  bool success = false;
+  // First round from which every agent's output was exactly f(v) and stayed
+  // so (δ0 stabilization); -1 for asymptotic-only or failed attempts.
+  int stabilization_round = -1;
+  // Sup-distance of the final outputs from f(v) under δ2 (NaN when outputs
+  // are non-numeric failures).
+  double final_error = std::numeric_limits<double>::quiet_NaN();
+  std::string mechanism;  // algorithm (or impossibility reason) used
+};
+
+// Static strongly connected networks (Theorem 4.1, Corollaries 4.2-4.4).
+// For kOutputPortAware the graph's ports are assigned automatically when
+// absent. For kLeaders, code the inputs with encode_leader_input().
+[[nodiscard]] AttemptResult attempt_static(
+    const Digraph& g, const std::vector<std::int64_t>& inputs,
+    const SymmetricFunction& f, const Attempt& attempt);
+
+// Dynamic networks with finite dynamic diameter (Section 5): Push-Sum for
+// outdegree awareness, Metropolis for symmetric communications, gossip for
+// set-based functions everywhere.
+[[nodiscard]] AttemptResult attempt_dynamic(
+    const DynamicGraphPtr& network, const std::vector<std::int64_t>& inputs,
+    const SymmetricFunction& f, const Attempt& attempt);
+
+// Ground truth f(v) with leader coding stripped when applicable.
+[[nodiscard]] Rational ground_truth(const std::vector<std::int64_t>& inputs,
+                                    const SymmetricFunction& f,
+                                    Knowledge knowledge);
+
+}  // namespace anonet

@@ -1,0 +1,43 @@
+#pragma once
+
+// Exact-arithmetic Push-Sum.
+//
+// The Push-Sum update is linear with rational coefficients 1/d, so the
+// entire execution can be carried in exact rationals: Σy and Σz are then
+// *identically* invariant (not up to float roundoff), and the iterates are
+// the true mathematical trajectory of Theorem 5.2. Denominators grow like
+// (max degree)^t, which BigInt absorbs comfortably at test scale; the
+// double-based PushSumAgent remains the workhorse, and tests cross-validate
+// it against this agent trajectory-by-trajectory.
+
+#include <vector>
+
+#include "support/rational.hpp"
+
+namespace anonet {
+
+class ExactPushSumAgent {
+ public:
+  struct Message {
+    Rational y_share;
+    Rational z_share;
+
+    [[nodiscard]] std::int64_t weight_units() const { return 2; }
+  };
+
+  // z(0) must be positive; x = y/z converges to Σvalues / Σweights.
+  ExactPushSumAgent(Rational value, Rational weight);
+
+  [[nodiscard]] Message send(int outdegree, int /*port*/) const;
+  void receive(std::vector<Message> messages);
+
+  [[nodiscard]] const Rational& y() const { return y_; }
+  [[nodiscard]] const Rational& z() const { return z_; }
+  [[nodiscard]] Rational output() const { return y_ / z_; }
+
+ private:
+  Rational y_;
+  Rational z_;
+};
+
+}  // namespace anonet

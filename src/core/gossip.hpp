@@ -1,0 +1,65 @@
+#pragma once
+
+// The simple gossip (flooding) algorithm: the positive half of the
+// simple-broadcast row of Tables 1 and 2.
+//
+// Each agent maintains the set of input values it has heard of and
+// broadcasts it every round. After D rounds (D the [dynamic] diameter) every
+// agent knows the full support of the input vector, hence can compute any
+// set-based function in finite time — under any communication model, static
+// or dynamic, with or without knowledge of n. This is also the strongest
+// possible algorithm for simple broadcast: Hendrickx & Tsitsiklis (and Boldi
+// & Vigna for known n) show nothing beyond set-based functions is
+// computable there, which bench/lifting_obstruction demonstrates
+// executably.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "functions/functions.hpp"
+
+namespace anonet {
+
+class SetGossipAgent {
+ public:
+  struct Message {
+    std::vector<std::int64_t> values;  // sorted known-set snapshot
+
+    // Bandwidth accounting: one unit per carried value.
+    [[nodiscard]] std::int64_t weight_units() const {
+      return static_cast<std::int64_t>(values.size());
+    }
+  };
+
+  explicit SetGossipAgent(std::int64_t input) : input_(input) {
+    known_.insert(input);
+  }
+
+  // Simple broadcast: the message depends on the state alone.
+  [[nodiscard]] Message send(int /*outdegree*/, int /*port*/) const {
+    return Message{{known_.begin(), known_.end()}};
+  }
+
+  void receive(std::vector<Message> messages) {
+    for (const Message& m : messages) {
+      known_.insert(m.values.begin(), m.values.end());
+    }
+  }
+
+  [[nodiscard]] std::int64_t input() const { return input_; }
+  [[nodiscard]] const std::set<std::int64_t>& known() const { return known_; }
+
+  // Output variable: f applied to the currently known support (one
+  // representative per value). Stabilizes on f(v) for set-based f.
+  [[nodiscard]] Rational output(const SymmetricFunction& f) const {
+    const std::vector<std::int64_t> support(known_.begin(), known_.end());
+    return f(support);
+  }
+
+ private:
+  std::int64_t input_;
+  std::set<std::int64_t> known_;
+};
+
+}  // namespace anonet

@@ -1,0 +1,190 @@
+#include "core/lifting_demo.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/gossip.hpp"
+#include "core/minbase_agent.hpp"
+#include "dynamics/schedules.hpp"
+#include "runtime/executor.hpp"
+
+namespace anonet {
+
+namespace {
+
+constexpr EdgeColor kSelfPort = 1;
+constexpr EdgeColor kClockwisePort = 2;
+constexpr EdgeColor kCounterPort = 3;
+
+// Runs the distributed minimum-base algorithm on a ported/valued ring and
+// returns the state (view id) sequence of every agent. Sharing `registry`
+// and `codec` across the base and lift executions makes cross-execution
+// state comparison exact.
+std::vector<std::vector<ViewId>> run_minbase_on_ring(
+    const Digraph& ring, const std::vector<std::int64_t>& inputs,
+    CommModel model, int rounds, const std::shared_ptr<ViewRegistry>& registry,
+    const std::shared_ptr<LabelCodec>& codec) {
+  std::vector<MinBaseAgent> agents;
+  agents.reserve(inputs.size());
+  for (std::int64_t input : inputs) {
+    agents.emplace_back(registry, codec, input, model);
+  }
+  Executor<MinBaseAgent> executor(std::make_shared<StaticSchedule>(ring),
+                                  std::move(agents), model);
+  std::vector<std::vector<ViewId>> history;
+  history.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    executor.step();
+    std::vector<ViewId> states;
+    states.reserve(inputs.size());
+    for (const MinBaseAgent& agent : executor.agents()) {
+      states.push_back(agent.view());
+    }
+    history.push_back(std::move(states));
+  }
+  return history;
+}
+
+// True iff at every recorded round, the state of lift vertex i equals the
+// state of base vertex i mod p — i.e. the lifted execution *is* the
+// execution on the lift (Lemma 3.1).
+bool fibrewise_equal(const std::vector<std::vector<ViewId>>& lift_history,
+                     const std::vector<std::vector<ViewId>>& base_history,
+                     int p) {
+  for (std::size_t r = 0; r < lift_history.size(); ++r) {
+    for (std::size_t i = 0; i < lift_history[r].size(); ++i) {
+      if (lift_history[r][i] !=
+          base_history[r][i % static_cast<std::size_t>(p)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Digraph ported_ring(Vertex n) {
+  if (n < 3) throw std::invalid_argument("ported_ring: need n >= 3");
+  Digraph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    g.add_edge(v, v, kSelfPort);
+    g.add_edge(v, (v + 1) % n, kClockwisePort);
+    g.add_edge(v, (v + n - 1) % n, kCounterPort);
+  }
+  return g;
+}
+
+LiftingObstruction demonstrate_ring_obstruction(
+    const std::vector<std::int64_t>& v, const std::vector<std::int64_t>& w,
+    CommModel model, const SymmetricFunction& f, int rounds) {
+  const Frequency nu = Frequency::of(v);
+  if (!(nu == Frequency::of(w))) {
+    throw std::invalid_argument(
+        "demonstrate_ring_obstruction: v and w must be frequency-equivalent");
+  }
+  LiftingObstruction result;
+  result.f_of_v = f(v);
+  result.f_of_w = f(w);
+
+  // The canonical frequenced vector has size p dividing both |v| and |w|
+  // (Section 4.1); the projection only yields honest simple-graph ring
+  // fibrations for p >= 3, so scale p up within gcd(n, m) if needed.
+  const std::vector<std::int64_t> canonical = nu.canonical_vector();
+  const auto n = static_cast<int>(v.size());
+  const auto m = static_cast<int>(w.size());
+  const int unit = static_cast<int>(canonical.size());
+  const int g = std::gcd(n, m);
+  int p = 0;
+  for (int k = unit; k <= g; k += unit) {
+    if (k >= 3 && g % k == 0) {
+      p = k;
+      break;
+    }
+  }
+  if (p == 0) {
+    result.detail = "no common ring size >= 3 divides both |v| and |w|";
+    return result;
+  }
+  result.applicable = true;
+  result.p = p;
+
+  // Base inputs: the first p entries of the fibrewise layout u[i mod p];
+  // lift inputs are a permutation of v (resp. w), which by Lemma 3.3 leaves
+  // f unchanged.
+  std::vector<std::int64_t> base_inputs;
+  for (int i = 0; i < p; ++i) {
+    base_inputs.push_back(canonical[static_cast<std::size_t>(i) %
+                                    canonical.size()]);
+  }
+  auto lifted_inputs = [&](int size) {
+    std::vector<std::int64_t> inputs(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      inputs[static_cast<std::size_t>(i)] =
+          base_inputs[static_cast<std::size_t>(i % p)];
+    }
+    return inputs;
+  };
+
+  auto registry = std::make_shared<ViewRegistry>();
+  auto codec = std::make_shared<LabelCodec>();
+  auto ring_for = [&](int size) {
+    return model == CommModel::kOutputPortAware
+               ? ported_ring(size)
+               : bidirectional_ring(size);
+  };
+
+  const auto base_history = run_minbase_on_ring(
+      ring_for(p), base_inputs, model, rounds, registry, codec);
+  const auto lift_n_history = run_minbase_on_ring(
+      ring_for(n), lifted_inputs(n), model, rounds, registry, codec);
+  const auto lift_m_history = run_minbase_on_ring(
+      ring_for(m), lifted_inputs(m), model, rounds, registry, codec);
+
+  result.rounds_checked = rounds;
+  result.lifting_verified = fibrewise_equal(lift_n_history, base_history, p) &&
+                            fibrewise_equal(lift_m_history, base_history, p);
+  result.detail = result.lifting_verified
+                      ? "both lifted executions are fibrewise copies of the "
+                        "base execution; outputs on v and w are forced equal"
+                      : "lifting lemma violated (simulator bug)";
+  return result;
+}
+
+bool gossip_lifting_holds(const LiftedGraph& lift, const Digraph& base,
+                          const std::vector<std::int64_t>& base_inputs,
+                          int rounds) {
+  if (base_inputs.size() != static_cast<std::size_t>(base.vertex_count())) {
+    throw std::invalid_argument("gossip_lifting_holds: input size mismatch");
+  }
+  std::vector<SetGossipAgent> base_agents;
+  for (std::int64_t input : base_inputs) base_agents.emplace_back(input);
+  std::vector<SetGossipAgent> lift_agents;
+  for (Vertex projection : lift.projection) {
+    lift_agents.emplace_back(
+        base_inputs[static_cast<std::size_t>(projection)]);
+  }
+  Digraph base_graph = base;
+  base_graph.ensure_self_loops();
+  Digraph lift_graph = lift.graph;
+  lift_graph.ensure_self_loops();
+  Executor<SetGossipAgent> base_exec(
+      std::make_shared<StaticSchedule>(base_graph), std::move(base_agents),
+      CommModel::kSimpleBroadcast);
+  Executor<SetGossipAgent> lift_exec(
+      std::make_shared<StaticSchedule>(lift_graph), std::move(lift_agents),
+      CommModel::kSimpleBroadcast);
+  for (int r = 0; r < rounds; ++r) {
+    base_exec.step();
+    lift_exec.step();
+    for (Vertex i = 0; i < lift.graph.vertex_count(); ++i) {
+      const Vertex b = lift.projection[static_cast<std::size_t>(i)];
+      if (lift_exec.agent(i).known() != base_exec.agent(b).known()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace anonet

@@ -1,0 +1,63 @@
+#pragma once
+
+// Executable impossibility machinery (Section 4.1).
+//
+// The negative halves of Theorem 4.1 and Corollaries 4.2-4.4 rest on one
+// mechanism: for frequency-equivalent inputs v (size n) and w (size m) there
+// are fibrations R^n -> R^p and R^m -> R^p of bidirectional rings, and by the
+// Lifting lemma any algorithm run on the lifts with fibrewise inputs is
+// *forced* to trace the fibrewise copy of its execution on R^p — so its
+// outputs on v and w coincide, and any f with f(v) != f(w) is uncomputable.
+//
+// This module makes that argument a measurement: it runs the strongest
+// algorithm of this library (distributed minimum base) on base and lifts,
+// verifies state-by-state that the lifted execution is an execution (the
+// shared view registry makes state equality exact), and reports the
+// disagreement |f(v) - f(w)| the algorithm would have to achieve — but
+// provably cannot.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "functions/functions.hpp"
+#include "graph/generators.hpp"
+#include "runtime/comm_model.hpp"
+
+namespace anonet {
+
+// Bidirectional ring with the canonical direction-respecting port labelling
+// (self = 1, clockwise = 2, counter-clockwise = 3), which the mod-p
+// projection preserves. Requires n >= 3.
+[[nodiscard]] Digraph ported_ring(Vertex n);
+
+struct LiftingObstruction {
+  int p = 0;                     // size of the common base ring
+  bool applicable = false;       // a usable common ring size was found
+  bool lifting_verified = false; // Lemma 3.1 held on every round, both lifts
+  int rounds_checked = 0;
+  // f(v) and f(w): any algorithm computing f would need these to differ,
+  // yet its executions on R^n and R^m are fibrewise copies of the same
+  // execution on R^p.
+  Rational f_of_v;
+  Rational f_of_w;
+  std::string detail;
+};
+
+// v and w must be frequency-equivalent (checked; throws otherwise).
+// `model` selects the valuation/coloring carried by the rings: outdegree
+// labels, port colors, or nothing — the obstruction holds in all of them.
+[[nodiscard]] LiftingObstruction demonstrate_ring_obstruction(
+    const std::vector<std::int64_t>& v, const std::vector<std::int64_t>& w,
+    CommModel model, const SymmetricFunction& f, int rounds);
+
+// Property-test form of Lemma 3.1 on arbitrary fibrations: runs simple
+// gossip on `lift.graph` with inputs copied fibrewise from `base_inputs`,
+// and in parallel on `base`; true iff every agent's state equals its fibre
+// representative's state after every round.
+[[nodiscard]] bool gossip_lifting_holds(const LiftedGraph& lift,
+                                        const Digraph& base,
+                                        const std::vector<std::int64_t>& base_inputs,
+                                        int rounds);
+
+}  // namespace anonet

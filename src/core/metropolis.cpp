@@ -1,0 +1,88 @@
+#include "core/metropolis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace anonet {
+
+namespace {
+
+double metropolis_weight(int degree_a, int degree_b) {
+  return 1.0 / static_cast<double>(std::max(degree_a, degree_b));
+}
+
+}  // namespace
+
+MetropolisAgent::Message MetropolisAgent::send(int outdegree,
+                                               int /*port*/) const {
+  if (outdegree <= 0) {
+    throw std::logic_error("MetropolisAgent: requires outdegree awareness");
+  }
+  degree_ = outdegree;
+  return Message{x_, outdegree};
+}
+
+void MetropolisAgent::receive(std::vector<Message> messages) {
+  // x_i += Σ_j W_ij (x_j - x_i). The agent's own message contributes zero,
+  // so no self-identification is needed (the multiset stays anonymous).
+  double delta = 0.0;
+  for (const Message& m : messages) {
+    delta += metropolis_weight(degree_, m.degree) * (m.x - x_);
+  }
+  x_ += delta;
+}
+
+FrequencyMetropolisAgent::FrequencyMetropolisAgent(std::int64_t input)
+    : input_(input) {
+  x_[input_] = 1.0;
+}
+
+FrequencyMetropolisAgent::Message FrequencyMetropolisAgent::send(
+    int outdegree, int /*port*/) const {
+  if (outdegree <= 0) {
+    throw std::logic_error(
+        "FrequencyMetropolisAgent: requires outdegree awareness");
+  }
+  degree_ = outdegree;
+  return Message{x_, outdegree};
+}
+
+void FrequencyMetropolisAgent::receive(std::vector<Message> messages) {
+  // Materialize every value any sender knows: a missing entry is an exact 0
+  // (indicator average), so processing it keeps the pairwise update
+  // symmetric — the neighbor treats our missing entry as 0 too, and the two
+  // corrections cancel, preserving the global sum per value.
+  std::map<std::int64_t, double> next = x_;
+  for (const Message& m : messages) {
+    for (const auto& [value, x] : m.x) next.try_emplace(value, 0.0);
+  }
+  for (auto& [value, x_own] : next) {
+    const double before = x_own;
+    double delta = 0.0;
+    for (const Message& m : messages) {
+      auto it = m.x.find(value);
+      const double x_sender = it == m.x.end() ? 0.0 : it->second;
+      delta += metropolis_weight(degree_, m.degree) * (x_sender - before);
+    }
+    x_own = before + delta;
+  }
+  x_ = std::move(next);
+}
+
+std::optional<Frequency> FrequencyMetropolisAgent::rounded_frequency(
+    std::uint32_t bound_on_n) const {
+  std::map<std::int64_t, Rational> entries;
+  Rational total;
+  for (const auto& [value, x] : x_) {
+    if (!std::isfinite(x)) return std::nullopt;
+    const Rational rounded = nearest_rational(x, bound_on_n);
+    if (rounded.signum() < 0) return std::nullopt;
+    if (rounded.signum() > 0) entries.emplace(value, rounded);
+    total += rounded;
+  }
+  if (total != Rational(1) || entries.empty()) return std::nullopt;
+  return Frequency(std::move(entries));
+}
+
+}  // namespace anonet

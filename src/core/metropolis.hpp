@@ -1,0 +1,87 @@
+#pragma once
+
+// Metropolis averaging (Section 5).
+//
+// On symmetric networks the Metropolis weights
+//     W_{ij} = 1 / max(d_i, d_j)          (i != j, (i,j) an edge)
+//     W_{ii} = 1 - Σ_{j != i} W_{ij}
+// form a doubly-stochastic matrix whose repeated application drives every
+// x_i to the average of the initial values; the paper uses it as the
+// frequency engine for the dynamic symmetric-communications column of
+// Table 2. Each message carries (x, d): the receiver can compute W_{ij}
+// because it knows its own round degree from the sending phase (outdegree
+// awareness — the model the paper states Metropolis under; in a *static*
+// symmetric network degrees could instead be learned in round one). The
+// update is sum-preserving pairwise, needs no persistent memory beyond x,
+// and tolerates asynchronous starts.
+//
+// MetropolisAgent averages one scalar. FrequencyMetropolisAgent runs one
+// instance per input value over indicator initializations — the average of
+// 1{v_i = ω} is exactly ν_v(ω) — with lazy per-value joining mirroring
+// Algorithm 1 (both endpoints of an edge process a value as soon as either
+// knows it, keeping the pairwise cancellation exact).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "functions/functions.hpp"
+#include "support/farey.hpp"
+
+namespace anonet {
+
+class MetropolisAgent {
+ public:
+  struct Message {
+    double x = 0.0;
+    int degree = 1;
+
+    [[nodiscard]] std::int64_t weight_units() const { return 2; }
+  };
+
+  explicit MetropolisAgent(double value) : x_(value) {}
+
+  [[nodiscard]] Message send(int outdegree, int /*port*/) const;
+  void receive(std::vector<Message> messages);
+
+  [[nodiscard]] double output() const { return x_; }
+
+ private:
+  double x_ = 0.0;
+  mutable int degree_ = 1;  // round degree recorded at send time
+};
+
+class FrequencyMetropolisAgent {
+ public:
+  struct Message {
+    std::map<std::int64_t, double> x;
+    int degree = 1;
+
+    [[nodiscard]] std::int64_t weight_units() const {
+      return 2 * static_cast<std::int64_t>(x.size()) + 1;
+    }
+  };
+
+  explicit FrequencyMetropolisAgent(std::int64_t input);
+
+  [[nodiscard]] Message send(int outdegree, int /*port*/) const;
+  void receive(std::vector<Message> messages);
+
+  [[nodiscard]] std::int64_t input() const { return input_; }
+  [[nodiscard]] const std::map<std::int64_t, double>& estimates() const {
+    return x_;
+  }
+
+  // Corollary-5.3-style exact rounding under a known bound N >= n; the same
+  // Farey argument applies to any convergent frequency estimate.
+  [[nodiscard]] std::optional<Frequency> rounded_frequency(
+      std::uint32_t bound_on_n) const;
+
+ private:
+  std::int64_t input_;
+  std::map<std::int64_t, double> x_;
+  mutable int degree_ = 1;
+};
+
+}  // namespace anonet

@@ -1,0 +1,132 @@
+#include "core/pushsum.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace anonet {
+
+PushSumAgent::PushSumAgent(double value, double weight)
+    : y_(value), z_(weight) {
+  if (weight <= 0.0) {
+    throw std::invalid_argument("PushSumAgent: weight must be positive");
+  }
+}
+
+PushSumAgent::Message PushSumAgent::send(int outdegree, int /*port*/) const {
+  if (outdegree <= 0) {
+    throw std::logic_error("PushSumAgent: requires outdegree awareness");
+  }
+  const double d = static_cast<double>(outdegree);
+  return Message{y_ / d, z_ / d};
+}
+
+void PushSumAgent::receive(std::vector<Message> messages) {
+  double y = 0.0;
+  double z = 0.0;
+  for (const Message& m : messages) {
+    y += m.y_share;
+    z += m.z_share;
+  }
+  y_ = y;
+  z_ = z;
+}
+
+FrequencyPushSumAgent::FrequencyPushSumAgent(std::int64_t input,
+                                             std::optional<bool> is_leader)
+    : input_(input),
+      z_default_(is_leader.has_value() && !*is_leader ? 0.0 : 1.0) {
+  // Algorithm 1, line 3: y[v_i] <- 1, z[v_i] <- z-default.
+  state_[input_] = Entry{1.0, z_default_};
+}
+
+FrequencyPushSumAgent::Message FrequencyPushSumAgent::send(
+    int outdegree, int /*port*/) const {
+  if (outdegree <= 0) {
+    throw std::logic_error(
+        "FrequencyPushSumAgent: requires outdegree awareness");
+  }
+  return Message{state_, outdegree};
+}
+
+void FrequencyPushSumAgent::receive(std::vector<Message> messages) {
+  // Per-value asynchronous starts, implemented *conservatively*: a sender
+  // that does not know ω contributes nothing (in the G̃ construction of
+  // Section 5.3 its edges do not exist yet for ω's instance), and an agent
+  // deposits its whole z-default the first time it materializes ω (its
+  // banked, never-circulated initial weight joining the instance). This
+  // keeps Σy[ω] and Σz[ω] exactly invariant — Σz[ω] = n (or ℓ in the leader
+  // variant) once every agent knows ω, so x[ω] -> multiplicity/n exactly.
+  // Algorithm 1 as printed instead has *receivers* supply defaults for
+  // unknowing senders (lines 9-10), which double-counts a unit that is also
+  // re-deposited at the sender and measurably inflates Σz on directed
+  // topologies (see pushsum_test.cpp, ConservativeJoiningIsExact); the
+  // deviation is documented in DESIGN.md.
+  std::map<std::int64_t, Entry> next;
+  for (const Message& m : messages) {
+    for (const auto& [value, entry] : m.entries) {
+      next.try_emplace(value, Entry{0.0, 0.0});
+    }
+  }
+  for (auto& [value, accumulator] : next) {
+    for (const Message& m : messages) {
+      auto it = m.entries.find(value);
+      if (it != m.entries.end()) {
+        const double d = static_cast<double>(m.outdegree);
+        accumulator.y += it->second.y / d;
+        accumulator.z += it->second.z / d;
+      }
+    }
+    if (!state_.contains(value)) accumulator.z += z_default_;
+  }
+  state_ = std::move(next);
+}
+
+std::map<std::int64_t, double> FrequencyPushSumAgent::estimates() const {
+  std::map<std::int64_t, double> result;
+  for (const auto& [value, entry] : state_) {
+    result[value] = entry.z > 0.0
+                        ? entry.y / entry.z
+                        : std::numeric_limits<double>::infinity();
+  }
+  return result;
+}
+
+std::map<std::int64_t, double> FrequencyPushSumAgent::normalized_estimates()
+    const {
+  std::map<std::int64_t, double> raw = estimates();
+  double total = 0.0;
+  for (const auto& [value, x] : raw) total += x;
+  if (total > 0.0 && std::isfinite(total)) {
+    for (auto& [value, x] : raw) x /= total;
+  }
+  return raw;
+}
+
+std::optional<Frequency> FrequencyPushSumAgent::rounded_frequency(
+    std::uint32_t bound_on_n) const {
+  std::map<std::int64_t, Rational> entries;
+  Rational total;
+  for (const auto& [value, x] : estimates()) {
+    if (!std::isfinite(x)) return std::nullopt;
+    const Rational rounded = nearest_rational(x, bound_on_n);
+    if (rounded.signum() < 0) return std::nullopt;
+    if (rounded.signum() > 0) entries.emplace(value, rounded);
+    total += rounded;
+  }
+  if (total != Rational(1) || entries.empty()) return std::nullopt;
+  return Frequency(std::move(entries));
+}
+
+std::map<std::int64_t, double> FrequencyPushSumAgent::multiplicity_estimates(
+    std::int64_t leader_count) const {
+  if (leader_count <= 0) {
+    throw std::invalid_argument(
+        "FrequencyPushSumAgent: leader_count must be positive");
+  }
+  std::map<std::int64_t, double> result = estimates();
+  for (auto& [value, x] : result) x *= static_cast<double>(leader_count);
+  return result;
+}
+
+}  // namespace anonet

@@ -1,0 +1,114 @@
+#pragma once
+
+// Push-Sum (Sections 5.1-5.5).
+//
+// PushSumAgent is the bare quot-sum algorithm of Theorem 5.2: weights y, z
+// flow along edges scaled by 1/outdegree (column-stochastic mass splitting),
+// and the output x = y/z converges to Σv_k / Σw_k in any dynamic network
+// with a finite dynamic diameter. The paper remarks that "by the very
+// definition of its update rules, the Push-Sum algorithm requires output
+// port awareness" (§5.1) — that applies to the general form where shares
+// may differ per recipient; the equal 1/d split used here (and in the
+// paper's own analysis, eq. 6-7) is isotropic, so outdegree awareness
+// suffices and that is the model this agent runs under. It tolerates
+// asynchronous starts and is *not* self-stabilizing (the y, z
+// initialization is part of its correctness; see the negative demonstration
+// in pushsum_test.cpp).
+//
+// FrequencyPushSumAgent is Algorithm 1: one Push-Sum instance per input
+// value ω, started lazily by the agents holding ω and joined by others upon
+// first hearing of ω (an asynchronous start, which Push-Sum tolerates).
+// x[ω] -> ν_v(ω). With a known bound N >= n, rounding each estimate to the
+// nearest rational with denominator <= N (support/farey.hpp) yields the
+// exact frequency function in finite time (Corollary 5.3); with a leader
+// count ℓ, initializing z to 0 at non-leaders turns estimates into
+// multiplicities (Section 5.5).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "functions/functions.hpp"
+#include "support/farey.hpp"
+
+namespace anonet {
+
+class PushSumAgent {
+ public:
+  struct Message {
+    double y_share = 0.0;
+    double z_share = 0.0;
+
+    [[nodiscard]] std::int64_t weight_units() const { return 2; }
+  };
+
+  // y(0) = value, z(0) = weight (> 0); x converges to Σ values / Σ weights.
+  PushSumAgent(double value, double weight);
+
+  // Outdegree awareness: shares are the state split d ways.
+  [[nodiscard]] Message send(int outdegree, int /*port*/) const;
+  void receive(std::vector<Message> messages);
+
+  [[nodiscard]] double y() const { return y_; }
+  [[nodiscard]] double z() const { return z_; }
+  [[nodiscard]] double output() const { return y_ / z_; }
+
+ private:
+  double y_;
+  double z_;
+};
+
+class FrequencyPushSumAgent {
+ public:
+  struct Entry {
+    double y = 0.0;
+    double z = 0.0;
+  };
+  struct Message {
+    // Full (y, z) maps plus the sender's outdegree (receivers divide).
+    std::map<std::int64_t, Entry> entries;
+    int outdegree = 1;
+
+    // Bandwidth: (value, y, z) per entry plus the outdegree field.
+    [[nodiscard]] std::int64_t weight_units() const {
+      return 3 * static_cast<std::int64_t>(entries.size()) + 1;
+    }
+  };
+
+  // `leader_count` empty: Algorithm 1 (z defaults to 1 everywhere).
+  // `leader_count` set: the Section 5.5 variant — z defaults to 1 at leaders
+  // and 0 elsewhere, and multiplicity(ω) = ℓ · x[ω].
+  explicit FrequencyPushSumAgent(std::int64_t input,
+                                 std::optional<bool> is_leader = std::nullopt);
+
+  [[nodiscard]] Message send(int outdegree, int /*port*/) const;
+  void receive(std::vector<Message> messages);
+
+  [[nodiscard]] std::int64_t input() const { return input_; }
+
+  // Raw estimates x[ω] = y[ω]/z[ω]; +inf while z[ω] == 0 (leader variant,
+  // finitely many rounds).
+  [[nodiscard]] std::map<std::int64_t, double> estimates() const;
+
+  // §5.4: estimates normalized to sum to 1 — a bona fide frequency vector
+  // even before convergence.
+  [[nodiscard]] std::map<std::int64_t, double> normalized_estimates() const;
+
+  // Corollary 5.3: exact-frequency candidate under a known bound N >= n.
+  // Returns nullopt while the rounded values don't form a frequency
+  // function; eventually stabilizes on ν_v exactly.
+  [[nodiscard]] std::optional<Frequency> rounded_frequency(
+      std::uint32_t bound_on_n) const;
+
+  // Section 5.5: multiplicity estimates ℓ·x[ω] (leader variant only).
+  [[nodiscard]] std::map<std::int64_t, double> multiplicity_estimates(
+      std::int64_t leader_count) const;
+
+ private:
+  std::int64_t input_;
+  double z_default_;  // 1.0, or 0.0 for non-leaders in the leader variant
+  std::map<std::int64_t, Entry> state_;
+};
+
+}  // namespace anonet

@@ -1,0 +1,27 @@
+#include "dynamics/connectivity.hpp"
+
+#include <algorithm>
+
+namespace anonet {
+
+int window_to_complete(const DynamicGraph& g, int t, int max_window) {
+  Digraph product = g.at(t);
+  if (is_complete_with_self_loops(product)) return 1;
+  for (int w = 2; w <= max_window; ++w) {
+    product = graph_product(product, g.at(t + w - 1));
+    if (is_complete_with_self_loops(product)) return w;
+  }
+  return -1;
+}
+
+int dynamic_diameter(const DynamicGraph& g, int horizon, int max_window) {
+  int result = 0;
+  for (int t = 1; t <= horizon; ++t) {
+    const int w = window_to_complete(g, t, max_window);
+    if (w == -1) return -1;
+    result = std::max(result, w);
+  }
+  return result;
+}
+
+}  // namespace anonet

@@ -1,0 +1,25 @@
+#pragma once
+
+// Dynamic-diameter measurement (Section 2.1).
+//
+// The dynamic diameter of G is the smallest D such that for every t the
+// product G(t) ∘ ... ∘ G(t+D-1) is complete: every agent hears (possibly
+// indirectly) from every agent within any window of D rounds. Experiments
+// use these helpers to certify that a schedule belongs to the network class
+// a theorem quantifies over before measuring anything on it.
+
+#include "dynamics/dynamic_graph.hpp"
+
+namespace anonet {
+
+// Smallest w such that G(t) ∘ ... ∘ G(t+w-1) is complete, or -1 if no
+// window up to max_window suffices.
+[[nodiscard]] int window_to_complete(const DynamicGraph& g, int t,
+                                     int max_window);
+
+// Max of window_to_complete over t in [1, horizon] — an empirical dynamic
+// diameter over the measured horizon. Returns -1 when some window fails.
+[[nodiscard]] int dynamic_diameter(const DynamicGraph& g, int horizon,
+                                   int max_window);
+
+}  // namespace anonet

@@ -1,0 +1,28 @@
+#pragma once
+
+// Dynamic graphs: an infinite sequence G(1), G(2), ... over a fixed vertex
+// set (Section 2.1). Implementations must be deterministic functions of the
+// round (randomized schedules derive their round graph from a seed and t) so
+// executions are reproducible and the same schedule can be replayed for
+// analysis and for simulation.
+
+#include <memory>
+
+#include "graph/digraph.hpp"
+
+namespace anonet {
+
+class DynamicGraph {
+ public:
+  virtual ~DynamicGraph() = default;
+
+  [[nodiscard]] virtual Vertex vertex_count() const = 0;
+
+  // Communication graph of round t (t >= 1). Must contain a self-loop at
+  // every vertex (an agent always hears itself).
+  [[nodiscard]] virtual Digraph at(int t) const = 0;
+};
+
+using DynamicGraphPtr = std::shared_ptr<const DynamicGraph>;
+
+}  // namespace anonet

@@ -1,0 +1,181 @@
+#include "dynamics/schedules.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace anonet {
+
+namespace {
+
+// Splitmix-style mixing so per-round seeds are decorrelated.
+std::uint64_t mix_seed(std::uint64_t seed, int t) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(t + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void require_round(int t) {
+  if (t < 1) throw std::invalid_argument("DynamicGraph::at: rounds start at 1");
+}
+
+}  // namespace
+
+StaticSchedule::StaticSchedule(Digraph g) : graph_(std::move(g)) {
+  graph_.ensure_self_loops();
+}
+
+Digraph StaticSchedule::at(int t) const {
+  require_round(t);
+  return graph_;
+}
+
+PeriodicSchedule::PeriodicSchedule(std::vector<Digraph> phases)
+    : phases_(std::move(phases)) {
+  if (phases_.empty()) {
+    throw std::invalid_argument("PeriodicSchedule: need at least one phase");
+  }
+  for (Digraph& g : phases_) {
+    if (g.vertex_count() != phases_.front().vertex_count()) {
+      throw std::invalid_argument("PeriodicSchedule: vertex count mismatch");
+    }
+    g.ensure_self_loops();
+  }
+}
+
+Vertex PeriodicSchedule::vertex_count() const {
+  return phases_.front().vertex_count();
+}
+
+Digraph PeriodicSchedule::at(int t) const {
+  require_round(t);
+  return phases_[static_cast<std::size_t>(t - 1) % phases_.size()];
+}
+
+RandomStronglyConnectedSchedule::RandomStronglyConnectedSchedule(
+    Vertex n, int extra_edges, std::uint64_t seed)
+    : n_(n), extra_edges_(extra_edges), seed_(seed) {
+  if (n <= 0) {
+    throw std::invalid_argument("RandomStronglyConnectedSchedule: n > 0");
+  }
+}
+
+Digraph RandomStronglyConnectedSchedule::at(int t) const {
+  require_round(t);
+  return random_strongly_connected(n_, extra_edges_, mix_seed(seed_, t));
+}
+
+RandomSymmetricSchedule::RandomSymmetricSchedule(Vertex n, int extra_pairs,
+                                                 std::uint64_t seed)
+    : n_(n), extra_pairs_(extra_pairs), seed_(seed) {
+  if (n <= 0) throw std::invalid_argument("RandomSymmetricSchedule: n > 0");
+}
+
+Digraph RandomSymmetricSchedule::at(int t) const {
+  require_round(t);
+  return random_symmetric_connected(n_, extra_pairs_, mix_seed(seed_, t));
+}
+
+TokenRingSchedule::TokenRingSchedule(Vertex n) : n_(n) {
+  if (n <= 0) throw std::invalid_argument("TokenRingSchedule: n > 0");
+}
+
+Digraph TokenRingSchedule::at(int t) const {
+  require_round(t);
+  Digraph g(n_);
+  for (Vertex v = 0; v < n_; ++v) g.add_edge(v, v);
+  if (n_ > 1) {
+    const Vertex src = static_cast<Vertex>((t - 1) % n_);
+    g.add_edge(src, (src + 1) % n_);
+  }
+  return g;
+}
+
+RandomMatchingSchedule::RandomMatchingSchedule(Vertex n, std::uint64_t seed)
+    : n_(n), seed_(seed) {
+  if (n <= 0) throw std::invalid_argument("RandomMatchingSchedule: n > 0");
+}
+
+Digraph RandomMatchingSchedule::at(int t) const {
+  require_round(t);
+  std::mt19937_64 rng(mix_seed(seed_, t));
+  std::vector<Vertex> order(static_cast<std::size_t>(n_));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  Digraph g(n_);
+  for (Vertex v = 0; v < n_; ++v) g.add_edge(v, v);
+  // Pair consecutive vertices of the shuffled order; odd leftover stays
+  // isolated this round (degree zero, footnote 2 of the paper).
+  for (std::size_t i = 0; i + 1 < order.size(); i += 2) {
+    g.add_edge(order[i], order[i + 1]);
+    g.add_edge(order[i + 1], order[i]);
+  }
+  return g;
+}
+
+GrowingGapSchedule::GrowingGapSchedule(Digraph base, int burst_length,
+                                       int initial_gap)
+    : base_(std::move(base)),
+      burst_length_(burst_length),
+      initial_gap_(initial_gap) {
+  if (burst_length <= 0 || initial_gap <= 0) {
+    throw std::invalid_argument("GrowingGapSchedule: positive lengths only");
+  }
+  base_.ensure_self_loops();
+}
+
+bool GrowingGapSchedule::in_burst(int t) const {
+  require_round(t);
+  // Bursts start at 1, 1 + (burst + gap), 1 + 2*burst + 3*gap, ... with the
+  // gap doubling each time.
+  long long start = 1;
+  long long gap = initial_gap_;
+  while (start <= t) {
+    if (t < start + burst_length_) return true;
+    start += burst_length_ + gap;
+    gap *= 2;
+  }
+  return false;
+}
+
+Digraph GrowingGapSchedule::at(int t) const {
+  require_round(t);
+  if (in_burst(t)) return base_;
+  Digraph isolated(base_.vertex_count());
+  isolated.ensure_self_loops();
+  return isolated;
+}
+
+AsyncStartSchedule::AsyncStartSchedule(DynamicGraphPtr inner,
+                                       std::vector<int> start_rounds)
+    : inner_(std::move(inner)), start_rounds_(std::move(start_rounds)) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("AsyncStartSchedule: null inner schedule");
+  }
+  if (start_rounds_.size() !=
+      static_cast<std::size_t>(inner_->vertex_count())) {
+    throw std::invalid_argument("AsyncStartSchedule: start_rounds size");
+  }
+}
+
+Digraph AsyncStartSchedule::at(int t) const {
+  require_round(t);
+  const Digraph inner = inner_->at(t);
+  Digraph g(inner.vertex_count());
+  for (const Edge& e : inner.edges()) {
+    const int needed =
+        std::max(start_rounds_[static_cast<std::size_t>(e.source)],
+                 start_rounds_[static_cast<std::size_t>(e.target)]);
+    if (e.source == e.target || t >= needed) {
+      g.add_edge(e.source, e.target, e.color);
+    }
+  }
+  g.ensure_self_loops();
+  return g;
+}
+
+}  // namespace anonet

@@ -1,0 +1,71 @@
+#include "fibration/fibration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anonet {
+
+namespace {
+
+// Sorted multiset of (class-of-source, color) over the in-edges of v, where
+// `resolve` maps a G vertex to its comparison key.
+template <typename Resolve>
+std::vector<std::pair<Vertex, EdgeColor>> in_signature(const Digraph& g,
+                                                       Vertex v,
+                                                       Resolve resolve) {
+  std::vector<std::pair<Vertex, EdgeColor>> sig;
+  for (EdgeId id : g.in_edges(v)) {
+    const Edge& e = g.edge(id);
+    sig.emplace_back(resolve(e.source), e.color);
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+}  // namespace
+
+bool is_fibration(const Digraph& g, const std::vector<int>& g_values,
+                  const Digraph& base, const std::vector<int>& base_values,
+                  const std::vector<Vertex>& projection) {
+  if (projection.size() != static_cast<std::size_t>(g.vertex_count())) {
+    throw std::invalid_argument("is_fibration: projection size mismatch");
+  }
+  if (g_values.size() != static_cast<std::size_t>(g.vertex_count()) ||
+      base_values.size() != static_cast<std::size_t>(base.vertex_count())) {
+    throw std::invalid_argument("is_fibration: valuation size mismatch");
+  }
+  std::vector<bool> hit(static_cast<std::size_t>(base.vertex_count()), false);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    const Vertex b = projection[static_cast<std::size_t>(v)];
+    if (b < 0 || b >= base.vertex_count()) return false;
+    hit[static_cast<std::size_t>(b)] = true;
+    if (g_values[static_cast<std::size_t>(v)] !=
+        base_values[static_cast<std::size_t>(b)]) {
+      return false;
+    }
+    auto g_sig = in_signature(g, v, [&](Vertex u) {
+      return projection[static_cast<std::size_t>(u)];
+    });
+    auto b_sig = in_signature(base, b, [](Vertex u) { return u; });
+    if (g_sig != b_sig) return false;
+  }
+  // Vertex surjectivity; edge surjectivity follows since every base vertex
+  // has a fibre vertex whose in-edges biject with its own.
+  return std::all_of(hit.begin(), hit.end(), [](bool h) { return h; });
+}
+
+bool is_fibration(const Digraph& g, const Digraph& base,
+                  const std::vector<Vertex>& projection) {
+  std::vector<int> gv(static_cast<std::size_t>(g.vertex_count()), 0);
+  std::vector<int> bv(static_cast<std::size_t>(base.vertex_count()), 0);
+  return is_fibration(g, gv, base, bv, projection);
+}
+
+std::vector<int> fibre_sizes(const std::vector<Vertex>& projection,
+                             Vertex base_count) {
+  std::vector<int> sizes(static_cast<std::size_t>(base_count), 0);
+  for (Vertex b : projection) ++sizes[static_cast<std::size_t>(b)];
+  return sizes;
+}
+
+}  // namespace anonet

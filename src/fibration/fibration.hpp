@@ -1,0 +1,47 @@
+#pragma once
+
+// Fibration verification and lifting (Section 3 and Lemma 3.1).
+//
+// A vertex map φ : V_G -> V_B underlies a fibration iff, for every vertex v
+// of G, the multiset of (φ(source), color) over v's in-edges equals the
+// multiset of (source, color) over the in-edges of φ(v) in B — then an edge
+// map with the unique-lift property can always be chosen. This count
+// criterion is what we verify.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace anonet {
+
+// True when `projection` is (the vertex part of) a fibration G -> B that is
+// surjective on vertices and preserves the given valuations.
+[[nodiscard]] bool is_fibration(const Digraph& g,
+                                const std::vector<int>& g_values,
+                                const Digraph& base,
+                                const std::vector<int>& base_values,
+                                const std::vector<Vertex>& projection);
+
+// Topology-only variant (all values equal).
+[[nodiscard]] bool is_fibration(const Digraph& g, const Digraph& base,
+                                const std::vector<Vertex>& projection);
+
+// Lifts a per-base-vertex assignment fibrewise: result[v] = base_values[φ(v)].
+// This is the C^φ / v^φ operation of Lemma 3.1, usable for states, inputs, or
+// any per-vertex data.
+template <typename T>
+[[nodiscard]] std::vector<T> lift_along(const std::vector<Vertex>& projection,
+                                        const std::vector<T>& base_values) {
+  std::vector<T> result;
+  result.reserve(projection.size());
+  for (Vertex b : projection) {
+    result.push_back(base_values[static_cast<std::size_t>(b)]);
+  }
+  return result;
+}
+
+// Fibre cardinalities |φ^{-1}(i)| for i in [0, base_count).
+[[nodiscard]] std::vector<int> fibre_sizes(
+    const std::vector<Vertex>& projection, Vertex base_count);
+
+}  // namespace anonet

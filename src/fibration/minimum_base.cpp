@@ -1,0 +1,60 @@
+#include "fibration/minimum_base.hpp"
+
+#include <stdexcept>
+
+namespace anonet {
+
+std::vector<int> MinimumBase::fibre_sizes() const {
+  std::vector<int> sizes(static_cast<std::size_t>(base.vertex_count()), 0);
+  for (Vertex b : projection) ++sizes[static_cast<std::size_t>(b)];
+  return sizes;
+}
+
+MinimumBase minimum_base(const Digraph& g, const std::vector<int>& values) {
+  const Partition partition =
+      coarsest_in_stable_partition(g, values).partition;
+  const int m = partition.class_count;
+
+  MinimumBase result;
+  result.base = Digraph(m);
+  result.values.assign(static_cast<std::size_t>(m), 0);
+  result.projection = std::vector<Vertex>(partition.class_of.begin(),
+                                          partition.class_of.end());
+
+  // One representative per class; by in-stability any choice yields the same
+  // base up to identity (classes are named by the partition).
+  std::vector<Vertex> representative(static_cast<std::size_t>(m), -1);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    const int c = partition.class_of[static_cast<std::size_t>(v)];
+    if (representative[static_cast<std::size_t>(c)] == -1) {
+      representative[static_cast<std::size_t>(c)] = v;
+      result.values[static_cast<std::size_t>(c)] =
+          values[static_cast<std::size_t>(v)];
+    }
+  }
+  for (int c = 0; c < m; ++c) {
+    const Vertex r = representative[static_cast<std::size_t>(c)];
+    for (EdgeId id : g.in_edges(r)) {
+      const Edge& e = g.edge(id);
+      result.base.add_edge(
+          partition.class_of[static_cast<std::size_t>(e.source)],
+          static_cast<Vertex>(c), e.color);
+    }
+  }
+  return result;
+}
+
+std::vector<int> outdegree_labels(const Digraph& g) {
+  std::vector<int> labels(static_cast<std::size_t>(g.vertex_count()));
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    labels[static_cast<std::size_t>(v)] = g.outdegree(v);
+  }
+  return labels;
+}
+
+bool is_fibration_prime(const Digraph& g, const std::vector<int>& values) {
+  return coarsest_in_stable_partition(g, values).partition.class_count ==
+         g.vertex_count();
+}
+
+}  // namespace anonet

@@ -1,0 +1,44 @@
+#pragma once
+
+// Centralized minimum-base computation (Section 3.2).
+//
+// Every graph has, up to isomorphism, a unique fibration-prime base — the
+// smallest graph it fibres onto. We compute it as the quotient of the
+// coarsest in-stable partition: base vertices are classes, and the in-edges
+// of a class are read off any representative (stability makes the choice
+// irrelevant). Used as ground truth for the distributed algorithm, and by
+// agents to validate extracted candidates.
+
+#include <vector>
+
+#include "fibration/partition.hpp"
+#include "graph/digraph.hpp"
+
+namespace anonet {
+
+struct MinimumBase {
+  Digraph base;                    // multigraph; edge colors preserved
+  std::vector<int> values;         // valuation of base vertices
+  std::vector<Vertex> projection;  // G vertex -> base vertex (the fibration)
+
+  [[nodiscard]] std::vector<int> fibre_sizes() const;
+};
+
+// `values` is the vertex valuation of g (input values, already interned to
+// ints). Edge colors always participate: pass an uncolored graph for the
+// broadcast/outdegree models and a port-colored graph for output port
+// awareness. For the outdegree-aware model, seed with
+// combine_labels(values, outdegree_labels(g)).
+[[nodiscard]] MinimumBase minimum_base(const Digraph& g,
+                                       const std::vector<int>& values);
+
+// Vertex labels equal to outdegrees (self-loops included), the valuation
+// G_od of Section 3.
+[[nodiscard]] std::vector<int> outdegree_labels(const Digraph& g);
+
+// A graph is fibration prime iff its coarsest in-stable partition is
+// discrete (every fibration from it is an isomorphism).
+[[nodiscard]] bool is_fibration_prime(const Digraph& g,
+                                      const std::vector<int>& values);
+
+}  // namespace anonet

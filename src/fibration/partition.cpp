@@ -1,0 +1,85 @@
+#include "fibration/partition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace anonet {
+
+std::vector<int> Partition::class_sizes() const {
+  std::vector<int> sizes(static_cast<std::size_t>(class_count), 0);
+  for (int c : class_of) ++sizes[static_cast<std::size_t>(c)];
+  return sizes;
+}
+
+std::vector<int> dense_labels(const std::vector<int>& labels,
+                              int* class_count) {
+  std::map<int, int> ids;
+  std::vector<int> result;
+  result.reserve(labels.size());
+  for (int label : labels) {
+    auto [it, inserted] = ids.emplace(label, static_cast<int>(ids.size()));
+    result.push_back(it->second);
+  }
+  if (class_count != nullptr) *class_count = static_cast<int>(ids.size());
+  return result;
+}
+
+std::vector<int> combine_labels(const std::vector<int>& a,
+                                const std::vector<int>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("combine_labels: size mismatch");
+  }
+  std::map<std::pair<int, int>, int> ids;
+  std::vector<int> result;
+  result.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [it, inserted] =
+        ids.emplace(std::pair{a[i], b[i]}, static_cast<int>(ids.size()));
+    result.push_back(it->second);
+  }
+  return result;
+}
+
+RefinementResult coarsest_in_stable_partition(
+    const Digraph& g, const std::vector<int>& initial_labels) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  if (initial_labels.size() != n) {
+    throw std::invalid_argument(
+        "coarsest_in_stable_partition: label size mismatch");
+  }
+  RefinementResult result;
+  int class_count = 0;
+  std::vector<int> classes = dense_labels(initial_labels, &class_count);
+
+  // Signature of a vertex under the current classes: its own class plus the
+  // sorted multiset of (source class, edge color) over in-edges.
+  using Signature = std::pair<int, std::vector<std::pair<int, EdgeColor>>>;
+  while (true) {
+    std::map<Signature, int> signature_ids;
+    std::vector<int> next(n);
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      Signature sig;
+      sig.first = classes[static_cast<std::size_t>(v)];
+      for (EdgeId id : g.in_edges(v)) {
+        const Edge& e = g.edge(id);
+        sig.second.emplace_back(classes[static_cast<std::size_t>(e.source)],
+                                e.color);
+      }
+      std::sort(sig.second.begin(), sig.second.end());
+      auto [it, inserted] = signature_ids.emplace(
+          std::move(sig), static_cast<int>(signature_ids.size()));
+      next[static_cast<std::size_t>(v)] = it->second;
+    }
+    const int next_count = static_cast<int>(signature_ids.size());
+    if (next_count == class_count) break;  // refinement is monotone
+    classes = std::move(next);
+    class_count = next_count;
+    ++result.rounds;
+  }
+  result.partition.class_count = class_count;
+  result.partition.class_of = std::move(classes);
+  return result;
+}
+
+}  // namespace anonet

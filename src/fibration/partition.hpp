@@ -1,0 +1,47 @@
+#pragma once
+
+// Partition refinement on in-neighborhoods.
+//
+// The minimum base of a graph (Section 3.2) is its quotient by the *coarsest
+// in-stable partition*: the coarsest equivalence refining the vertex
+// valuation such that any two equivalent vertices have, for every (class,
+// edge color) pair, the same number of incoming edges from that class with
+// that color. Iterated signature refinement reaches the fixpoint in at most
+// n rounds.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace anonet {
+
+struct Partition {
+  int class_count = 0;
+  std::vector<int> class_of;  // vertex -> class id in [0, class_count)
+
+  [[nodiscard]] std::vector<int> class_sizes() const;
+};
+
+// `initial_labels` seeds the partition (input values, or value+outdegree
+// pairs for the outdegree-aware model); edge colors always participate in
+// the refinement signatures (uncolored graphs just use kNoColor everywhere).
+// Returns the refinement fixpoint, together with the number of refinement
+// rounds it took (exposed because the distributed algorithm's stabilization
+// time is stated in terms of it).
+struct RefinementResult {
+  Partition partition;
+  int rounds = 0;
+};
+
+[[nodiscard]] RefinementResult coarsest_in_stable_partition(
+    const Digraph& g, const std::vector<int>& initial_labels);
+
+// Relabels arbitrary integer labels to dense ids 0..k-1 preserving equality.
+[[nodiscard]] std::vector<int> dense_labels(const std::vector<int>& labels,
+                                            int* class_count = nullptr);
+
+// Combines two label vectors into one whose equality is pairwise equality.
+[[nodiscard]] std::vector<int> combine_labels(const std::vector<int>& a,
+                                              const std::vector<int>& b);
+
+}  // namespace anonet

@@ -1,0 +1,301 @@
+#include "functions/functions.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace anonet {
+
+std::string_view to_string(FunctionClass cls) {
+  switch (cls) {
+    case FunctionClass::kSetBased:
+      return "set-based";
+    case FunctionClass::kFrequencyBased:
+      return "frequency-based";
+    case FunctionClass::kMultisetBased:
+      return "multiset-based";
+  }
+  return "unknown";
+}
+
+Frequency::Frequency(std::map<std::int64_t, Rational> entries)
+    : entries_(std::move(entries)) {
+  Rational total;
+  for (const auto& [value, freq] : entries_) {
+    if (freq.signum() <= 0) {
+      throw std::invalid_argument("Frequency: entries must be positive");
+    }
+    total += freq;
+  }
+  if (total != Rational(1)) {
+    throw std::invalid_argument("Frequency: entries must sum to 1");
+  }
+}
+
+Frequency Frequency::of(std::span<const std::int64_t> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("Frequency::of: empty vector");
+  }
+  std::map<std::int64_t, int> multiplicity;
+  for (std::int64_t v : values) ++multiplicity[v];
+  std::map<std::int64_t, Rational> entries;
+  const auto n = static_cast<std::int64_t>(values.size());
+  for (const auto& [value, count] : multiplicity) {
+    entries.emplace(value, Rational(BigInt(count), BigInt(n)));
+  }
+  return Frequency(std::move(entries));
+}
+
+Rational Frequency::at(std::int64_t value) const {
+  auto it = entries_.find(value);
+  return it == entries_.end() ? Rational(0) : it->second;
+}
+
+std::vector<std::int64_t> Frequency::canonical_vector() const {
+  // q = lcm of reduced denominators; value ω_k appears p_k * q / q_k times.
+  BigInt q(1);
+  for (const auto& [value, freq] : entries_) {
+    q = lcm(q, freq.denominator());
+  }
+  std::vector<std::int64_t> result;
+  for (const auto& [value, freq] : entries_) {
+    const BigInt multiplicity = freq.numerator() * (q / freq.denominator());
+    const std::int64_t count = multiplicity.to_int64();
+    for (std::int64_t i = 0; i < count; ++i) result.push_back(value);
+  }
+  return result;
+}
+
+SymmetricFunction::SymmetricFunction(std::string name,
+                                     FunctionClass declared_class,
+                                     Evaluator evaluate)
+    : name_(std::move(name)),
+      class_(declared_class),
+      evaluate_(std::move(evaluate)) {
+  if (!evaluate_) {
+    throw std::invalid_argument("SymmetricFunction: null evaluator");
+  }
+}
+
+Rational SymmetricFunction::operator()(
+    std::span<const std::int64_t> values) const {
+  if (values.empty()) {
+    throw std::invalid_argument("SymmetricFunction: empty input");
+  }
+  std::vector<std::int64_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return evaluate_(sorted);
+}
+
+Rational SymmetricFunction::eval_frequency(const Frequency& nu) const {
+  const std::vector<std::int64_t> canonical = nu.canonical_vector();
+  return (*this)(canonical);
+}
+
+SymmetricFunction& SymmetricFunction::with_approx_evaluator(
+    ApproxEvaluator approx) {
+  approx_ = std::move(approx);
+  return *this;
+}
+
+double SymmetricFunction::eval_approximate(
+    const std::map<std::int64_t, double>& frequencies) const {
+  if (!approx_) {
+    throw std::logic_error("SymmetricFunction: " + name_ +
+                           " is not declared continuous in frequency");
+  }
+  return approx_(frequencies);
+}
+
+SymmetricFunction min_function() {
+  return {"min", FunctionClass::kSetBased,
+          [](std::span<const std::int64_t> v) { return Rational(v.front()); }};
+}
+
+SymmetricFunction max_function() {
+  return {"max", FunctionClass::kSetBased,
+          [](std::span<const std::int64_t> v) { return Rational(v.back()); }};
+}
+
+SymmetricFunction support_size() {
+  return {"support-size", FunctionClass::kSetBased,
+          [](std::span<const std::int64_t> v) {
+            std::int64_t distinct = 1;
+            for (std::size_t i = 1; i < v.size(); ++i) {
+              if (v[i] != v[i - 1]) ++distinct;
+            }
+            return Rational(distinct);
+          }};
+}
+
+SymmetricFunction average_function() {
+  SymmetricFunction f{
+      "average", FunctionClass::kFrequencyBased,
+      [](std::span<const std::int64_t> v) {
+        BigInt total(0);
+        for (std::int64_t x : v) total += BigInt(x);
+        return Rational(total, BigInt(static_cast<std::int64_t>(v.size())));
+      }};
+  // Continuous in frequency (Section 5.4's first example): Σ ω ν(ω).
+  f.with_approx_evaluator([](const std::map<std::int64_t, double>& nu) {
+    double total = 0.0;
+    for (const auto& [value, freq] : nu) {
+      total += static_cast<double>(value) * freq;
+    }
+    return total;
+  });
+  return f;
+}
+
+SymmetricFunction median_function() {
+  return {"median", FunctionClass::kFrequencyBased,
+          [](std::span<const std::int64_t> v) {
+            // Lower median: invariant under replicating the whole vector,
+            // hence frequency-based.
+            return Rational(v[(v.size() - 1) / 2]);
+          }};
+}
+
+SymmetricFunction threshold_predicate(std::int64_t omega, const Rational& r) {
+  SymmetricFunction f{
+      "threshold(" + std::to_string(omega) + ">=" + r.to_string() + ")",
+      FunctionClass::kFrequencyBased,
+      [omega, r](std::span<const std::int64_t> v) {
+        std::int64_t count = 0;
+        for (std::int64_t x : v) {
+          if (x == omega) ++count;
+        }
+        const Rational frequency(BigInt(count),
+                                 BigInt(static_cast<std::int64_t>(v.size())));
+        return frequency >= r ? Rational(1) : Rational(0);
+      }};
+  // Φ_r^ω is δ0-continuous in frequency iff r is irrational (Section 5.4);
+  // with a rational r this evaluator is only reliable when ν(ω) is bounded
+  // away from r, which is how the table harness uses it.
+  const double threshold = r.to_double();
+  f.with_approx_evaluator(
+      [omega, threshold](const std::map<std::int64_t, double>& nu) {
+        auto it = nu.find(omega);
+        const double freq = it == nu.end() ? 0.0 : it->second;
+        return freq >= threshold ? 1.0 : 0.0;
+      });
+  return f;
+}
+
+SymmetricFunction range_function() {
+  return {"range", FunctionClass::kSetBased,
+          [](std::span<const std::int64_t> v) {
+            return Rational(v.back() - v.front());
+          }};
+}
+
+SymmetricFunction variance_function() {
+  SymmetricFunction f{
+      "variance", FunctionClass::kFrequencyBased,
+      [](std::span<const std::int64_t> v) {
+        const auto n = BigInt(static_cast<std::int64_t>(v.size()));
+        BigInt total(0), total_sq(0);
+        for (std::int64_t x : v) {
+          total += BigInt(x);
+          total_sq += BigInt(x) * BigInt(x);
+        }
+        // E[X²] - E[X]² = (n·Σx² - (Σx)²) / n².
+        return Rational(n * total_sq - total * total, n * n);
+      }};
+  f.with_approx_evaluator([](const std::map<std::int64_t, double>& nu) {
+    double mean = 0.0, mean_sq = 0.0;
+    for (const auto& [value, freq] : nu) {
+      const double x = static_cast<double>(value);
+      mean += x * freq;
+      mean_sq += x * x * freq;
+    }
+    return mean_sq - mean * mean;
+  });
+  return f;
+}
+
+SymmetricFunction mode_frequency() {
+  SymmetricFunction f{
+      "mode-frequency", FunctionClass::kFrequencyBased,
+      [](std::span<const std::int64_t> v) {
+        std::int64_t best = 0, run = 0;
+        for (std::size_t i = 0; i < v.size(); ++i) {
+          run = (i > 0 && v[i] == v[i - 1]) ? run + 1 : 1;
+          best = std::max(best, run);
+        }
+        return Rational(BigInt(best),
+                        BigInt(static_cast<std::int64_t>(v.size())));
+      }};
+  f.with_approx_evaluator([](const std::map<std::int64_t, double>& nu) {
+    double best = 0.0;
+    for (const auto& [value, freq] : nu) best = std::max(best, freq);
+    return best;
+  });
+  return f;
+}
+
+SymmetricFunction sum_of_squares() {
+  return {"sum-of-squares", FunctionClass::kMultisetBased,
+          [](std::span<const std::int64_t> v) {
+            BigInt total(0);
+            for (std::int64_t x : v) total += BigInt(x) * BigInt(x);
+            return Rational(std::move(total));
+          }};
+}
+
+SymmetricFunction sum_function() {
+  return {"sum", FunctionClass::kMultisetBased,
+          [](std::span<const std::int64_t> v) {
+            BigInt total(0);
+            for (std::int64_t x : v) total += BigInt(x);
+            return Rational(std::move(total));
+          }};
+}
+
+SymmetricFunction count_function() {
+  return {"count", FunctionClass::kMultisetBased,
+          [](std::span<const std::int64_t> v) {
+            return Rational(static_cast<std::int64_t>(v.size()));
+          }};
+}
+
+FunctionClass classify_empirically(const SymmetricFunction& f, int samples,
+                                   std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> value_dist(-5, 5);
+  std::uniform_int_distribution<int> size_dist(1, 8);
+  std::uniform_int_distribution<int> mult_dist(1, 4);
+
+  bool set_invariant = true;
+  bool frequency_invariant = true;
+  for (int s = 0; s < samples; ++s) {
+    const int size = size_dist(rng);
+    std::vector<std::int64_t> v(static_cast<std::size_t>(size));
+    for (auto& x : v) x = value_dist(rng);
+    const Rational reference = f(v);
+
+    // Frequency invariance: duplicate the whole vector k times.
+    const int copies = mult_dist(rng) + 1;
+    std::vector<std::int64_t> duplicated;
+    for (int c = 0; c < copies; ++c) {
+      duplicated.insert(duplicated.end(), v.begin(), v.end());
+    }
+    if (f(duplicated) != reference) frequency_invariant = false;
+
+    // Set invariance: change multiplicities arbitrarily (keep support).
+    std::vector<std::int64_t> remultiplied;
+    std::vector<std::int64_t> support(v.begin(), v.end());
+    std::sort(support.begin(), support.end());
+    support.erase(std::unique(support.begin(), support.end()), support.end());
+    for (std::int64_t x : support) {
+      const int m = mult_dist(rng);
+      for (int c = 0; c < m; ++c) remultiplied.push_back(x);
+    }
+    if (f(remultiplied) != reference) set_invariant = false;
+  }
+  if (set_invariant) return FunctionClass::kSetBased;
+  if (frequency_invariant) return FunctionClass::kFrequencyBased;
+  return FunctionClass::kMultisetBased;
+}
+
+}  // namespace anonet

@@ -1,0 +1,132 @@
+#pragma once
+
+// The three function classes of the paper (Section 2.3):
+//     set-based ⊊ frequency-based ⊊ multiset-based,
+// plus the frequency-function machinery (ν_v, the canonical ν-frequenced
+// vector ⟨ν⟩) used by both the algorithms and the table harnesses.
+//
+// Input values live in Ω = Z (as int64); outputs live in X = Q (exact
+// Rational), which covers every function the paper discusses (min, max,
+// average, sum, thresholds as 0/1) under both the discrete and the Euclidean
+// metric.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/rational.hpp"
+
+namespace anonet {
+
+enum class FunctionClass {
+  kSetBased,        // depends only on the support {ω1, ..., ωn}
+  kFrequencyBased,  // depends only on the frequency function ν_v
+  kMultisetBased,   // depends only on the multiset [ω1, ..., ωn]
+};
+
+[[nodiscard]] std::string_view to_string(FunctionClass cls);
+
+// A frequency function ν : Ω -> Q≥0 with finite support summing to 1.
+class Frequency {
+ public:
+  Frequency() = default;
+  // Throws std::invalid_argument unless entries are positive and sum to 1.
+  explicit Frequency(std::map<std::int64_t, Rational> entries);
+
+  // ν_v for an input vector (Section 2.3).
+  static Frequency of(std::span<const std::int64_t> values);
+
+  [[nodiscard]] const std::map<std::int64_t, Rational>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] Rational at(std::int64_t value) const;  // 0 outside support
+
+  // The canonical ν-frequenced vector ⟨ν⟩: support values in increasing
+  // order, each with multiplicity p_k * q / q_k where q = lcm of the reduced
+  // denominators. |⟨ν⟩| = q.
+  [[nodiscard]] std::vector<std::int64_t> canonical_vector() const;
+
+  friend bool operator==(const Frequency&, const Frequency&) = default;
+
+ private:
+  std::map<std::int64_t, Rational> entries_;
+};
+
+// A function of arbitrary arity invariant under permutation (Lemma 3.3 shows
+// nothing else is computable anonymously), tagged with its declared class.
+class SymmetricFunction {
+ public:
+  using Evaluator = std::function<Rational(std::span<const std::int64_t>)>;
+  // Direct evaluation on an approximate (floating-point) frequency vector —
+  // meaningful exactly for the functions the paper calls *continuous in
+  // frequency* (Section 5.4): the value varies continuously with the
+  // frequencies, so feeding converging estimates converges to f(v).
+  using ApproxEvaluator =
+      std::function<double(const std::map<std::int64_t, double>&)>;
+
+  SymmetricFunction(std::string name, FunctionClass declared_class,
+                    Evaluator evaluate);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] FunctionClass declared_class() const { return class_; }
+
+  // Evaluates on a multiset given in any order (sorted internally).
+  [[nodiscard]] Rational operator()(std::span<const std::int64_t> values) const;
+
+  // For frequency-based functions: evaluates via the canonical vector ⟨ν⟩,
+  // the way the paper's positive algorithms compute f (they recover ν, not
+  // the multiset). Meaningless for strictly multiset-based functions.
+  [[nodiscard]] Rational eval_frequency(const Frequency& nu) const;
+
+  // Declares f continuous in frequency by supplying a direct evaluator on
+  // approximate frequency vectors. Returns *this for chaining.
+  SymmetricFunction& with_approx_evaluator(ApproxEvaluator approx);
+  [[nodiscard]] bool continuous_in_frequency() const {
+    return static_cast<bool>(approx_);
+  }
+  // Requires continuous_in_frequency(); missing values are frequency 0.
+  [[nodiscard]] double eval_approximate(
+      const std::map<std::int64_t, double>& frequencies) const;
+
+ private:
+  std::string name_;
+  FunctionClass class_;
+  Evaluator evaluate_;
+  ApproxEvaluator approx_;
+};
+
+// --- the paper's running examples -----------------------------------------
+
+[[nodiscard]] SymmetricFunction min_function();       // set-based
+[[nodiscard]] SymmetricFunction max_function();       // set-based
+[[nodiscard]] SymmetricFunction support_size();       // set-based
+[[nodiscard]] SymmetricFunction average_function();   // frequency-based
+[[nodiscard]] SymmetricFunction median_function();    // frequency-based (lower median)
+// Φ_r^ω with rational threshold r: 1 if ν_v(ω) >= r else 0 (Section 5.4).
+[[nodiscard]] SymmetricFunction threshold_predicate(std::int64_t omega,
+                                                    const Rational& r);
+[[nodiscard]] SymmetricFunction range_function();     // set-based (max - min)
+// Population variance Σ(ω - mean)²/n: depends only on frequencies.
+[[nodiscard]] SymmetricFunction variance_function();  // frequency-based
+// Frequency of the most frequent value (not the value itself).
+[[nodiscard]] SymmetricFunction mode_frequency();     // frequency-based
+[[nodiscard]] SymmetricFunction sum_function();       // multiset-based
+[[nodiscard]] SymmetricFunction count_function();     // multiset-based (n itself)
+// Σω² — like the sum, multiset-based and uncomputable without n/leaders.
+[[nodiscard]] SymmetricFunction sum_of_squares();     // multiset-based
+
+// --- empirical classification ----------------------------------------------
+
+// Tests the declared invariances on randomized vectors: multiset-based
+// functions must survive permutations, frequency-based ones duplication of
+// the whole vector, set-based ones arbitrary multiplicity changes. Returns
+// the *finest* class whose invariance held on all samples (an empirical
+// upper bound used by tests to keep the library honest).
+[[nodiscard]] FunctionClass classify_empirically(const SymmetricFunction& f,
+                                                 int samples,
+                                                 std::uint64_t seed);
+
+}  // namespace anonet

@@ -1,0 +1,118 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace anonet {
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const Vertex n = g.vertex_count();
+  SccResult result;
+  result.component.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<Vertex> stack;
+  int next_index = 0;
+
+  // Iterative Tarjan: each frame tracks the vertex and its progress through
+  // its out-edge list.
+  struct Frame {
+    Vertex vertex;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (Vertex root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    call_stack.push_back({root, 0});
+    index[static_cast<std::size_t>(root)] = next_index;
+    lowlink[static_cast<std::size_t>(root)] = next_index;
+    ++next_index;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const Vertex v = frame.vertex;
+      auto out = g.out_edges(v);
+      if (frame.edge_pos < out.size()) {
+        const Vertex w = g.edge(out[frame.edge_pos]).target;
+        ++frame.edge_pos;
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] = next_index;
+          lowlink[static_cast<std::size_t>(w)] = next_index;
+          ++next_index;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(v)] =
+              std::min(lowlink[static_cast<std::size_t>(v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+        continue;
+      }
+      // Post-order: close the component or propagate the lowlink up.
+      if (lowlink[static_cast<std::size_t>(v)] ==
+          index[static_cast<std::size_t>(v)]) {
+        Vertex w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          result.component[static_cast<std::size_t>(w)] =
+              result.component_count;
+        } while (w != v);
+        ++result.component_count;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const Vertex parent = call_stack.back().vertex;
+        lowlink[static_cast<std::size_t>(parent)] =
+            std::min(lowlink[static_cast<std::size_t>(parent)],
+                     lowlink[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  return result;
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.vertex_count() == 0) return false;
+  return strongly_connected_components(g).component_count == 1;
+}
+
+std::vector<int> bfs_distances(const Digraph& g, Vertex source) {
+  std::vector<int> dist(static_cast<std::size_t>(g.vertex_count()), -1);
+  std::deque<Vertex> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    Vertex v = queue.front();
+    queue.pop_front();
+    for (EdgeId id : g.out_edges(v)) {
+      Vertex w = g.edge(id).target;
+      if (dist[static_cast<std::size_t>(w)] == -1) {
+        dist[static_cast<std::size_t>(w)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+int diameter(const Digraph& g) {
+  int result = 0;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    for (int d : bfs_distances(g, v)) {
+      if (d == -1) return -1;
+      result = std::max(result, d);
+    }
+  }
+  return result;
+}
+
+}  // namespace anonet

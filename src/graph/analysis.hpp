@@ -1,0 +1,30 @@
+#pragma once
+
+// Structural analysis used to certify that experiment graphs belong to the
+// network classes the theorems quantify over (strong connectivity, diameter).
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace anonet {
+
+// Strongly connected components (Tarjan, iterative). Component ids are in
+// reverse topological order of the condensation (a source component of the
+// condensation gets the highest id).
+struct SccResult {
+  int component_count = 0;
+  std::vector<int> component;  // vertex -> component id
+};
+[[nodiscard]] SccResult strongly_connected_components(const Digraph& g);
+
+[[nodiscard]] bool is_strongly_connected(const Digraph& g);
+
+// BFS hop distances from `source`; unreachable vertices get -1.
+[[nodiscard]] std::vector<int> bfs_distances(const Digraph& g, Vertex source);
+
+// Directed diameter: max over ordered pairs of BFS distance. Returns -1 when
+// the graph is not strongly connected.
+[[nodiscard]] int diameter(const Digraph& g);
+
+}  // namespace anonet

@@ -1,0 +1,102 @@
+#pragma once
+
+// Directed multigraphs with explicit edge identity.
+//
+// Following Section 3 of the paper, a graph is a vertex set [n] together with
+// a set of edges given by source and target maps; parallel edges are
+// meaningful (minimum bases are multigraphs), and each edge carries a color
+// used to model *output port awareness* (a local labelling of the outgoing
+// edges of each vertex). Vertex valuations (input values, outdegrees) are kept
+// outside the structure, as plain vectors indexed by vertex, so the same
+// topology can carry several valuations at once.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace anonet {
+
+using Vertex = std::int32_t;
+using EdgeId = std::int32_t;
+
+// Edge colors model output-port labels; kNoColor means "uncolored".
+using EdgeColor = std::int32_t;
+inline constexpr EdgeColor kNoColor = 0;
+
+struct Edge {
+  Vertex source = 0;
+  Vertex target = 0;
+  EdgeColor color = kNoColor;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(Vertex vertex_count);
+
+  [[nodiscard]] Vertex vertex_count() const { return vertex_count_; }
+  [[nodiscard]] EdgeId edge_count() const {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  // Returns the id of the new edge. Invalidates adjacency spans.
+  EdgeId add_edge(Vertex source, Vertex target, EdgeColor color = kNoColor);
+
+  [[nodiscard]] const Edge& edge(EdgeId id) const { return edges_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  // Edge ids whose target / source is `v` (multiplicities included,
+  // self-loops included). Built lazily and cached; cheap to call repeatedly.
+  [[nodiscard]] std::span<const EdgeId> in_edges(Vertex v) const;
+  [[nodiscard]] std::span<const EdgeId> out_edges(Vertex v) const;
+
+  // Degrees count parallel edges and self-loops, matching the paper's
+  // convention that every communication graph has a self-loop (an agent
+  // always hears itself).
+  [[nodiscard]] int indegree(Vertex v) const;
+  [[nodiscard]] int outdegree(Vertex v) const;
+
+  [[nodiscard]] bool has_edge(Vertex source, Vertex target) const;
+  // Number of parallel source->target edges (the d_{i,j} of Section 4.2).
+  [[nodiscard]] int edge_multiplicity(Vertex source, Vertex target) const;
+
+  [[nodiscard]] bool has_all_self_loops() const;
+  // Adds a self-loop at every vertex lacking one; returns number added.
+  int ensure_self_loops();
+
+  // True when the edge *multiset* is symmetric: for all (i, j),
+  // multiplicity(i, j) == multiplicity(j, i). Colors are ignored.
+  [[nodiscard]] bool is_symmetric() const;
+
+  // Graph with every edge reversed (colors preserved).
+  [[nodiscard]] Digraph reversed() const;
+
+  // Relabels outgoing edges of every vertex with distinct port colors
+  // 1..outdegree(v), in edge-id order. Models giving the network output port
+  // awareness (Section 2.2). Deterministic.
+  void assign_output_ports();
+
+ private:
+  void build_adjacency() const;
+
+  Vertex vertex_count_ = 0;
+  std::vector<Edge> edges_;
+
+  // Lazy adjacency cache (CSR-style), rebuilt after mutation.
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<EdgeId> in_list_, out_list_;
+  mutable std::vector<std::int32_t> in_start_, out_start_;
+};
+
+// Footnote 3 of the paper: the product G1 ∘ G2 has an edge (i, j) whenever
+// some k has (i, k) in G1 and (k, j) in G2. Used to define the dynamic
+// diameter. Result edges are uncolored and deduplicated.
+[[nodiscard]] Digraph graph_product(const Digraph& g1, const Digraph& g2);
+
+// The complete graph on the same vertex set (with self-loops), the identity
+// for recognising "G(t) ∘ ... ∘ G(t+D-1) is complete".
+[[nodiscard]] bool is_complete_with_self_loops(const Digraph& g);
+
+}  // namespace anonet

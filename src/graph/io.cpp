@@ -1,0 +1,87 @@
+#include "graph/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace anonet {
+
+std::string to_dot(const Digraph& g, const std::vector<std::int64_t>* values,
+                   std::string_view name) {
+  if (values != nullptr &&
+      values->size() != static_cast<std::size_t>(g.vertex_count())) {
+    throw std::invalid_argument("to_dot: valuation size mismatch");
+  }
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    os << "  " << v;
+    if (values != nullptr) {
+      os << " [label=\"" << v << ": "
+         << (*values)[static_cast<std::size_t>(v)] << "\"]";
+    }
+    os << ";\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  " << e.source << " -> " << e.target;
+    if (e.color != kNoColor) os << " [label=\"" << e.color << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_edge_list(const Digraph& g) {
+  std::ostringstream os;
+  os << "n " << g.vertex_count() << "\n";
+  for (const Edge& e : g.edges()) {
+    os << "e " << e.source << " " << e.target;
+    if (e.color != kNoColor) os << " " << e.color;
+    os << "\n";
+  }
+  return os.str();
+}
+
+Digraph parse_edge_list(std::string_view text) {
+  std::istringstream input{std::string(text)};
+  std::string line;
+  std::optional<Digraph> graph;
+  int line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::string directive;
+    fields >> directive;
+    if (directive == "n") {
+      Vertex n = -1;
+      if (!(fields >> n) || n < 0 || graph.has_value()) {
+        throw std::invalid_argument("parse_edge_list: bad header at line " +
+                                    std::to_string(line_number));
+      }
+      graph.emplace(n);
+    } else if (directive == "e") {
+      if (!graph.has_value()) {
+        throw std::invalid_argument("parse_edge_list: edge before header");
+      }
+      Vertex source = -1, target = -1;
+      EdgeColor color = kNoColor;
+      if (!(fields >> source >> target)) {
+        throw std::invalid_argument("parse_edge_list: bad edge at line " +
+                                    std::to_string(line_number));
+      }
+      fields >> color;  // optional
+      graph->add_edge(source, target, color);  // range-checks internally
+    } else {
+      throw std::invalid_argument("parse_edge_list: unknown directive '" +
+                                  directive + "' at line " +
+                                  std::to_string(line_number));
+    }
+  }
+  if (!graph.has_value()) {
+    throw std::invalid_argument("parse_edge_list: missing 'n' header");
+  }
+  return *std::move(graph);
+}
+
+}  // namespace anonet

@@ -1,0 +1,33 @@
+#pragma once
+
+// Graph serialization: Graphviz DOT export for inspection/papers, and a
+// plain edge-list text format for loading experiment topologies.
+//
+// Edge-list format (line-oriented, '#' comments):
+//     n <vertex_count>
+//     e <source> <target> [color]
+// Vertices are 0-based; color defaults to kNoColor.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace anonet {
+
+// DOT digraph; vertex labels show `values` when provided (one per vertex),
+// edge labels show non-zero colors (output ports). Self-loops included.
+[[nodiscard]] std::string to_dot(const Digraph& g,
+                                 const std::vector<std::int64_t>* values =
+                                     nullptr,
+                                 std::string_view name = "anonet");
+
+[[nodiscard]] std::string to_edge_list(const Digraph& g);
+
+// Parses the edge-list format; throws std::invalid_argument on malformed
+// input (unknown directive, out-of-range vertex, missing header).
+[[nodiscard]] Digraph parse_edge_list(std::string_view text);
+
+}  // namespace anonet

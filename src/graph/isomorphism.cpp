@@ -1,0 +1,137 @@
+#include "graph/isomorphism.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace anonet {
+
+namespace {
+
+// Multiplicity of (source, target, color) triples, the invariant an
+// isomorphism must transport.
+using EdgeProfile = std::map<std::tuple<Vertex, Vertex, EdgeColor>, int>;
+
+EdgeProfile edge_profile(const Digraph& g) {
+  EdgeProfile profile;
+  for (const Edge& e : g.edges()) ++profile[{e.source, e.target, e.color}];
+  return profile;
+}
+
+// Per-vertex fingerprint used to prune the search: value, degree pair, and
+// sorted multiset of (color, multiplicity) over loops.
+struct VertexSignature {
+  int value;
+  int indegree;
+  int outdegree;
+  std::vector<std::pair<EdgeColor, int>> loop_colors;
+
+  friend bool operator==(const VertexSignature&, const VertexSignature&) =
+      default;
+};
+
+VertexSignature signature(const Digraph& g, const std::vector<int>& values,
+                          Vertex v) {
+  VertexSignature sig;
+  sig.value = values[static_cast<std::size_t>(v)];
+  sig.indegree = g.indegree(v);
+  sig.outdegree = g.outdegree(v);
+  std::map<EdgeColor, int> loops;
+  for (EdgeId id : g.out_edges(v)) {
+    const Edge& e = g.edge(id);
+    if (e.target == v) ++loops[e.color];
+  }
+  sig.loop_colors.assign(loops.begin(), loops.end());
+  return sig;
+}
+
+struct Matcher {
+  const Digraph& a;
+  const Digraph& b;
+  const EdgeProfile profile_a;
+  const EdgeProfile profile_b;
+  std::vector<VertexSignature> sig_a;
+  std::vector<VertexSignature> sig_b;
+  std::vector<Vertex> mapping;      // a -> b, -1 unassigned
+  std::vector<bool> used;           // b-side
+
+  // Checks all edges between `v` and previously assigned vertices.
+  [[nodiscard]] bool consistent(Vertex v) const {
+    for (Vertex u = 0; u < a.vertex_count(); ++u) {
+      const Vertex image_u = mapping[static_cast<std::size_t>(u)];
+      if (image_u == -1) continue;
+      for (const auto& [src, tgt] :
+           {std::pair{v, u}, std::pair{u, v}}) {
+        const Vertex img_src = mapping[static_cast<std::size_t>(src)];
+        const Vertex img_tgt = mapping[static_cast<std::size_t>(tgt)];
+        // Compare multiplicities per color.
+        std::map<EdgeColor, int> in_a, in_b;
+        for (EdgeId id : a.out_edges(src)) {
+          const Edge& e = a.edge(id);
+          if (e.target == tgt) ++in_a[e.color];
+        }
+        for (EdgeId id : b.out_edges(img_src)) {
+          const Edge& e = b.edge(id);
+          if (e.target == img_tgt) ++in_b[e.color];
+        }
+        if (in_a != in_b) return false;
+      }
+    }
+    return true;
+  }
+
+  bool search(Vertex v) {
+    if (v == a.vertex_count()) return true;
+    for (Vertex w = 0; w < b.vertex_count(); ++w) {
+      if (used[static_cast<std::size_t>(w)]) continue;
+      if (!(sig_a[static_cast<std::size_t>(v)] ==
+            sig_b[static_cast<std::size_t>(w)])) {
+        continue;
+      }
+      mapping[static_cast<std::size_t>(v)] = w;
+      used[static_cast<std::size_t>(w)] = true;
+      if (consistent(v) && search(v + 1)) return true;
+      mapping[static_cast<std::size_t>(v)] = -1;
+      used[static_cast<std::size_t>(w)] = false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<Vertex>> find_isomorphism(
+    const Digraph& a, const std::vector<int>& values_a, const Digraph& b,
+    const std::vector<int>& values_b) {
+  if (values_a.size() != static_cast<std::size_t>(a.vertex_count()) ||
+      values_b.size() != static_cast<std::size_t>(b.vertex_count())) {
+    throw std::invalid_argument("find_isomorphism: valuation size mismatch");
+  }
+  if (a.vertex_count() != b.vertex_count() ||
+      a.edge_count() != b.edge_count()) {
+    return std::nullopt;
+  }
+  Matcher matcher{a,
+                  b,
+                  edge_profile(a),
+                  edge_profile(b),
+                  {},
+                  {},
+                  std::vector<Vertex>(static_cast<std::size_t>(a.vertex_count()), -1),
+                  std::vector<bool>(static_cast<std::size_t>(b.vertex_count()), false)};
+  // Quick reject: the sorted signature multisets must agree.
+  for (Vertex v = 0; v < a.vertex_count(); ++v) {
+    matcher.sig_a.push_back(signature(a, values_a, v));
+    matcher.sig_b.push_back(signature(b, values_b, v));
+  }
+  if (!matcher.search(0)) return std::nullopt;
+  return matcher.mapping;
+}
+
+bool are_isomorphic(const Digraph& a, const Digraph& b) {
+  std::vector<int> va(static_cast<std::size_t>(a.vertex_count()), 0);
+  std::vector<int> vb(static_cast<std::size_t>(b.vertex_count()), 0);
+  return find_isomorphism(a, va, b, vb).has_value();
+}
+
+}  // namespace anonet

@@ -1,0 +1,27 @@
+#pragma once
+
+// Isomorphism of small valued, colored multigraphs.
+//
+// Minimum bases are only canonical up to isomorphism (Section 3.2), so tests
+// and the distributed algorithm's acceptance check compare candidate bases
+// with this backtracking matcher. Intended for the small graphs that bases
+// are (tens of vertices), not for general graphs.
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace anonet {
+
+// Vertex values are opaque integer labels (callers intern their input
+// alphabet Ω). An isomorphism must preserve values, edge colors, and edge
+// multiplicities. Returns the vertex mapping a -> b, or nullopt.
+[[nodiscard]] std::optional<std::vector<Vertex>> find_isomorphism(
+    const Digraph& a, const std::vector<int>& values_a, const Digraph& b,
+    const std::vector<int>& values_b);
+
+// Convenience: unvalued comparison (all vertices share one label).
+[[nodiscard]] bool are_isomorphic(const Digraph& a, const Digraph& b);
+
+}  // namespace anonet

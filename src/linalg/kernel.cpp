@@ -1,0 +1,109 @@
+#include "linalg/kernel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anonet {
+
+namespace {
+
+// Reduced row echelon form in place; returns pivot column per pivot row.
+std::vector<std::size_t> reduce(RationalMatrix& m) {
+  std::vector<std::size_t> pivot_cols;
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < m.cols() && pivot_row < m.rows(); ++col) {
+    // Partial pivoting is unnecessary over exact rationals; any non-zero
+    // entry works.
+    std::size_t chosen = pivot_row;
+    while (chosen < m.rows() && m.at(chosen, col).is_zero()) ++chosen;
+    if (chosen == m.rows()) continue;
+    if (chosen != pivot_row) {
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        std::swap(m.at(chosen, j), m.at(pivot_row, j));
+      }
+    }
+    const Rational inv = m.at(pivot_row, col).reciprocal();
+    for (std::size_t j = col; j < m.cols(); ++j) m.at(pivot_row, j) *= inv;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      if (r == pivot_row || m.at(r, col).is_zero()) continue;
+      const Rational factor = m.at(r, col);
+      for (std::size_t j = col; j < m.cols(); ++j) {
+        m.at(r, j) -= factor * m.at(pivot_row, j);
+      }
+    }
+    pivot_cols.push_back(col);
+    ++pivot_row;
+  }
+  return pivot_cols;
+}
+
+}  // namespace
+
+std::size_t rank(const RationalMatrix& m) {
+  RationalMatrix work = m;
+  return reduce(work).size();
+}
+
+std::vector<std::vector<Rational>> kernel_basis(const RationalMatrix& m) {
+  RationalMatrix work = m;
+  const std::vector<std::size_t> pivot_cols = reduce(work);
+  std::vector<bool> is_pivot(m.cols(), false);
+  for (std::size_t col : pivot_cols) is_pivot[col] = true;
+
+  std::vector<std::vector<Rational>> basis;
+  for (std::size_t free_col = 0; free_col < m.cols(); ++free_col) {
+    if (is_pivot[free_col]) continue;
+    std::vector<Rational> vec(m.cols());
+    vec[free_col] = Rational(1);
+    for (std::size_t p = 0; p < pivot_cols.size(); ++p) {
+      vec[pivot_cols[p]] = -work.at(p, free_col);
+    }
+    basis.push_back(std::move(vec));
+  }
+  return basis;
+}
+
+std::vector<BigInt> coprime_integer_vector(const std::vector<Rational>& v) {
+  BigInt denominator_lcm(1);
+  bool all_zero = true;
+  for (const Rational& x : v) {
+    if (!x.is_zero()) {
+      all_zero = false;
+      denominator_lcm = lcm(denominator_lcm, x.denominator());
+    }
+  }
+  if (all_zero) {
+    throw std::invalid_argument("coprime_integer_vector: zero vector");
+  }
+  std::vector<BigInt> scaled;
+  scaled.reserve(v.size());
+  BigInt common;
+  for (const Rational& x : v) {
+    BigInt entry = x.numerator() * (denominator_lcm / x.denominator());
+    common = gcd(common, entry);
+    scaled.push_back(std::move(entry));
+  }
+  for (BigInt& entry : scaled) entry = entry / common;
+  return scaled;
+}
+
+std::optional<std::vector<BigInt>> positive_coprime_kernel_vector(
+    const RationalMatrix& m) {
+  std::vector<std::vector<Rational>> basis = kernel_basis(m);
+  if (basis.size() != 1) return std::nullopt;
+  std::vector<BigInt> candidate = coprime_integer_vector(basis.front());
+  // Flip sign so the vector is positive if possible.
+  int sign = 0;
+  for (const BigInt& entry : candidate) {
+    if (entry.is_zero()) return std::nullopt;  // not strictly positive
+    const int s = entry.signum();
+    if (sign == 0) sign = s;
+    if (s != sign) return std::nullopt;  // mixed signs: no positive generator
+  }
+  if (sign < 0) {
+    for (BigInt& entry : candidate) entry = entry.negate();
+  }
+  return candidate;
+}
+
+}  // namespace anonet

@@ -1,0 +1,38 @@
+#pragma once
+
+// Exact kernel computation for the fibre-equation systems of Section 4.2.
+//
+// The paper's agents solve M z = 0 where M is built from the minimum base
+// (off-diagonal entries d_{i,j}, diagonal d_{i,i} - b_i) and proves ker M has
+// dimension one with a positive generator — the fibre cardinalities up to a
+// common factor. We compute the kernel by fraction-free-ish Gaussian
+// elimination over Q and normalize the generator to the unique coprime
+// positive integer vector (the paper's "Gaussian elimination over the
+// Euclidean ring Z" step).
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "support/bigint.hpp"
+
+namespace anonet {
+
+// Basis of ker(M) (column vectors), possibly empty when M is injective.
+[[nodiscard]] std::vector<std::vector<Rational>> kernel_basis(
+    const RationalMatrix& m);
+
+[[nodiscard]] std::size_t rank(const RationalMatrix& m);
+
+// When ker(M) is one-dimensional and admits a strictly positive generator,
+// returns the unique such generator with coprime integer entries; otherwise
+// nullopt. This is exactly what Theorem 4.1's positive proof needs.
+[[nodiscard]] std::optional<std::vector<BigInt>> positive_coprime_kernel_vector(
+    const RationalMatrix& m);
+
+// Clears denominators and divides by the gcd: the coprime integer vector
+// proportional to `v`. Throws std::invalid_argument on the zero vector.
+[[nodiscard]] std::vector<BigInt> coprime_integer_vector(
+    const std::vector<Rational>& v);
+
+}  // namespace anonet

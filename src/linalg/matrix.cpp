@@ -1,0 +1,98 @@
+#include "linalg/matrix.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace anonet {
+
+RationalMatrix::RationalMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+RationalMatrix::RationalMatrix(
+    std::initializer_list<std::initializer_list<Rational>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("RationalMatrix: ragged initializer");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+RationalMatrix RationalMatrix::identity(std::size_t n) {
+  RationalMatrix result(n, n);
+  for (std::size_t i = 0; i < n; ++i) result.at(i, i) = Rational(1);
+  return result;
+}
+
+RationalMatrix operator*(const RationalMatrix& a, const RationalMatrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("RationalMatrix: dimension mismatch in *");
+  }
+  RationalMatrix result(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      if (a.at(i, k).is_zero()) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        result.at(i, j) += a.at(i, k) * b.at(k, j);
+      }
+    }
+  }
+  return result;
+}
+
+RationalMatrix operator+(const RationalMatrix& a, const RationalMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("RationalMatrix: dimension mismatch in +");
+  }
+  RationalMatrix result(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      result.at(i, j) = a.at(i, j) + b.at(i, j);
+    }
+  }
+  return result;
+}
+
+RationalMatrix operator-(const RationalMatrix& a, const RationalMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("RationalMatrix: dimension mismatch in -");
+  }
+  RationalMatrix result(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      result.at(i, j) = a.at(i, j) - b.at(i, j);
+    }
+  }
+  return result;
+}
+
+std::vector<Rational> RationalMatrix::apply(
+    const std::vector<Rational>& v) const {
+  if (v.size() != cols_) {
+    throw std::invalid_argument("RationalMatrix::apply: dimension mismatch");
+  }
+  std::vector<Rational> result(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (!at(i, j).is_zero()) result[i] += at(i, j) * v[j];
+    }
+  }
+  return result;
+}
+
+std::string RationalMatrix::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < cols_; ++j) {
+      os << at(i, j).to_string() << (j + 1 < cols_ ? " " : "");
+    }
+    os << (i + 1 < rows_ ? ";\n" : "]");
+  }
+  return os.str();
+}
+
+}  // namespace anonet

@@ -1,0 +1,56 @@
+#pragma once
+
+// Dense matrices over exact rationals.
+//
+// Sized for the fibre-equation systems of Section 4.2: a minimum base has at
+// most n vertices, and in practice far fewer, so O(m^3) exact elimination is
+// the right tool — correctness over asymptotics.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "support/rational.hpp"
+
+namespace anonet {
+
+class RationalMatrix {
+ public:
+  RationalMatrix() = default;
+  RationalMatrix(std::size_t rows, std::size_t cols);
+  RationalMatrix(std::initializer_list<std::initializer_list<Rational>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] Rational& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const Rational& at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  static RationalMatrix identity(std::size_t n);
+
+  friend RationalMatrix operator*(const RationalMatrix& a,
+                                  const RationalMatrix& b);
+  friend RationalMatrix operator+(const RationalMatrix& a,
+                                  const RationalMatrix& b);
+  friend RationalMatrix operator-(const RationalMatrix& a,
+                                  const RationalMatrix& b);
+  friend bool operator==(const RationalMatrix& a,
+                         const RationalMatrix& b) = default;
+
+  [[nodiscard]] std::vector<Rational> apply(
+      const std::vector<Rational>& v) const;
+
+  [[nodiscard]] std::string to_string() const;  // debugging aid
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Rational> data_;
+};
+
+}  // namespace anonet

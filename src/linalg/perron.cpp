@@ -1,0 +1,76 @@
+#include "linalg/perron.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/analysis.hpp"
+
+namespace anonet {
+
+DoubleMatrix to_double_matrix(const RationalMatrix& m) {
+  DoubleMatrix result(m.rows(), std::vector<double>(m.cols(), 0.0));
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      result[i][j] = m.at(i, j).to_double();
+    }
+  }
+  return result;
+}
+
+DoubleMatrix perron_shift(const RationalMatrix& m, double* alpha_out) {
+  if (m.rows() != m.cols()) {
+    throw std::invalid_argument("perron_shift: square matrix required");
+  }
+  DoubleMatrix result = to_double_matrix(m);
+  double min_diag = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    min_diag = std::min(min_diag, result[i][i]);
+  }
+  const double alpha = 1.0 - min_diag;
+  for (std::size_t i = 0; i < m.rows(); ++i) result[i][i] += alpha;
+  if (alpha_out != nullptr) *alpha_out = alpha;
+  return result;
+}
+
+bool is_irreducible_nonnegative(const DoubleMatrix& m) {
+  const auto n = static_cast<Vertex>(m.size());
+  Digraph g(n);
+  for (Vertex i = 0; i < n; ++i) {
+    if (static_cast<Vertex>(m[static_cast<std::size_t>(i)].size()) != n) {
+      throw std::invalid_argument("is_irreducible_nonnegative: not square");
+    }
+    for (Vertex j = 0; j < n; ++j) {
+      const double entry = m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (entry < 0.0) return false;
+      if (entry > 0.0) g.add_edge(j, i);  // paper's G_A convention
+    }
+  }
+  return is_strongly_connected(g);
+}
+
+double spectral_radius(const DoubleMatrix& m, int iterations) {
+  const std::size_t n = m.size();
+  if (n == 0) throw std::invalid_argument("spectral_radius: empty matrix");
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  double radius = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> next(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) next[i] += m[i][j] * v[j];
+    }
+    double norm = 0.0;
+    for (double x : next) norm += std::abs(x);
+    if (norm == 0.0) return 0.0;
+    for (double& x : next) x /= norm;
+    radius = norm;
+    // Early exit once the iterate stops moving.
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) delta += std::abs(next[i] - v[i]);
+    v = std::move(next);
+    if (delta < 1e-15) break;
+  }
+  return radius;
+}
+
+}  // namespace anonet

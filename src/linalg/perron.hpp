@@ -1,0 +1,37 @@
+#pragma once
+
+// Perron–Frobenius utilities for the Section 4.2 spectral argument.
+//
+// The proof shifts the fibre matrix M by αI with α > -min_i M_{i,i} so that
+// P = M + αI is non-negative and irreducible, then concludes via
+// Perron–Frobenius that ker M is one-dimensional. These helpers make that
+// argument executable: tests verify that the spectral radius of P is exactly
+// α on real fibre matrices (i.e. the Perron eigenvalue of M is 0).
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace anonet {
+
+using DoubleMatrix = std::vector<std::vector<double>>;
+
+[[nodiscard]] DoubleMatrix to_double_matrix(const RationalMatrix& m);
+
+// The shift P = M + alpha*I of Section 4.2, with
+// alpha = 1 - min_i M_{i,i} (any value > -min M_{i,i} works).
+[[nodiscard]] DoubleMatrix perron_shift(const RationalMatrix& m,
+                                        double* alpha_out = nullptr);
+
+// True when the matrix is non-negative and its associated graph (edge j->i
+// when M_{i,j} > 0) is strongly connected.
+[[nodiscard]] bool is_irreducible_nonnegative(const DoubleMatrix& m);
+
+// Spectral radius by power iteration. Requires a non-negative irreducible
+// matrix with positive diagonal (primitivity), which perron_shift guarantees
+// for fibre matrices; `iterations` defaults comfortably past convergence for
+// the sizes involved.
+[[nodiscard]] double spectral_radius(const DoubleMatrix& m,
+                                     int iterations = 10000);
+
+}  // namespace anonet

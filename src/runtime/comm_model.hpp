@@ -1,0 +1,33 @@
+#pragma once
+
+// The four communication models of Section 2.2.
+
+#include <string_view>
+
+namespace anonet {
+
+enum class CommModel {
+  // σ : Q -> M. The sender learns nothing about its audience; the executor
+  // calls send() once with outdegree 0 (unavailable) and replicates.
+  kSimpleBroadcast,
+  // σ : Q x N -> M. The sender sees its current outdegree (self-loop
+  // included) but sends one identical message to all recipients.
+  kOutdegreeAware,
+  // Simple broadcast restricted to the class of symmetric networks: the
+  // executor additionally verifies that every round graph is bidirectional.
+  kSymmetricBroadcast,
+  // σ : Q x N -> M^d. The sender addresses each output port individually;
+  // the executor requires a valid local output labelling (ports 1..d) and
+  // calls send once per port. Only meaningful for static networks.
+  kOutputPortAware,
+};
+
+[[nodiscard]] std::string_view to_string(CommModel model);
+
+// True for the models where an agent's send() sees its outdegree.
+[[nodiscard]] constexpr bool sees_outdegree(CommModel model) {
+  return model == CommModel::kOutdegreeAware ||
+         model == CommModel::kOutputPortAware;
+}
+
+}  // namespace anonet

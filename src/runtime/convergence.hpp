@@ -1,0 +1,56 @@
+#pragma once
+
+// Convergence detection for the two metrics the paper distinguishes
+// (Section 2.3): the discrete metric δ0 — outputs must eventually *be* the
+// value (finite-time computation) — and the Euclidean metric δ2 — outputs
+// need only converge (asymptotic computation).
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace anonet {
+
+// max_i |outputs[i] - target| — the δ2 distance to the goal configuration.
+[[nodiscard]] double max_abs_error(std::span<const double> outputs,
+                                   double target);
+
+// max - min; convergence of the spread to 0 is agreement.
+[[nodiscard]] double spread(std::span<const double> outputs);
+
+template <typename T>
+[[nodiscard]] bool all_equal_to(std::span<const T> outputs, const T& target) {
+  return std::all_of(outputs.begin(), outputs.end(),
+                     [&](const T& x) { return x == target; });
+}
+
+// Streamed δ0-stabilization detector: feed the output vector after each
+// round; `stabilized_since()` reports the first round from which every
+// output equalled `target` without interruption (-1 while not stabilized).
+// The detector can only confirm stabilization *so far*; callers run it well
+// past the theoretical stabilization bound.
+template <typename T>
+class StabilizationDetector {
+ public:
+  explicit StabilizationDetector(T target) : target_(std::move(target)) {}
+
+  void observe(std::span<const T> outputs) {
+    ++round_;
+    if (!all_equal_to(outputs, target_)) {
+      stable_since_ = -1;
+    } else if (stable_since_ == -1) {
+      stable_since_ = round_;
+    }
+  }
+
+  [[nodiscard]] int stabilized_since() const { return stable_since_; }
+  [[nodiscard]] int rounds_observed() const { return round_; }
+
+ private:
+  T target_;
+  int round_ = 0;
+  int stable_since_ = -1;
+};
+
+}  // namespace anonet

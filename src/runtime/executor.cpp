@@ -1,0 +1,37 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+
+namespace anonet {
+
+std::string_view to_string(CommModel model) {
+  switch (model) {
+    case CommModel::kSimpleBroadcast:
+      return "simple broadcast";
+    case CommModel::kOutdegreeAware:
+      return "outdegree awareness";
+    case CommModel::kSymmetricBroadcast:
+      return "symmetric communications";
+    case CommModel::kOutputPortAware:
+      return "output port awareness";
+  }
+  return "unknown";
+}
+
+void validate_output_ports(const Digraph& g) {
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    const auto out = g.out_edges(v);
+    std::vector<int> ports;
+    ports.reserve(out.size());
+    for (EdgeId id : out) ports.push_back(static_cast<int>(g.edge(id).color));
+    std::sort(ports.begin(), ports.end());
+    for (std::size_t k = 0; k < ports.size(); ++k) {
+      if (ports[k] != static_cast<int>(k) + 1) {
+        throw std::invalid_argument(
+            "validate_output_ports: out-edges must carry ports 1..d");
+      }
+    }
+  }
+}
+
+}  // namespace anonet

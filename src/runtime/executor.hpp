@@ -1,0 +1,162 @@
+#pragma once
+
+// The synchronous anonymous-network executor (Section 2.2).
+//
+// A round t consists of: every agent generates its message(s) from its
+// current state via the model's sending function; messages travel along the
+// edges of G(t); every agent then transitions on the *multiset* of messages
+// it received. The executor is the model police:
+//  - under simple broadcast, send() is called once with the outdegree hidden;
+//  - under outdegree awareness, send() is called once with the outdegree,
+//    so communications are isotropic by construction;
+//  - under output port awareness, send() is called once per port and the
+//    round graph must carry a valid local output labelling;
+//  - under symmetric broadcast, the round graph must be bidirectional.
+// Delivered messages are shuffled with a seeded RNG so an algorithm cannot
+// extract information from arrival order (it receives a multiset, not a
+// sequence); tests exploit this to verify order independence.
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "dynamics/dynamic_graph.hpp"
+#include "runtime/comm_model.hpp"
+
+namespace anonet {
+
+// An agent exposes a message type, a sending function, and a transition.
+//   Message send(int outdegree, int port) const;
+//     outdegree: 0 when the model hides it, else the round outdegree
+//       (self-loop included);
+//     port: 0 for isotropic models, else the output port in [1, outdegree].
+//   void receive(std::vector<Message> messages);
+//     one transition on the received multiset (shuffled by the executor).
+template <typename A>
+concept AnonymousAgent = requires(A agent, const A const_agent,
+                                  std::vector<typename A::Message> messages) {
+  typename A::Message;
+  { const_agent.send(0, 0) } -> std::same_as<typename A::Message>;
+  { agent.receive(std::move(messages)) };
+};
+
+struct ExecutorStats {
+  std::int64_t rounds = 0;
+  std::int64_t messages_delivered = 0;  // self-loop deliveries included
+  // Sum of message weights (see message_weight below) over all deliveries —
+  // a bandwidth proxy. Equals messages_delivered when no message type
+  // declares a weight.
+  std::int64_t payload_units = 0;
+};
+
+// Bandwidth accounting hook: a message type may expose
+//     std::int64_t weight_units() const;
+// (e.g. number of scalar fields it carries); unit weight otherwise.
+template <typename M>
+[[nodiscard]] std::int64_t message_weight(const M& message) {
+  if constexpr (requires {
+                  { message.weight_units() } -> std::convertible_to<std::int64_t>;
+                }) {
+    return message.weight_units();
+  } else {
+    return 1;
+  }
+}
+
+// Throws std::invalid_argument unless every vertex's out-edges are colored
+// with exactly the ports 1..outdegree.
+void validate_output_ports(const Digraph& g);
+
+template <AnonymousAgent Alg>
+class Executor {
+ public:
+  Executor(DynamicGraphPtr network, std::vector<Alg> agents, CommModel model,
+           std::uint64_t shuffle_seed = 0x5eedull)
+      : network_(std::move(network)),
+        agents_(std::move(agents)),
+        model_(model),
+        rng_(shuffle_seed) {
+    if (network_ == nullptr) {
+      throw std::invalid_argument("Executor: null network");
+    }
+    if (agents_.size() != static_cast<std::size_t>(network_->vertex_count())) {
+      throw std::invalid_argument("Executor: one agent per vertex required");
+    }
+  }
+
+  // Runs one communication-closed round.
+  void step() {
+    using Message = typename Alg::Message;
+    const int t = static_cast<int>(stats_.rounds) + 1;
+    const Digraph g = network_->at(t);
+    if (g.vertex_count() != network_->vertex_count()) {
+      throw std::logic_error("Executor: schedule changed vertex count");
+    }
+    if (!g.has_all_self_loops()) {
+      throw std::logic_error("Executor: round graph misses a self-loop");
+    }
+    if (model_ == CommModel::kSymmetricBroadcast && !g.is_symmetric()) {
+      throw std::logic_error("Executor: asymmetric round under symmetric model");
+    }
+    if (model_ == CommModel::kOutputPortAware) validate_output_ports(g);
+
+    const auto n = static_cast<std::size_t>(g.vertex_count());
+    std::vector<std::vector<Message>> inbox(n);
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      const auto out = g.out_edges(v);
+      const int d = static_cast<int>(out.size());
+      const Alg& agent = agents_[static_cast<std::size_t>(v)];
+      if (model_ == CommModel::kOutputPortAware) {
+        for (EdgeId id : out) {
+          const Edge& e = g.edge(id);
+          inbox[static_cast<std::size_t>(e.target)].push_back(
+              agent.send(d, static_cast<int>(e.color)));
+        }
+      } else {
+        const int visible = sees_outdegree(model_) ? d : 0;
+        const Message message = agent.send(visible, 0);
+        for (EdgeId id : out) {
+          inbox[static_cast<std::size_t>(g.edge(id).target)].push_back(
+              message);
+        }
+      }
+    }
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      auto& messages = inbox[static_cast<std::size_t>(v)];
+      std::shuffle(messages.begin(), messages.end(), rng_);
+      stats_.messages_delivered += static_cast<std::int64_t>(messages.size());
+      for (const Message& message : messages) {
+        stats_.payload_units += message_weight(message);
+      }
+      agents_[static_cast<std::size_t>(v)].receive(std::move(messages));
+    }
+    ++stats_.rounds;
+  }
+
+  void run(int rounds) {
+    for (int i = 0; i < rounds; ++i) step();
+  }
+
+  [[nodiscard]] int round() const { return static_cast<int>(stats_.rounds); }
+  [[nodiscard]] const Alg& agent(Vertex v) const {
+    return agents_[static_cast<std::size_t>(v)];
+  }
+  // Mutable access, used by self-stabilization tests to corrupt states.
+  [[nodiscard]] std::vector<Alg>& agents() { return agents_; }
+  [[nodiscard]] const std::vector<Alg>& agents() const { return agents_; }
+  [[nodiscard]] const ExecutorStats& stats() const { return stats_; }
+  [[nodiscard]] CommModel model() const { return model_; }
+
+ private:
+  DynamicGraphPtr network_;
+  std::vector<Alg> agents_;
+  CommModel model_;
+  std::mt19937_64 rng_;
+  ExecutorStats stats_;
+};
+
+}  // namespace anonet

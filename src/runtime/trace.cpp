@@ -1,0 +1,46 @@
+#include "runtime/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace anonet {
+
+TraceRecorder::TraceRecorder(std::vector<std::string> labels)
+    : labels_(std::move(labels)) {}
+
+void TraceRecorder::record(int round, std::span<const double> outputs) {
+  if (labels_.empty()) {
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      labels_.push_back("agent" + std::to_string(i));
+    }
+  }
+  if (outputs.size() != labels_.size()) {
+    throw std::invalid_argument("TraceRecorder: row width mismatch");
+  }
+  rounds_.push_back(round);
+  values_.emplace_back(outputs.begin(), outputs.end());
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream os;
+  os << "round";
+  for (const std::string& label : labels_) os << "," << label;
+  os << "\n";
+  os.precision(17);
+  for (std::size_t r = 0; r < rounds_.size(); ++r) {
+    os << rounds_[r];
+    for (double v : values_[r]) os << "," << v;
+    os << "\n";
+  }
+  return os.str();
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TraceRecorder: cannot open " + path);
+  out << to_csv();
+  if (!out) throw std::runtime_error("TraceRecorder: write failed: " + path);
+}
+
+}  // namespace anonet

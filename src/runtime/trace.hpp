@@ -1,0 +1,34 @@
+#pragma once
+
+// Per-round trace recording: collect each agent's output after every round
+// and export CSV for external plotting. Used by examples and available to
+// downstream experiment code; benches print their own tables.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace anonet {
+
+class TraceRecorder {
+ public:
+  // One column per agent, plus the round column. `labels` optional; default
+  // labels are agent0, agent1, ...
+  explicit TraceRecorder(std::vector<std::string> labels = {});
+
+  // Appends a row; all rows must have the same width (throws otherwise).
+  void record(int round, std::span<const double> outputs);
+
+  [[nodiscard]] std::size_t rows() const { return rounds_.size(); }
+  [[nodiscard]] std::string to_csv() const;
+  // Convenience: writes to_csv() to `path`; throws std::runtime_error on
+  // I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<int> rounds_;
+  std::vector<std::vector<double>> values_;
+};
+
+}  // namespace anonet

@@ -1,0 +1,344 @@
+#include "support/bigint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace anonet {
+
+namespace {
+constexpr std::uint64_t kLimbBase = std::uint64_t{1} << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Avoid UB on INT64_MIN: negate in the unsigned domain.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+  normalize();
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigInt: empty string");
+  bool negative = false;
+  std::size_t pos = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  if (pos == text.size()) throw std::invalid_argument("BigInt: no digits");
+  BigInt result;
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (c < '0' || c > '9') throw std::invalid_argument("BigInt: bad digit");
+    result = result * BigInt(10) + BigInt(c - '0');
+  }
+  if (negative) result = result.negate();
+  return result;
+}
+
+void BigInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t index) const {
+  std::size_t limb = index / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (index % 32)) & 1u;
+}
+
+BigInt BigInt::abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+BigInt BigInt::negate() const {
+  BigInt result = *this;
+  if (!result.is_zero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (limbs_.size() > 2) throw std::overflow_error("BigInt::to_int64");
+  std::uint64_t magnitude = 0;
+  if (limbs_.size() >= 1) magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= std::uint64_t{limbs_[1]} << 32;
+  if (negative_) {
+    if (magnitude > std::uint64_t{1} << 63) {
+      throw std::overflow_error("BigInt::to_int64");
+    }
+    return static_cast<std::int64_t>(~magnitude + 1);
+  }
+  if (magnitude > static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max())) {
+    throw std::overflow_error("BigInt::to_int64");
+  }
+  return static_cast<std::int64_t>(magnitude);
+}
+
+double BigInt::to_double() const {
+  double result = 0.0;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    result = result * static_cast<double>(kLimbBase) + static_cast<double>(*it);
+  }
+  return negative_ ? -result : result;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division of the magnitude by 10^9, collecting digit blocks.
+  std::vector<std::uint32_t> magnitude = limbs_;
+  std::string digits;
+  constexpr std::uint32_t kChunk = 1000000000u;
+  while (!magnitude.empty()) {
+    std::uint64_t remainder = 0;
+    for (std::size_t i = magnitude.size(); i-- > 0;) {
+      std::uint64_t current = (remainder << 32) | magnitude[i];
+      magnitude[i] = static_cast<std::uint32_t>(current / kChunk);
+      remainder = current % kChunk;
+    }
+    while (!magnitude.empty() && magnitude.back() == 0) magnitude.pop_back();
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+int BigInt::compare_magnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::add_magnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result;
+  result.reserve(std::max(a.size(), b.size()) + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    result.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) result.push_back(static_cast<std::uint32_t>(carry));
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::sub_magnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result;
+  result.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= b[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<std::uint32_t>(diff));
+  }
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::mul_magnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> result(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t current = result[i + j] +
+                              std::uint64_t{a[i]} * std::uint64_t{b[j]} + carry;
+      result[i + j] = static_cast<std::uint32_t>(current & 0xffffffffu);
+      carry = current >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t current = result[k] + carry;
+      result[k] = static_cast<std::uint32_t>(current & 0xffffffffu);
+      carry = current >> 32;
+      ++k;
+    }
+  }
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  BigInt result;
+  if (a.negative_ == b.negative_) {
+    result.limbs_ = BigInt::add_magnitude(a.limbs_, b.limbs_);
+    result.negative_ = a.negative_;
+  } else {
+    int cmp = BigInt::compare_magnitude(a.limbs_, b.limbs_);
+    if (cmp == 0) return BigInt{};
+    if (cmp > 0) {
+      result.limbs_ = BigInt::sub_magnitude(a.limbs_, b.limbs_);
+      result.negative_ = a.negative_;
+    } else {
+      result.limbs_ = BigInt::sub_magnitude(b.limbs_, a.limbs_);
+      result.negative_ = b.negative_;
+    }
+  }
+  result.normalize();
+  return result;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) { return a + b.negate(); }
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  BigInt result;
+  result.limbs_ = BigInt::mul_magnitude(a.limbs_, b.limbs_);
+  result.negative_ = !result.limbs_.empty() && (a.negative_ != b.negative_);
+  result.normalize();
+  return result;
+}
+
+void BigInt::div_mod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt& quotient, BigInt& remainder) {
+  if (divisor.is_zero()) throw std::domain_error("BigInt: division by zero");
+  // Binary long division on magnitudes; O(bits^2 / 32) limb work, plenty for
+  // the matrix sizes this library solves.
+  BigInt abs_dividend = dividend.abs();
+  BigInt abs_divisor = divisor.abs();
+  if (compare_magnitude(abs_dividend.limbs_, abs_divisor.limbs_) < 0) {
+    quotient = BigInt{};
+    remainder = dividend;
+    return;
+  }
+  std::size_t shift = abs_dividend.bit_length() - abs_divisor.bit_length();
+  BigInt shifted = abs_divisor.shifted_left(shift);
+  BigInt q;
+  BigInt r = abs_dividend;
+  for (std::size_t step = 0; step <= shift; ++step) {
+    q = q.shifted_left(1);
+    if (compare_magnitude(r.limbs_, shifted.limbs_) >= 0) {
+      r = r - shifted;
+      q = q + BigInt(1);
+    }
+    shifted = shifted.shifted_right(1);
+  }
+  q.negative_ = !q.is_zero() && (dividend.negative_ != divisor.negative_);
+  r.negative_ = !r.is_zero() && dividend.negative_;
+  q.normalize();
+  r.normalize();
+  quotient = std::move(q);
+  remainder = std::move(r);
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  BigInt::div_mod(a, b, q, r);
+  return q;
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  BigInt::div_mod(a, b, q, r);
+  return r;
+}
+
+BigInt BigInt::shifted_left(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  std::size_t limb_shift = bits / 32;
+  std::size_t bit_shift = bits % 32;
+  BigInt result;
+  result.negative_ = negative_;
+  result.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t value = std::uint64_t{limbs_[i]} << bit_shift;
+    result.limbs_[i + limb_shift] |=
+        static_cast<std::uint32_t>(value & 0xffffffffu);
+    result.limbs_[i + limb_shift + 1] |=
+        static_cast<std::uint32_t>(value >> 32);
+  }
+  result.normalize();
+  return result;
+}
+
+BigInt BigInt::shifted_right(std::size_t bits) const {
+  if (is_zero()) return *this;
+  std::size_t limb_shift = bits / 32;
+  std::size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigInt{};
+  BigInt result;
+  result.negative_ = negative_;
+  result.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < result.limbs_.size(); ++i) {
+    std::uint64_t value = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      value |= std::uint64_t{limbs_[i + limb_shift + 1]} << (32 - bit_shift);
+    }
+    result.limbs_[i] = static_cast<std::uint32_t>(value & 0xffffffffu);
+  }
+  result.normalize();
+  return result;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) {
+    return a.negative_ ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
+  }
+  int cmp = BigInt::compare_magnitude(a.limbs_, b.limbs_);
+  if (a.negative_) cmp = -cmp;
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.to_string();
+}
+
+BigInt gcd(BigInt a, BigInt b) {
+  a = a.abs();
+  b = b.abs();
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt{};
+  return (a.abs() / gcd(a, b)) * b.abs();
+}
+
+}  // namespace anonet

@@ -1,0 +1,104 @@
+#pragma once
+
+// Arbitrary-precision signed integers.
+//
+// The positive results of the paper (Section 4.2) require *exact* linear
+// algebra over the rationals: each agent solves the homogeneous fibre-equation
+// system M z = 0 and scales the solution to a coprime positive integer vector.
+// Intermediate values in Gaussian elimination can exceed 64 bits even for
+// modest bases, so the library carries its own small bignum rather than
+// silently overflowing.
+//
+// Representation: sign + little-endian magnitude in 32-bit limbs, normalized
+// so the most significant limb is non-zero and zero has an empty magnitude
+// and positive sign. All operations are value-semantic and exact.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anonet {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  // Parses an optional leading '-' followed by decimal digits.
+  // Throws std::invalid_argument on malformed input.
+  static BigInt from_string(std::string_view text);
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const { return negative_; }
+  [[nodiscard]] int signum() const {
+    return is_zero() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  // Number of bits in the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+  [[nodiscard]] bool bit(std::size_t index) const;
+
+  [[nodiscard]] BigInt abs() const;
+  [[nodiscard]] BigInt negate() const;
+
+  // Checked narrowing; throws std::overflow_error when out of range.
+  [[nodiscard]] std::int64_t to_int64() const;
+  // Lossy conversion for metrics/output; exact when the value fits a double.
+  [[nodiscard]] double to_double() const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  // Truncated division (C++ semantics: quotient rounds toward zero,
+  // remainder has the dividend's sign). Throws std::domain_error on /0.
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+
+  BigInt operator-() const { return negate(); }
+
+  [[nodiscard]] BigInt shifted_left(std::size_t bits) const;
+  [[nodiscard]] BigInt shifted_right(std::size_t bits) const;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) = default;
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+  // Computes quotient and remainder in one pass (truncated semantics).
+  static void div_mod(const BigInt& dividend, const BigInt& divisor,
+                      BigInt& quotient, BigInt& remainder);
+
+ private:
+  // Magnitude comparison ignoring sign: -1, 0, +1.
+  static int compare_magnitude(const std::vector<std::uint32_t>& a,
+                               const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> add_magnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_magnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_magnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+
+  void normalize();
+
+  bool negative_ = false;
+  std::vector<std::uint32_t> limbs_;  // little-endian, no leading zero limb
+};
+
+// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+[[nodiscard]] BigInt gcd(BigInt a, BigInt b);
+// Least common multiple of |a| and |b|; lcm(x, 0) == 0.
+[[nodiscard]] BigInt lcm(const BigInt& a, const BigInt& b);
+
+}  // namespace anonet

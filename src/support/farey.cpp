@@ -1,0 +1,87 @@
+#include "support/farey.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anonet {
+
+namespace {
+
+// Exact conversion: every finite double is mantissa * 2^exponent.
+Rational rational_from_double(double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("nearest_rational: non-finite value");
+  }
+  if (value == 0.0) return Rational(0);
+  int exponent = 0;
+  double mantissa = std::frexp(value, &exponent);  // |mantissa| in [0.5, 1)
+  // 53 doublings make the mantissa integral.
+  auto scaled = static_cast<std::int64_t>(std::ldexp(mantissa, 53));
+  exponent -= 53;
+  BigInt numerator(scaled);
+  if (exponent >= 0) {
+    return Rational(numerator.shifted_left(static_cast<std::size_t>(exponent)));
+  }
+  return Rational(numerator,
+                  BigInt(1).shifted_left(static_cast<std::size_t>(-exponent)));
+}
+
+BigInt floor_of(const Rational& value) {
+  BigInt quotient, remainder;
+  BigInt::div_mod(value.numerator(), value.denominator(), quotient, remainder);
+  if (remainder.is_negative()) quotient -= BigInt(1);
+  return quotient;
+}
+
+}  // namespace
+
+Rational nearest_rational(const Rational& value,
+                          std::uint32_t max_denominator) {
+  if (max_denominator == 0) {
+    throw std::invalid_argument("nearest_rational: zero denominator bound");
+  }
+  const BigInt bound(static_cast<std::int64_t>(max_denominator));
+  if (value.denominator() <= bound) return value;  // already in Q_N
+
+  // Continued-fraction expansion of `value`, tracking convergents
+  // p_k/q_k until the denominator would exceed the bound, then the best
+  // semiconvergent reachable within the bound.
+  BigInt p_prev(1), q_prev(0);  // p_{-1}/q_{-1}
+  BigInt p_curr, q_curr(1);     // p_0 = floor(value)
+  Rational remainder = value;
+  BigInt a0 = floor_of(remainder);
+  p_curr = a0;
+  remainder -= Rational(a0);
+
+  while (!remainder.is_zero()) {
+    remainder = remainder.reciprocal();
+    BigInt a = floor_of(remainder);
+    remainder -= Rational(a);
+    BigInt p_next = a * p_curr + p_prev;
+    BigInt q_next = a * q_curr + q_prev;
+    if (q_next > bound) {
+      // Best semiconvergent: largest t with q_prev + t*q_curr <= bound.
+      BigInt t = (bound - q_prev) / q_curr;
+      Rational semiconvergent(p_prev + t * p_curr, q_prev + t * q_curr);
+      Rational convergent(p_curr, q_curr);
+      Rational err_semi = (value - semiconvergent).abs();
+      Rational err_conv = (value - convergent).abs();
+      // Tie toward the smaller denominator, i.e. the convergent wins ties
+      // unless the semiconvergent's denominator is smaller (cannot happen
+      // since q_prev + t*q_curr >= q_curr when t >= 1; for t == 0 the
+      // semiconvergent *is* the previous convergent).
+      return err_semi < err_conv ? semiconvergent : convergent;
+    }
+    p_prev = std::move(p_curr);
+    q_prev = std::move(q_curr);
+    p_curr = std::move(p_next);
+    q_curr = std::move(q_next);
+  }
+  return Rational(p_curr, q_curr);
+}
+
+Rational nearest_rational(double value, std::uint32_t max_denominator) {
+  return nearest_rational(rational_from_double(value), max_denominator);
+}
+
+}  // namespace anonet

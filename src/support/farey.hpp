@@ -1,0 +1,33 @@
+#pragma once
+
+// Best rational approximation with a bounded denominator.
+//
+// Corollary 5.3 of the paper turns the *asymptotic* Push-Sum estimate of a
+// frequency into an *exact* finite-time result: when agents know a bound N on
+// the network size, every true frequency lies in
+//     Q_N = { p/q : 0 <= p <= q <= N },
+// whose distinct elements are at least 1/N^2 apart, so rounding the running
+// estimate to the nearest element of Q_N eventually locks onto the exact
+// frequency. This module implements that rounding via a Stern-Brocot descent
+// (the classic bounded-denominator best-approximation algorithm).
+
+#include <cstdint>
+
+#include "support/rational.hpp"
+
+namespace anonet {
+
+// The fraction p/q with 1 <= q <= max_denominator minimizing |value - p/q|.
+// Ties are broken toward the smaller denominator (then the smaller fraction),
+// which is irrelevant for the paper's use (the true value is unique once the
+// estimate is within 1/(2 N^2)). `value` may be any finite real; p may be
+// negative. Throws std::invalid_argument if max_denominator == 0 or `value`
+// is not finite.
+[[nodiscard]] Rational nearest_rational(double value,
+                                        std::uint32_t max_denominator);
+
+// Exact-input variant used by tests to cross-check the double path.
+[[nodiscard]] Rational nearest_rational(const Rational& value,
+                                        std::uint32_t max_denominator);
+
+}  // namespace anonet

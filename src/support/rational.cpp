@@ -1,0 +1,89 @@
+#include "support/rational.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace anonet {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  if (denominator_.is_zero()) {
+    throw std::domain_error("Rational: zero denominator");
+  }
+  reduce();
+}
+
+void Rational::reduce() {
+  if (denominator_.is_negative()) {
+    numerator_ = numerator_.negate();
+    denominator_ = denominator_.negate();
+  }
+  if (numerator_.is_zero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  BigInt divisor = gcd(numerator_, denominator_);
+  if (divisor != BigInt(1)) {
+    numerator_ = numerator_ / divisor;
+    denominator_ = denominator_ / divisor;
+  }
+}
+
+Rational Rational::abs() const {
+  Rational result = *this;
+  if (result.numerator_.is_negative()) {
+    result.numerator_ = result.numerator_.negate();
+  }
+  return result;
+}
+
+Rational Rational::reciprocal() const {
+  if (is_zero()) throw std::domain_error("Rational: reciprocal of zero");
+  return Rational(denominator_, numerator_);
+}
+
+double Rational::to_double() const {
+  // Scale down both parts together to stay inside double range for big values.
+  return numerator_.to_double() / denominator_.to_double();
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return numerator_.to_string();
+  return numerator_.to_string() + "/" + denominator_.to_string();
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  return Rational(a.numerator_ * b.denominator_ + b.numerator_ * a.denominator_,
+                  a.denominator_ * b.denominator_);
+}
+
+Rational operator-(const Rational& a, const Rational& b) {
+  return Rational(a.numerator_ * b.denominator_ - b.numerator_ * a.denominator_,
+                  a.denominator_ * b.denominator_);
+}
+
+Rational operator*(const Rational& a, const Rational& b) {
+  return Rational(a.numerator_ * b.numerator_, a.denominator_ * b.denominator_);
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  if (b.is_zero()) throw std::domain_error("Rational: division by zero");
+  return Rational(a.numerator_ * b.denominator_, a.denominator_ * b.numerator_);
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = result.numerator_.negate();
+  return result;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  return a.numerator_ * b.denominator_ <=> b.numerator_ * a.denominator_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.to_string();
+}
+
+}  // namespace anonet

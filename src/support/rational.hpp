@@ -1,0 +1,63 @@
+#pragma once
+
+// Exact rational numbers over BigInt.
+//
+// Invariant: denominator > 0 and gcd(|numerator|, denominator) == 1; zero is
+// represented as 0/1. All arithmetic preserves the invariant, so equality is
+// structural.
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "support/bigint.hpp"
+
+namespace anonet {
+
+class Rational {
+ public:
+  Rational() : numerator_(0), denominator_(1) {}
+  Rational(std::int64_t value) : numerator_(value), denominator_(1) {}  // NOLINT
+  Rational(BigInt value) : numerator_(std::move(value)), denominator_(1) {}  // NOLINT
+  // Throws std::domain_error if denominator is zero.
+  Rational(BigInt numerator, BigInt denominator);
+
+  [[nodiscard]] const BigInt& numerator() const { return numerator_; }
+  [[nodiscard]] const BigInt& denominator() const { return denominator_; }
+
+  [[nodiscard]] bool is_zero() const { return numerator_.is_zero(); }
+  [[nodiscard]] bool is_integer() const { return denominator_ == BigInt(1); }
+  [[nodiscard]] int signum() const { return numerator_.signum(); }
+
+  [[nodiscard]] Rational abs() const;
+  // Multiplicative inverse; throws std::domain_error on zero.
+  [[nodiscard]] Rational reciprocal() const;
+
+  [[nodiscard]] double to_double() const;
+  [[nodiscard]] std::string to_string() const;  // "p/q" or "p" when integral
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  Rational operator-() const;
+
+  friend bool operator==(const Rational& a, const Rational& b) = default;
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+ private:
+  void reduce();
+
+  BigInt numerator_;
+  BigInt denominator_;
+};
+
+}  // namespace anonet

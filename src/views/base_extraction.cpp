@@ -1,0 +1,99 @@
+#include "views/base_extraction.hpp"
+
+#include <map>
+#include <set>
+
+#include "fibration/minimum_base.hpp"
+#include "graph/analysis.hpp"
+
+namespace anonet {
+
+namespace {
+
+// Distinct depth-h truncations of the *recent* sub-views: those of depth at
+// least midway between h and the full view depth. Why not all sub-views?
+// Self-stabilization. After a state corruption, garbage trees stay embedded
+// forever in the bottom layers of the growing view; a sub-view of depth d
+// has garbage within its top h layers only while d <= h + (corruption
+// depth), so thresholding d at h + (max_depth - h)/2 excludes garbage once
+// max_depth outgrows twice the corruption depth, while still including every
+// agent's current depth-h view once max_depth >= h + 2D (an agent's view
+// from k <= D rounds ago sits at depth max_depth - k). The price is a
+// stabilization bound of n + 2D rounds instead of the paper's n + D — see
+// DESIGN.md.
+std::set<ViewId> truncation_set(ViewRegistry& registry,
+                                const std::vector<ViewId>& subviews, int h,
+                                int max_depth) {
+  const int threshold = h + (max_depth - h) / 2;
+  std::set<ViewId> result;
+  for (ViewId s : subviews) {
+    if (registry.depth(s) >= threshold && registry.depth(s) >= h) {
+      result.insert(registry.truncate(s, h));
+    }
+  }
+  return result;
+}
+
+// Attempts to build the quotient graph out of the h -> h+1 refinement.
+// Returns false when the truncation map U_{h+1} -> U_h is not a bijection
+// (a symptom of incomplete view sets in early rounds).
+bool build_candidate(ViewRegistry& registry, const std::set<ViewId>& level_h,
+                     const std::set<ViewId>& level_h1, ExtractedBase& out) {
+  std::map<ViewId, Vertex> class_of;
+  for (ViewId u : level_h) {
+    class_of.emplace(u, static_cast<Vertex>(class_of.size()));
+  }
+  const auto m = static_cast<Vertex>(class_of.size());
+  out.base = Digraph(m);
+  out.values.assign(static_cast<std::size_t>(m), 0);
+  std::vector<bool> defined(static_cast<std::size_t>(m), false);
+  for (ViewId w : level_h1) {
+    const auto root_it =
+        class_of.find(registry.truncate(w, registry.depth(w) - 1));
+    if (root_it == class_of.end()) return false;  // incomplete window
+    const Vertex c = root_it->second;
+    if (defined[static_cast<std::size_t>(c)]) return false;  // not injective
+    defined[static_cast<std::size_t>(c)] = true;
+    out.values[static_cast<std::size_t>(c)] = registry.label(w);
+    for (const auto& [child, color] : registry.children(w)) {
+      const auto child_it = class_of.find(child);
+      if (child_it == class_of.end()) return false;  // incomplete window
+      out.base.add_edge(child_it->second, c, static_cast<EdgeColor>(color));
+    }
+  }
+  for (bool d : defined) {
+    if (!d) return false;  // not surjective
+  }
+  return true;
+}
+
+}  // namespace
+
+ExtractedBase extract_base(ViewRegistry& registry, ViewId own_view) {
+  ExtractedBase result;
+  const std::vector<ViewId> subviews = registry.subviews(own_view);
+  const int max_depth = registry.depth(own_view);
+
+  std::set<ViewId> level = truncation_set(registry, subviews, 0, max_depth);
+  for (int h = 0; h < max_depth; ++h) {
+    std::set<ViewId> next =
+        truncation_set(registry, subviews, h + 1, max_depth);
+    if (level.size() == next.size()) {
+      ExtractedBase candidate;
+      candidate.stable_depth = h;
+      if (build_candidate(registry, level, next, candidate) &&
+          is_strongly_connected(candidate.base) &&
+          is_fibration_prime(candidate.base, candidate.values)) {
+        candidate.plausible = true;
+        return candidate;
+      }
+      // Keep the best implausible candidate for diagnostics, but keep
+      // scanning deeper: completeness may only hold at larger h.
+      if (result.stable_depth == -1) result = std::move(candidate);
+    }
+    level = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace anonet

@@ -1,0 +1,37 @@
+#pragma once
+
+// Extraction of a minimum-base candidate from a single agent's view.
+//
+// This is the B(T_t^i) operation of Section 3.2: from its depth-t view an
+// agent can enumerate the depth-h views of every agent within distance
+// t - h (as embedded sub-trees), watch the count of distinct views as h
+// grows, and read the base off the first depth where the count stalls. Only
+// *recent* sub-views participate (see truncation_set in the .cpp), which
+// makes the extraction self-stabilizing — corrupted layers sink below the
+// window — at the cost of guaranteeing correctness from round n + 2D rather
+// than the paper's n + D (their finite-state extraction is sharper). Before
+// that round the candidate may be wrong, which is why the distributed
+// algorithm is only *eventually* correct.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "views/view_registry.hpp"
+
+namespace anonet {
+
+struct ExtractedBase {
+  Digraph base;             // colored multigraph candidate
+  std::vector<int> values;  // vertex labels of the candidate
+  int stable_depth = -1;    // h where distinct-view counts first stalled
+  // The candidate passed the agent-local sanity checks (the truncation map
+  // is a bijection, the candidate is strongly connected and fibration
+  // prime). Guaranteed true — and correct — from round n + D.
+  bool plausible = false;
+};
+
+// `own_view` must live in `registry` (non-const: truncation memoizes).
+[[nodiscard]] ExtractedBase extract_base(ViewRegistry& registry,
+                                         ViewId own_view);
+
+}  // namespace anonet

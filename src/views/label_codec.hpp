@@ -1,0 +1,66 @@
+#pragma once
+
+// Shared interning of vertex labels for view-based algorithms.
+//
+// View labels are small ints. An execution needs a *consistent* mapping from
+// input values ω ∈ Ω (and, in the outdegree-aware model, from pairs
+// (ω, outdegree)) to label ids across all agents. Deterministic agents in the
+// paper achieve this trivially because labels *are* the mathematical values;
+// the simulator instead interns them in one shared codec per execution —
+// another bandwidth-only artifact (ids carry exactly the information the
+// values would).
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace anonet {
+
+class LabelCodec {
+ public:
+  // Label for a bare input value.
+  int value_label(std::int64_t value) {
+    return intern(Key{value, -1});
+  }
+
+  // Label for an input value tagged with an outdegree (the G_od valuation).
+  int valued_degree_label(std::int64_t value, int outdegree) {
+    if (outdegree < 0) {
+      throw std::invalid_argument("LabelCodec: negative outdegree");
+    }
+    return intern(Key{value, outdegree});
+  }
+
+  // Inverse mappings; throw std::out_of_range on unknown labels.
+  [[nodiscard]] std::int64_t value_of(int label) const {
+    return keys_.at(static_cast<std::size_t>(label)).value;
+  }
+  [[nodiscard]] int outdegree_of(int label) const {
+    const int d = keys_.at(static_cast<std::size_t>(label)).outdegree;
+    if (d < 0) throw std::out_of_range("LabelCodec: label has no outdegree");
+    return d;
+  }
+  [[nodiscard]] bool has_outdegree(int label) const {
+    return keys_.at(static_cast<std::size_t>(label)).outdegree >= 0;
+  }
+
+ private:
+  struct Key {
+    std::int64_t value;
+    int outdegree;  // -1 when the label is a bare value
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  int intern(Key key) {
+    auto [it, inserted] = ids_.emplace(key, static_cast<int>(keys_.size()));
+    if (inserted) keys_.push_back(key);
+    return it->second;
+  }
+
+  std::map<Key, int> ids_;
+  std::vector<Key> keys_;
+};
+
+}  // namespace anonet

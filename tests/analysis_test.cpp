@@ -1,0 +1,71 @@
+// Tests for SCC / diameter analysis (graph/analysis.hpp).
+
+#include "graph/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace anonet {
+namespace {
+
+TEST(Analysis, SccOnTwoComponents) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(0, 2);  // bridge, one direction only
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 2);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+}
+
+TEST(Analysis, SccSingletons) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 3);
+}
+
+TEST(Analysis, StrongConnectivity) {
+  EXPECT_TRUE(is_strongly_connected(directed_ring(6)));
+  EXPECT_TRUE(is_strongly_connected(complete_graph(1)));
+  Digraph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  EXPECT_FALSE(is_strongly_connected(path));
+  EXPECT_FALSE(is_strongly_connected(Digraph(0)));
+}
+
+TEST(Analysis, SccHandlesDeepRecursionIteratively) {
+  // A 20000-cycle would blow a recursive Tarjan's stack.
+  const Vertex n = 20000;
+  Digraph g(n);
+  for (Vertex v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Analysis, BfsDistances) {
+  const Digraph g = directed_ring(5);
+  const std::vector<int> dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist, (std::vector<int>{0, 1, 2, 3, 4}));
+  Digraph disconnected(2);
+  EXPECT_EQ(bfs_distances(disconnected, 0)[1], -1);
+}
+
+TEST(Analysis, Diameter) {
+  EXPECT_EQ(diameter(directed_ring(5)), 4);
+  EXPECT_EQ(diameter(bidirectional_ring(6)), 3);
+  EXPECT_EQ(diameter(complete_graph(4)), 1);
+  Digraph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  EXPECT_EQ(diameter(path), -1);  // not strongly connected
+}
+
+}  // namespace
+}  // namespace anonet

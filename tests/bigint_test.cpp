@@ -1,0 +1,173 @@
+// Unit tests for the arbitrary-precision integers (support/bigint.hpp).
+
+#include "support/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace anonet {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.signum(), 0);
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero.to_int64(), 0);
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (std::int64_t value : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                             std::int64_t{42}, std::int64_t{-1234567890123},
+                             std::numeric_limits<std::int64_t>::max(),
+                             std::numeric_limits<std::int64_t>::min()}) {
+    EXPECT_EQ(BigInt(value).to_int64(), value) << value;
+  }
+}
+
+TEST(BigInt, StringRoundTrip) {
+  for (const char* text : {"0", "1", "-1", "123456789012345678901234567890",
+                           "-999999999999999999999999999999999"}) {
+    EXPECT_EQ(BigInt::from_string(text).to_string(), text);
+  }
+}
+
+TEST(BigInt, FromStringRejectsGarbage) {
+  EXPECT_THROW(BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("-"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("12a3"), std::invalid_argument);
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  const BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).to_string(), "4294967296");
+  const BigInt b = BigInt::from_string("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((b + BigInt(1)).to_string(), "18446744073709551616");
+}
+
+TEST(BigInt, MixedSignAddition) {
+  EXPECT_EQ((BigInt(5) + BigInt(-7)).to_int64(), -2);
+  EXPECT_EQ((BigInt(-5) + BigInt(7)).to_int64(), 2);
+  EXPECT_EQ((BigInt(-5) + BigInt(5)).to_int64(), 0);
+}
+
+TEST(BigInt, MultiplicationLarge) {
+  const BigInt a = BigInt::from_string("123456789123456789");
+  const BigInt b = BigInt::from_string("987654321987654321");
+  EXPECT_EQ((a * b).to_string(), "121932631356500531347203169112635269");
+}
+
+TEST(BigInt, TruncatedDivisionSemantics) {
+  // Quotient rounds toward zero; remainder carries the dividend's sign,
+  // matching C++ so Rational reduction behaves as expected.
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_int64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(-2)).to_int64(), -1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), std::domain_error);
+  EXPECT_THROW(BigInt(1) % BigInt(0), std::domain_error);
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt(-3), BigInt(2));
+  EXPECT_LT(BigInt(-3), BigInt(-2));
+  EXPECT_GT(BigInt::from_string("100000000000000000000"), BigInt(1));
+  EXPECT_EQ(BigInt(17), BigInt::from_string("17"));
+}
+
+TEST(BigInt, Shifts) {
+  EXPECT_EQ(BigInt(1).shifted_left(100).shifted_right(100), BigInt(1));
+  EXPECT_EQ(BigInt(5).shifted_left(3).to_int64(), 40);
+  EXPECT_EQ(BigInt(40).shifted_right(3).to_int64(), 5);
+  EXPECT_EQ(BigInt(1).shifted_right(1).to_int64(), 0);
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(0).bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ(BigInt(1).shifted_left(200).bit_length(), 201u);
+}
+
+TEST(BigInt, GcdLcm) {
+  EXPECT_EQ(gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(gcd(BigInt(0), BigInt(5)).to_int64(), 5);
+  EXPECT_EQ(gcd(BigInt(0), BigInt(0)).to_int64(), 0);
+  EXPECT_EQ(lcm(BigInt(4), BigInt(6)).to_int64(), 12);
+  EXPECT_EQ(lcm(BigInt(0), BigInt(7)).to_int64(), 0);
+}
+
+TEST(BigInt, ToInt64OverflowThrows) {
+  const BigInt big = BigInt::from_string("9223372036854775808");  // 2^63
+  EXPECT_THROW(big.to_int64(), std::overflow_error);
+  const BigInt min = BigInt::from_string("-9223372036854775808");  // -2^63
+  EXPECT_EQ(min.to_int64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_THROW((min - BigInt(1)).to_int64(), std::overflow_error);
+}
+
+TEST(BigInt, RandomizedAgainstInt128) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::int64_t> dist(-1'000'000'000'000'000,
+                                                   1'000'000'000'000'000);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t a = dist(rng);
+    const std::int64_t b = dist(rng);
+    const __int128 product = static_cast<__int128>(a) * b;
+    const BigInt big_product = BigInt(a) * BigInt(b);
+    // Reconstruct the __int128 via string comparison through two limbs.
+    __int128 reconstructed = 0;
+    const std::string text = big_product.to_string();
+    bool negative = false;
+    for (char c : text) {
+      if (c == '-') {
+        negative = true;
+        continue;
+      }
+      reconstructed = reconstructed * 10 + (c - '0');
+    }
+    if (negative) reconstructed = -reconstructed;
+    EXPECT_EQ(reconstructed, product);
+    EXPECT_EQ((BigInt(a) + BigInt(b)).to_int64(), a + b);
+    EXPECT_EQ((BigInt(a) - BigInt(b)).to_int64(), a - b);
+    if (b != 0) {
+      EXPECT_EQ((BigInt(a) / BigInt(b)).to_int64(), a / b);
+      EXPECT_EQ((BigInt(a) % BigInt(b)).to_int64(), a % b);
+    }
+  }
+}
+
+TEST(BigInt, DivModReconstruction) {
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<std::int64_t> dist(-1'000'000'000, 1'000'000'000);
+  for (int i = 0; i < 500; ++i) {
+    const BigInt a = BigInt(dist(rng)) * BigInt(dist(rng));
+    BigInt b = BigInt(dist(rng));
+    if (b.is_zero()) b = BigInt(1);
+    BigInt q, r;
+    BigInt::div_mod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.abs(), b.abs());
+  }
+}
+
+TEST(BigInt, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(1234).to_double(), 1234.0);
+  EXPECT_DOUBLE_EQ(BigInt(-1234).to_double(), -1234.0);
+  EXPECT_NEAR(BigInt::from_string("1000000000000000000000").to_double(), 1e21,
+              1e6);
+}
+
+}  // namespace
+}  // namespace anonet

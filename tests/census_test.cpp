@@ -1,0 +1,115 @@
+// Tests for multiset recovery with centralized help (core/census.hpp):
+// Corollaries 4.3 (known n) and 4.4 / eq. (5) (leaders).
+
+#include "core/census.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anonet {
+namespace {
+
+Rational r(std::int64_t num, std::int64_t den = 1) {
+  return Rational(BigInt(num), BigInt(den));
+}
+
+TEST(Census, LeaderEncodingRoundTrip) {
+  for (std::int64_t value : {-7LL, -1LL, 0LL, 1LL, 42LL}) {
+    for (bool leader : {false, true}) {
+      const std::int64_t coded = encode_leader_input(value, leader);
+      EXPECT_EQ(decode_leader_value(coded), value) << value << " " << leader;
+      EXPECT_EQ(decode_leader_flag(coded), leader) << value << " " << leader;
+    }
+  }
+}
+
+TEST(Census, LeaderEncodingIsInjective) {
+  EXPECT_NE(encode_leader_input(3, true), encode_leader_input(3, false));
+  EXPECT_NE(encode_leader_input(3, false), encode_leader_input(4, false));
+}
+
+TEST(Census, MultisetFromFrequency) {
+  const Frequency nu({{1, r(1, 3)}, {2, r(2, 3)}});
+  const auto multiset = multiset_from_frequency(nu, 6);
+  ASSERT_TRUE(multiset.has_value());
+  EXPECT_EQ(multiset->at(1), BigInt(2));
+  EXPECT_EQ(multiset->at(2), BigInt(4));
+}
+
+TEST(Census, MultisetFromFrequencyRejectsNonIntegral) {
+  const Frequency nu({{1, r(1, 3)}, {2, r(2, 3)}});
+  EXPECT_FALSE(multiset_from_frequency(nu, 7).has_value());
+  EXPECT_THROW(multiset_from_frequency(nu, 0), std::invalid_argument);
+}
+
+TEST(Census, FibreSizesWithKnownN) {
+  const std::vector<BigInt> ratios{BigInt(1), BigInt(2), BigInt(3)};
+  const auto sizes = fibre_sizes_with_known_n(ratios, 12);
+  ASSERT_TRUE(sizes.has_value());
+  EXPECT_EQ(*sizes, (std::vector<BigInt>{BigInt(2), BigInt(4), BigInt(6)}));
+  EXPECT_FALSE(fibre_sizes_with_known_n(ratios, 10).has_value());
+}
+
+TEST(Census, FibreSizesWithOneLeader) {
+  // eq. (5) with ℓ = 1: the leader class pins the scale to its own ratio.
+  const std::vector<BigInt> ratios{BigInt(1), BigInt(2), BigInt(3)};
+  const std::vector<bool> leader_class{true, false, false};
+  const auto sizes = fibre_sizes_with_leaders(leader_class, ratios, 1);
+  ASSERT_TRUE(sizes.has_value());
+  EXPECT_EQ(*sizes, (std::vector<BigInt>{BigInt(1), BigInt(2), BigInt(3)}));
+}
+
+TEST(Census, FibreSizesWithMultipleLeaders) {
+  // ℓ = 4 leaders spread over two classes with ratios 1 and 3 (sum 4):
+  // every ratio is scaled by 4/4 = 1... then with ratios doubled the scale
+  // halves.
+  const std::vector<BigInt> ratios{BigInt(2), BigInt(6), BigInt(4)};
+  const std::vector<bool> leader_class{true, true, false};
+  const auto sizes = fibre_sizes_with_leaders(leader_class, ratios, 4);
+  ASSERT_TRUE(sizes.has_value());
+  EXPECT_EQ(*sizes, (std::vector<BigInt>{BigInt(1), BigInt(3), BigInt(2)}));
+}
+
+TEST(Census, FibreSizesWithLeadersRejectsNonDivisible) {
+  const std::vector<BigInt> ratios{BigInt(2), BigInt(3)};
+  const std::vector<bool> leader_class{true, false};
+  EXPECT_FALSE(fibre_sizes_with_leaders(leader_class, ratios, 3).has_value());
+}
+
+TEST(Census, FibreSizesWithLeadersRequiresALeaderClass) {
+  const std::vector<BigInt> ratios{BigInt(1), BigInt(1)};
+  EXPECT_FALSE(
+      fibre_sizes_with_leaders({false, false}, ratios, 1).has_value());
+  EXPECT_THROW(fibre_sizes_with_leaders({true}, ratios, 1),
+               std::invalid_argument);
+  EXPECT_THROW(fibre_sizes_with_leaders({true, false}, ratios, 0),
+               std::invalid_argument);
+}
+
+TEST(Census, ExpandMultiset) {
+  const auto flat =
+      expand_multiset({5, 9}, {BigInt(2), BigInt(3)});
+  EXPECT_EQ(flat, (std::vector<std::int64_t>{5, 5, 9, 9, 9}));
+  EXPECT_THROW(expand_multiset({5}, {BigInt(1), BigInt(2)}),
+               std::invalid_argument);
+}
+
+TEST(Census, SumRecoveryEndToEnd) {
+  // Frequency (1/3, 2/3) on values (6, 3) with n = 6 gives multiset
+  // {6, 6, 3, 3, 3, 3} and sum 24 — the paper's flagship "needs n" example.
+  const Frequency nu({{6, r(1, 3)}, {3, r(2, 3)}});
+  const auto multiset = multiset_from_frequency(nu, 6);
+  ASSERT_TRUE(multiset.has_value());
+  std::vector<std::int64_t> values;
+  std::vector<BigInt> sizes;
+  for (const auto& [value, count] : *multiset) {
+    values.push_back(value);
+    sizes.push_back(count);
+  }
+  const auto flat = expand_multiset(values, sizes);
+  Rational total;
+  for (std::int64_t v : flat) total += Rational(v);
+  EXPECT_EQ(total, r(24));
+}
+
+}  // namespace
+}  // namespace anonet

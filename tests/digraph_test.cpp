@@ -1,0 +1,134 @@
+// Unit tests for the directed multigraph (graph/digraph.hpp).
+
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anonet {
+namespace {
+
+Digraph triangle() {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  return g;
+}
+
+TEST(Digraph, AddEdgeValidatesVertices) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+  EXPECT_THROW(Digraph(-1), std::invalid_argument);
+}
+
+TEST(Digraph, DegreesCountMultiplicity) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.outdegree(0), 3);
+  EXPECT_EQ(g.indegree(1), 2);
+  EXPECT_EQ(g.indegree(0), 1);
+  EXPECT_EQ(g.edge_multiplicity(0, 1), 2);
+  EXPECT_EQ(g.edge_multiplicity(1, 0), 0);
+}
+
+TEST(Digraph, AdjacencySpansSurviveRebuild) {
+  Digraph g = triangle();
+  EXPECT_EQ(g.out_edges(0).size(), 1u);
+  g.add_edge(0, 2);  // invalidates and rebuilds lazily
+  EXPECT_EQ(g.out_edges(0).size(), 2u);
+  EXPECT_EQ(g.in_edges(2).size(), 2u);
+}
+
+TEST(Digraph, SelfLoops) {
+  Digraph g = triangle();
+  EXPECT_FALSE(g.has_all_self_loops());
+  EXPECT_EQ(g.ensure_self_loops(), 3);
+  EXPECT_TRUE(g.has_all_self_loops());
+  EXPECT_EQ(g.ensure_self_loops(), 0);  // idempotent
+}
+
+TEST(Digraph, SymmetryIsAboutMultisets) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.is_symmetric());
+  g.add_edge(1, 0);
+  EXPECT_TRUE(g.is_symmetric());
+  g.add_edge(0, 1);  // multiplicity 2 vs 1
+  EXPECT_FALSE(g.is_symmetric());
+  g.add_edge(1, 0);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Digraph, Reversed) {
+  Digraph g = triangle();
+  const Digraph r = g.reversed();
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_TRUE(r.has_edge(2, 1));
+  EXPECT_TRUE(r.has_edge(0, 2));
+  EXPECT_FALSE(r.has_edge(0, 1));
+}
+
+TEST(Digraph, AssignOutputPortsGivesValidLabelling) {
+  Digraph g = triangle();
+  g.ensure_self_loops();
+  g.assign_output_ports();
+  for (Vertex v = 0; v < 3; ++v) {
+    std::vector<int> ports;
+    for (EdgeId id : g.out_edges(v)) {
+      ports.push_back(static_cast<int>(g.edge(id).color));
+    }
+    std::sort(ports.begin(), ports.end());
+    for (std::size_t k = 0; k < ports.size(); ++k) {
+      EXPECT_EQ(ports[k], static_cast<int>(k) + 1);
+    }
+  }
+}
+
+TEST(Digraph, GraphProductMatchesFootnote3) {
+  // G1: 0->1, G2: 1->2 gives product edge 0->2.
+  Digraph g1(3);
+  g1.add_edge(0, 1);
+  Digraph g2(3);
+  g2.add_edge(1, 2);
+  const Digraph product = graph_product(g1, g2);
+  EXPECT_TRUE(product.has_edge(0, 2));
+  EXPECT_EQ(product.edge_count(), 1);
+}
+
+TEST(Digraph, GraphProductWithSelfLoopsAccumulatesReachability) {
+  Digraph g(3);
+  g.ensure_self_loops();
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Digraph product = graph_product(g, g);
+  EXPECT_TRUE(product.has_edge(0, 2));  // via 1
+  EXPECT_TRUE(product.has_edge(0, 1));  // self-loop keeps direct edges
+  EXPECT_FALSE(product.has_edge(2, 0));
+}
+
+TEST(Digraph, GraphProductSizeMismatchThrows) {
+  EXPECT_THROW(graph_product(Digraph(2), Digraph(3)), std::invalid_argument);
+}
+
+TEST(Digraph, CompletenessRecognition) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 1);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(is_complete_with_self_loops(g));
+  g.add_edge(1, 0);
+  EXPECT_TRUE(is_complete_with_self_loops(g));
+}
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.vertex_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_TRUE(g.has_all_self_loops());  // vacuously
+}
+
+}  // namespace
+}  // namespace anonet

@@ -1,0 +1,233 @@
+// Tests for the synchronous executor: round structure, communication-model
+// enforcement, multiset delivery semantics.
+
+#include "runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dynamics/schedules.hpp"
+#include "graph/generators.hpp"
+#include "runtime/convergence.hpp"
+
+namespace anonet {
+namespace {
+
+// Probe agent recording everything the executor tells it.
+struct ProbeAgent {
+  struct Message {
+    int payload = 0;
+    int port = 0;
+  };
+
+  int id = 0;
+  mutable int last_outdegree = -1;
+  mutable std::vector<int> ports_seen;
+  std::vector<Message> last_inbox;
+
+  Message send(int outdegree, int port) const {
+    last_outdegree = outdegree;
+    ports_seen.push_back(port);
+    return Message{id, port};
+  }
+  void receive(std::vector<Message> messages) {
+    last_inbox = std::move(messages);
+  }
+};
+
+TEST(Executor, RequiresOneAgentPerVertex) {
+  auto net = std::make_shared<StaticSchedule>(directed_ring(3));
+  EXPECT_THROW(Executor<ProbeAgent>(net, std::vector<ProbeAgent>(2),
+                                    CommModel::kSimpleBroadcast),
+               std::invalid_argument);
+  EXPECT_THROW(Executor<ProbeAgent>(nullptr, std::vector<ProbeAgent>(0),
+                                    CommModel::kSimpleBroadcast),
+               std::invalid_argument);
+}
+
+TEST(Executor, SimpleBroadcastHidesOutdegree) {
+  auto net = std::make_shared<StaticSchedule>(complete_graph(3));
+  std::vector<ProbeAgent> agents(3);
+  Executor<ProbeAgent> exec(net, std::move(agents),
+                            CommModel::kSimpleBroadcast);
+  exec.step();
+  for (Vertex v = 0; v < 3; ++v) {
+    EXPECT_EQ(exec.agent(v).last_outdegree, 0);  // hidden
+  }
+}
+
+TEST(Executor, OutdegreeAwareSeesDegreeOnceIsotropically) {
+  auto net = std::make_shared<StaticSchedule>(complete_graph(3));
+  std::vector<ProbeAgent> agents(3);
+  Executor<ProbeAgent> exec(net, std::move(agents), CommModel::kOutdegreeAware);
+  exec.step();
+  for (Vertex v = 0; v < 3; ++v) {
+    EXPECT_EQ(exec.agent(v).last_outdegree, 3);
+    // One send per round: communications are isotropic by construction.
+    EXPECT_EQ(exec.agent(v).ports_seen.size(), 1u);
+    EXPECT_EQ(exec.agent(v).ports_seen[0], 0);
+  }
+}
+
+TEST(Executor, OutputPortAwareSendsPerPort) {
+  Digraph g = complete_graph(3);
+  g.assign_output_ports();
+  auto net = std::make_shared<StaticSchedule>(g);
+  std::vector<ProbeAgent> agents(3);
+  for (int i = 0; i < 3; ++i) agents[static_cast<std::size_t>(i)].id = i;
+  Executor<ProbeAgent> exec(net, std::move(agents),
+                            CommModel::kOutputPortAware);
+  exec.step();
+  for (Vertex v = 0; v < 3; ++v) {
+    std::vector<int> ports = exec.agent(v).ports_seen;
+    std::sort(ports.begin(), ports.end());
+    EXPECT_EQ(ports, (std::vector<int>{1, 2, 3}));
+    // Each agent received one message per in-edge, each carrying the port
+    // it was sent through.
+    EXPECT_EQ(exec.agent(v).last_inbox.size(), 3u);
+  }
+}
+
+TEST(Executor, OutputPortAwareRejectsUnlabeledGraph) {
+  auto net = std::make_shared<StaticSchedule>(complete_graph(3));  // no ports
+  std::vector<ProbeAgent> agents(3);
+  Executor<ProbeAgent> exec(net, std::move(agents),
+                            CommModel::kOutputPortAware);
+  EXPECT_THROW(exec.step(), std::invalid_argument);
+}
+
+TEST(Executor, SymmetricModelRejectsAsymmetricRound) {
+  auto net = std::make_shared<StaticSchedule>(directed_ring(3));
+  std::vector<ProbeAgent> agents(3);
+  Executor<ProbeAgent> exec(net, std::move(agents),
+                            CommModel::kSymmetricBroadcast);
+  EXPECT_THROW(exec.step(), std::logic_error);
+}
+
+TEST(Executor, SymmetricModelAcceptsSymmetricRound) {
+  auto net = std::make_shared<StaticSchedule>(bidirectional_ring(4));
+  std::vector<ProbeAgent> agents(4);
+  Executor<ProbeAgent> exec(net, std::move(agents),
+                            CommModel::kSymmetricBroadcast);
+  EXPECT_NO_THROW(exec.run(3));
+  EXPECT_EQ(exec.round(), 3);
+}
+
+TEST(Executor, DeliveryFollowsRoundGraph) {
+  auto net = std::make_shared<StaticSchedule>(directed_ring(3));
+  std::vector<ProbeAgent> agents(3);
+  for (int i = 0; i < 3; ++i) agents[static_cast<std::size_t>(i)].id = i;
+  Executor<ProbeAgent> exec(net, std::move(agents),
+                            CommModel::kSimpleBroadcast);
+  exec.step();
+  // Vertex 1 hears from 0 (ring edge) and itself (self-loop).
+  std::vector<int> senders;
+  for (const auto& m : exec.agent(1).last_inbox) senders.push_back(m.payload);
+  std::sort(senders.begin(), senders.end());
+  EXPECT_EQ(senders, (std::vector<int>{0, 1}));
+}
+
+TEST(Executor, StatsCountRoundsAndMessages) {
+  auto net = std::make_shared<StaticSchedule>(complete_graph(4));
+  std::vector<ProbeAgent> agents(4);
+  Executor<ProbeAgent> exec(net, std::move(agents),
+                            CommModel::kSimpleBroadcast);
+  exec.run(5);
+  EXPECT_EQ(exec.stats().rounds, 5);
+  EXPECT_EQ(exec.stats().messages_delivered, 5 * 16);
+  // ProbeAgent declares no weight: payload defaults to one unit/message.
+  EXPECT_EQ(exec.stats().payload_units, 5 * 16);
+}
+
+// Message type with a declared bandwidth weight.
+struct WeightedAgent {
+  struct Message {
+    int payload = 3;
+    [[nodiscard]] std::int64_t weight_units() const { return 7; }
+  };
+  Message send(int, int) const { return {}; }
+  void receive(std::vector<Message>) {}
+};
+
+TEST(Executor, PayloadUnitsUseDeclaredWeights) {
+  auto net = std::make_shared<StaticSchedule>(complete_graph(3));
+  Executor<WeightedAgent> exec(net, std::vector<WeightedAgent>(3),
+                               CommModel::kSimpleBroadcast);
+  exec.run(2);
+  EXPECT_EQ(exec.stats().messages_delivered, 2 * 9);
+  EXPECT_EQ(exec.stats().payload_units, 7 * 2 * 9);
+}
+
+TEST(Executor, ShuffleSeedChangesDeliveryOrderNotContent) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    auto net = std::make_shared<StaticSchedule>(complete_graph(5));
+    std::vector<ProbeAgent> agents(5);
+    for (int i = 0; i < 5; ++i) agents[static_cast<std::size_t>(i)].id = i;
+    Executor<ProbeAgent> exec(net, std::move(agents),
+                              CommModel::kSimpleBroadcast, seed);
+    exec.step();
+    std::vector<int> order;
+    for (const auto& m : exec.agent(0).last_inbox) order.push_back(m.payload);
+    return order;
+  };
+  const std::vector<int> order_a = run_with_seed(1);
+  const std::vector<int> order_b = run_with_seed(2);
+  std::vector<int> sorted_a = order_a, sorted_b = order_b;
+  std::sort(sorted_a.begin(), sorted_a.end());
+  std::sort(sorted_b.begin(), sorted_b.end());
+  EXPECT_EQ(sorted_a, sorted_b);  // same multiset...
+  EXPECT_EQ(sorted_a, (std::vector<int>{0, 1, 2, 3, 4}));
+  // ...orders differ for at least some seeds (can coincide, so try a few).
+  bool any_difference = order_a != order_b;
+  for (std::uint64_t seed = 3; !any_difference && seed < 10; ++seed) {
+    any_difference = run_with_seed(seed) != order_a;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Executor, MissingSelfLoopIsRejected) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  // Bypass StaticSchedule's ensure_self_loops with a custom schedule.
+  class RawSchedule final : public DynamicGraph {
+   public:
+    explicit RawSchedule(Digraph g) : g_(std::move(g)) {}
+    [[nodiscard]] Vertex vertex_count() const override {
+      return g_.vertex_count();
+    }
+    [[nodiscard]] Digraph at(int) const override { return g_; }
+
+   private:
+    Digraph g_;
+  };
+  auto net = std::make_shared<RawSchedule>(g);
+  std::vector<ProbeAgent> agents(2);
+  Executor<ProbeAgent> exec(net, std::move(agents),
+                            CommModel::kSimpleBroadcast);
+  EXPECT_THROW(exec.step(), std::logic_error);
+}
+
+TEST(Convergence, Helpers) {
+  const std::vector<double> outputs{1.0, 1.5, 0.5};
+  EXPECT_DOUBLE_EQ(max_abs_error(outputs, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(spread(outputs), 1.0);
+  EXPECT_TRUE(all_equal_to<int>(std::vector<int>{2, 2}, 2));
+  EXPECT_FALSE(all_equal_to<int>(std::vector<int>{2, 3}, 2));
+}
+
+TEST(Convergence, StabilizationDetector) {
+  StabilizationDetector<int> detector(7);
+  detector.observe(std::vector<int>{7, 6});
+  EXPECT_EQ(detector.stabilized_since(), -1);
+  detector.observe(std::vector<int>{7, 7});
+  EXPECT_EQ(detector.stabilized_since(), 2);
+  detector.observe(std::vector<int>{7, 7});
+  EXPECT_EQ(detector.stabilized_since(), 2);
+  detector.observe(std::vector<int>{7, 0});
+  EXPECT_EQ(detector.stabilized_since(), -1);
+}
+
+}  // namespace
+}  // namespace anonet

@@ -1,0 +1,119 @@
+// Tests for bounded-denominator best rational approximation
+// (support/farey.hpp) — the rounding step of Corollary 5.3.
+
+#include "support/farey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace anonet {
+namespace {
+
+// Brute-force nearest p/q with q <= bound, scanning a generous p range.
+Rational brute_force_nearest(double value, std::uint32_t bound) {
+  Rational best(0);
+  double best_error = std::abs(value);
+  for (std::uint32_t q = 1; q <= bound; ++q) {
+    const auto base =
+        static_cast<std::int64_t>(std::floor(value * static_cast<double>(q)));
+    for (std::int64_t p = base - 1; p <= base + 2; ++p) {
+      const double error =
+          std::abs(value - static_cast<double>(p) / static_cast<double>(q));
+      if (error < best_error - 1e-15) {
+        best_error = error;
+        best = Rational(BigInt(p), BigInt(q));
+      }
+    }
+  }
+  return best;
+}
+
+TEST(Farey, ExactValuesInQnAreReturnedVerbatim) {
+  for (int q = 1; q <= 10; ++q) {
+    for (int p = 0; p <= q; ++p) {
+      const Rational x{BigInt(p), BigInt(q)};
+      EXPECT_EQ(nearest_rational(x, 10), x) << p << "/" << q;
+    }
+  }
+}
+
+TEST(Farey, ClassicConstants) {
+  // Best approximations of pi: 3, 13/4, 16/5, 19/6, 22/7, ..., 355/113.
+  EXPECT_EQ(nearest_rational(3.14159265358979, 1), Rational(3));
+  EXPECT_EQ(nearest_rational(3.14159265358979, 7),
+            Rational(BigInt(22), BigInt(7)));
+  EXPECT_EQ(nearest_rational(3.14159265358979, 113),
+            Rational(BigInt(355), BigInt(113)));
+  // sqrt(2) ~ 1.41421356: 1, 3/2, 7/5, 17/12, 41/29, 99/70.
+  EXPECT_EQ(nearest_rational(std::sqrt(2.0), 12),
+            Rational(BigInt(17), BigInt(12)));
+  EXPECT_EQ(nearest_rational(std::sqrt(2.0), 70),
+            Rational(BigInt(99), BigInt(70)));
+}
+
+TEST(Farey, NegativeValues) {
+  EXPECT_EQ(nearest_rational(-0.5, 2), Rational(BigInt(-1), BigInt(2)));
+  EXPECT_EQ(nearest_rational(-3.14159265358979, 7),
+            Rational(BigInt(-22), BigInt(7)));
+}
+
+TEST(Farey, ZeroDenominatorBoundThrows) {
+  EXPECT_THROW(nearest_rational(0.5, 0), std::invalid_argument);
+}
+
+TEST(Farey, NonFiniteThrows) {
+  EXPECT_THROW(nearest_rational(std::nan(""), 3), std::invalid_argument);
+  EXPECT_THROW(nearest_rational(std::numeric_limits<double>::infinity(), 3),
+               std::invalid_argument);
+}
+
+TEST(Farey, MatchesBruteForceOnRandomInputs) {
+  std::mt19937_64 rng(19);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (int i = 0; i < 300; ++i) {
+    const double x = dist(rng);
+    for (std::uint32_t bound : {1u, 2u, 3u, 5u, 8u, 13u, 21u}) {
+      const Rational fast = nearest_rational(x, bound);
+      const Rational brute = brute_force_nearest(x, bound);
+      const double fast_error = std::abs(x - fast.to_double());
+      const double brute_error = std::abs(x - brute.to_double());
+      // Either the same fraction or an equally good one (ties).
+      EXPECT_LE(fast_error, brute_error + 1e-12)
+          << "x=" << x << " bound=" << bound << " fast=" << fast.to_string()
+          << " brute=" << brute.to_string();
+      EXPECT_LE(fast.denominator(), BigInt(static_cast<std::int64_t>(bound)));
+    }
+  }
+}
+
+TEST(Farey, RecoversTrueFrequencyWithinHalfGap) {
+  // The Corollary 5.3 contract: distinct elements of Q_N are >= 1/N^2 apart,
+  // so any estimate within 1/(2 N^2) of the true frequency rounds to it.
+  std::mt19937_64 rng(23);
+  std::uniform_int_distribution<int> n_dist(1, 12);
+  std::uniform_real_distribution<double> sign(-1.0, 1.0);
+  const std::uint32_t bound = 12;
+  for (int i = 0; i < 500; ++i) {
+    const int q = n_dist(rng);
+    std::uniform_int_distribution<int> p_dist(0, q);
+    const int p = p_dist(rng);
+    const double truth = static_cast<double>(p) / q;
+    const double noise =
+        sign(rng) * 0.4 / (static_cast<double>(bound) * bound);
+    const Rational rounded = nearest_rational(truth + noise, bound);
+    EXPECT_EQ(rounded, Rational(BigInt(p), BigInt(q)))
+        << "p/q=" << p << "/" << q << " noise=" << noise;
+  }
+}
+
+TEST(Farey, HugeDenominatorInputTerminatesQuickly) {
+  // Values with enormous continued-fraction coefficients must not loop
+  // (naive Stern-Brocot walks would take ~1e9 steps on 1e-9).
+  EXPECT_EQ(nearest_rational(1e-9, 1000), Rational(0));
+  EXPECT_EQ(nearest_rational(1.0 - 1e-9, 1000), Rational(1));
+}
+
+}  // namespace
+}  // namespace anonet

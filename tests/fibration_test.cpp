@@ -1,0 +1,103 @@
+// Tests for fibration verification and lifting (fibration/fibration.hpp).
+
+#include "fibration/fibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace anonet {
+namespace {
+
+TEST(Fibration, IdentityIsAFibration) {
+  const Digraph g = directed_ring(5);
+  std::vector<Vertex> identity{0, 1, 2, 3, 4};
+  EXPECT_TRUE(is_fibration(g, g, identity));
+}
+
+TEST(Fibration, ModPRingProjection) {
+  const LiftedGraph lift = ring_fibration(9, 3);
+  EXPECT_TRUE(
+      is_fibration(lift.graph, bidirectional_ring(3), lift.projection));
+}
+
+TEST(Fibration, WrongProjectionRejected) {
+  const Digraph g = bidirectional_ring(6);
+  const Digraph base = bidirectional_ring(3);
+  // A non-structure-preserving map: everything to vertex 0.
+  std::vector<Vertex> collapse(6, 0);
+  EXPECT_FALSE(is_fibration(g, base, collapse));
+}
+
+TEST(Fibration, ValueMismatchRejected) {
+  const LiftedGraph lift = ring_fibration(6, 3);
+  const std::vector<int> base_values{1, 2, 3};
+  std::vector<int> lift_values = lift_along(lift.projection, base_values);
+  EXPECT_TRUE(is_fibration(lift.graph, lift_values, bidirectional_ring(3),
+                           base_values, lift.projection));
+  lift_values[0] = 99;
+  EXPECT_FALSE(is_fibration(lift.graph, lift_values, bidirectional_ring(3),
+                            base_values, lift.projection));
+}
+
+TEST(Fibration, SurjectivityRequired) {
+  // Map a 3-ring onto a 2-vertex base that has an unreachable extra vertex.
+  Digraph base(2);
+  base.add_edge(0, 0);
+  base.add_edge(0, 0);
+  base.add_edge(0, 0);
+  base.add_edge(1, 1);
+  const Digraph g = bidirectional_ring(3);
+  std::vector<Vertex> projection(3, 0);
+  EXPECT_FALSE(is_fibration(g, base, projection));
+}
+
+TEST(Fibration, ColorMismatchRejected) {
+  Digraph g(2);
+  g.add_edge(0, 0, 1);
+  g.add_edge(1, 1, 1);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 0, 2);
+  Digraph base(1);
+  base.add_edge(0, 0, 1);
+  base.add_edge(0, 0, 2);
+  EXPECT_TRUE(is_fibration(g, base, {0, 0}));
+  Digraph bad_base(1);
+  bad_base.add_edge(0, 0, 1);
+  bad_base.add_edge(0, 0, 7);  // wrong color
+  EXPECT_FALSE(is_fibration(g, bad_base, {0, 0}));
+}
+
+TEST(Fibration, LiftAlongCopiesFibrewise) {
+  const std::vector<Vertex> projection{0, 1, 0, 1, 0};
+  const std::vector<int> base_values{10, 20};
+  EXPECT_EQ(lift_along(projection, base_values),
+            (std::vector<int>{10, 20, 10, 20, 10}));
+}
+
+TEST(Fibration, FibreSizes) {
+  EXPECT_EQ(fibre_sizes({0, 1, 0, 2, 0}, 3), (std::vector<int>{3, 1, 1}));
+}
+
+TEST(Fibration, ProjectionSizeMismatchThrows) {
+  EXPECT_THROW(
+      is_fibration(directed_ring(3), directed_ring(3), {0, 1}),
+      std::invalid_argument);
+}
+
+TEST(Fibration, CompositionOfLifts) {
+  // A random lift of a random lift still fibres onto the original base via
+  // the composed projection.
+  const Digraph base = random_strongly_connected(3, 2, 5);
+  const LiftedGraph middle = random_lift(base, {2, 2, 2}, 6);
+  const LiftedGraph top = random_lift(middle.graph, {2, 1, 2, 1, 2, 1}, 7);
+  std::vector<Vertex> composed;
+  composed.reserve(top.projection.size());
+  for (Vertex v : top.projection) {
+    composed.push_back(middle.projection[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_TRUE(is_fibration(top.graph, base, composed));
+}
+
+}  // namespace
+}  // namespace anonet

@@ -1,0 +1,161 @@
+// Tests for the function-class library (functions/functions.hpp).
+
+#include "functions/functions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anonet {
+namespace {
+
+Rational r(std::int64_t num, std::int64_t den = 1) {
+  return Rational(BigInt(num), BigInt(den));
+}
+
+TEST(Frequency, OfVector) {
+  const std::vector<std::int64_t> v{1, 2, 2, 3, 2, 1};
+  const Frequency nu = Frequency::of(v);
+  EXPECT_EQ(nu.at(1), r(1, 3));
+  EXPECT_EQ(nu.at(2), r(1, 2));
+  EXPECT_EQ(nu.at(3), r(1, 6));
+  EXPECT_EQ(nu.at(99), r(0));
+}
+
+TEST(Frequency, ValidatesInvariant) {
+  EXPECT_THROW(Frequency({{1, r(1, 2)}}), std::invalid_argument);  // sum != 1
+  EXPECT_THROW(Frequency({{1, r(1, 2)}, {2, r(-1, 2)}, {3, r(1)}}),
+               std::invalid_argument);
+  EXPECT_THROW(Frequency::of(std::vector<std::int64_t>{}),
+               std::invalid_argument);
+}
+
+TEST(Frequency, CanonicalVectorSizeIsLcmOfDenominators) {
+  // ν = {a: 1/2, b: 1/3, c: 1/6} -> ⟨ν⟩ of size 6 = lcm(2, 3, 6).
+  const Frequency nu({{10, r(1, 2)}, {20, r(1, 3)}, {30, r(1, 6)}});
+  const auto canonical = nu.canonical_vector();
+  EXPECT_EQ(canonical,
+            (std::vector<std::int64_t>{10, 10, 10, 20, 20, 30}));
+  EXPECT_EQ(Frequency::of(canonical), nu);  // round-trip
+}
+
+TEST(Frequency, EquivalentVectorsHaveEqualFrequencies) {
+  const std::vector<std::int64_t> v{1, 1, 2};
+  const std::vector<std::int64_t> w{1, 2, 1, 1, 2, 1};  // doubled
+  EXPECT_EQ(Frequency::of(v), Frequency::of(w));
+}
+
+TEST(SymmetricFunction, PermutationInvariantByConstruction) {
+  const SymmetricFunction sum = sum_function();
+  EXPECT_EQ(sum(std::vector<std::int64_t>{3, 1, 2}),
+            sum(std::vector<std::int64_t>{2, 3, 1}));
+}
+
+TEST(SymmetricFunction, PaperExamples) {
+  const std::vector<std::int64_t> v{4, -1, 4, 7};
+  EXPECT_EQ(min_function()(v), r(-1));
+  EXPECT_EQ(max_function()(v), r(7));
+  EXPECT_EQ(support_size()(v), r(3));
+  EXPECT_EQ(average_function()(v), r(14, 4));
+  EXPECT_EQ(sum_function()(v), r(14));
+  EXPECT_EQ(count_function()(v), r(4));
+  EXPECT_EQ(median_function()(v), r(4));
+}
+
+TEST(SymmetricFunction, ThresholdPredicate) {
+  const SymmetricFunction phi = threshold_predicate(1, r(1, 2));
+  EXPECT_EQ(phi(std::vector<std::int64_t>{1, 1, 2}), r(1));   // 2/3 >= 1/2
+  EXPECT_EQ(phi(std::vector<std::int64_t>{1, 2, 2}), r(0));   // 1/3 < 1/2
+  EXPECT_EQ(phi(std::vector<std::int64_t>{1, 2}), r(1));      // boundary
+}
+
+TEST(SymmetricFunction, EvalFrequencyMatchesDirectEvaluation) {
+  const std::vector<std::int64_t> v{5, 5, 8, 8, 8, 2};
+  const Frequency nu = Frequency::of(v);
+  EXPECT_EQ(average_function().eval_frequency(nu), average_function()(v));
+  EXPECT_EQ(min_function().eval_frequency(nu), min_function()(v));
+  // sum is NOT frequency-based: ⟨ν⟩ has size 6 here so it agrees, but on the
+  // doubled vector it must not.
+  std::vector<std::int64_t> doubled = v;
+  doubled.insert(doubled.end(), v.begin(), v.end());
+  EXPECT_NE(sum_function().eval_frequency(Frequency::of(doubled)),
+            sum_function()(doubled));
+}
+
+TEST(SymmetricFunction, EmptyInputThrows) {
+  EXPECT_THROW(min_function()(std::vector<std::int64_t>{}),
+               std::invalid_argument);
+}
+
+TEST(SymmetricFunction, ApproxEvaluators) {
+  const std::map<std::int64_t, double> nu{{0, 0.25}, {4, 0.75}};
+  EXPECT_DOUBLE_EQ(average_function().eval_approximate(nu), 3.0);
+  EXPECT_DOUBLE_EQ(
+      threshold_predicate(4, r(1, 2)).eval_approximate(nu), 1.0);
+  EXPECT_DOUBLE_EQ(
+      threshold_predicate(0, r(1, 2)).eval_approximate(nu), 0.0);
+  EXPECT_TRUE(average_function().continuous_in_frequency());
+  EXPECT_FALSE(sum_function().continuous_in_frequency());
+  EXPECT_THROW(sum_function().eval_approximate(nu), std::logic_error);
+}
+
+TEST(SymmetricFunction, ExtendedLibrary) {
+  const std::vector<std::int64_t> v{2, 2, 5, 5, 5, 5};
+  EXPECT_EQ(range_function()(v), r(3));
+  // mean = 4, E[X²] = (4+4+25·4)/6 = 18, variance = 18 - 16 = 2.
+  EXPECT_EQ(variance_function()(v), r(2));
+  EXPECT_EQ(mode_frequency()(v), r(4, 6));
+  EXPECT_EQ(sum_of_squares()(v), r(108));
+}
+
+TEST(SymmetricFunction, ExtendedApproxEvaluators) {
+  const std::map<std::int64_t, double> nu{{2, 1.0 / 3}, {5, 2.0 / 3}};
+  EXPECT_NEAR(variance_function().eval_approximate(nu), 2.0, 1e-12);
+  EXPECT_NEAR(mode_frequency().eval_approximate(nu), 2.0 / 3, 1e-12);
+  EXPECT_FALSE(sum_of_squares().continuous_in_frequency());
+}
+
+TEST(Classification, ExtendedLibraryClasses) {
+  EXPECT_EQ(classify_empirically(range_function(), 100, 11),
+            FunctionClass::kSetBased);
+  EXPECT_EQ(classify_empirically(variance_function(), 100, 12),
+            FunctionClass::kFrequencyBased);
+  EXPECT_EQ(classify_empirically(mode_frequency(), 100, 13),
+            FunctionClass::kFrequencyBased);
+  EXPECT_EQ(classify_empirically(sum_of_squares(), 100, 14),
+            FunctionClass::kMultisetBased);
+}
+
+TEST(Classification, EmpiricalClassesMatchDeclarations) {
+  EXPECT_EQ(classify_empirically(min_function(), 100, 1),
+            FunctionClass::kSetBased);
+  EXPECT_EQ(classify_empirically(max_function(), 100, 2),
+            FunctionClass::kSetBased);
+  EXPECT_EQ(classify_empirically(support_size(), 100, 3),
+            FunctionClass::kSetBased);
+  EXPECT_EQ(classify_empirically(average_function(), 100, 4),
+            FunctionClass::kFrequencyBased);
+  EXPECT_EQ(classify_empirically(median_function(), 100, 5),
+            FunctionClass::kFrequencyBased);
+  EXPECT_EQ(classify_empirically(sum_function(), 100, 6),
+            FunctionClass::kMultisetBased);
+  EXPECT_EQ(classify_empirically(count_function(), 100, 7),
+            FunctionClass::kMultisetBased);
+}
+
+TEST(Classification, StrictInclusionsWitnessed) {
+  // The paper's chain set-based ⊊ frequency-based ⊊ multiset-based:
+  // average is frequency- but not set-based; sum is multiset- but not
+  // frequency-based.
+  EXPECT_NE(classify_empirically(average_function(), 100, 8),
+            FunctionClass::kSetBased);
+  EXPECT_NE(classify_empirically(sum_function(), 100, 9),
+            FunctionClass::kFrequencyBased);
+}
+
+TEST(Names, ToString) {
+  EXPECT_EQ(to_string(FunctionClass::kSetBased), "set-based");
+  EXPECT_EQ(to_string(FunctionClass::kFrequencyBased), "frequency-based");
+  EXPECT_EQ(to_string(FunctionClass::kMultisetBased), "multiset-based");
+}
+
+}  // namespace
+}  // namespace anonet

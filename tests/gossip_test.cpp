@@ -1,0 +1,153 @@
+// Tests for the set-flooding gossip algorithm — the positive half of the
+// simple-broadcast rows of Tables 1 and 2.
+
+#include "core/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynamics/connectivity.hpp"
+#include "dynamics/schedules.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "runtime/executor.hpp"
+
+namespace anonet {
+namespace {
+
+std::vector<SetGossipAgent> make_agents(const std::vector<std::int64_t>& in) {
+  std::vector<SetGossipAgent> agents;
+  for (std::int64_t v : in) agents.emplace_back(v);
+  return agents;
+}
+
+TEST(Gossip, StabilizesWithinDiameterRounds) {
+  const Digraph g = directed_ring(7);
+  const int d = diameter(g);
+  const std::vector<std::int64_t> inputs{5, 1, 4, 1, 5, 9, 2};
+  Executor<SetGossipAgent> exec(std::make_shared<StaticSchedule>(g),
+                                make_agents(inputs),
+                                CommModel::kSimpleBroadcast);
+  exec.run(d);
+  const std::set<std::int64_t> support(inputs.begin(), inputs.end());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(exec.agent(v).known(), support) << v;
+  }
+}
+
+TEST(Gossip, NotDoneBeforeDiameter) {
+  // On a directed ring, information travels one hop per round: after
+  // diameter-1 rounds the far vertex is still missing a value.
+  const Digraph g = directed_ring(6);
+  std::vector<std::int64_t> inputs{100, 0, 0, 0, 0, 0};
+  Executor<SetGossipAgent> exec(std::make_shared<StaticSchedule>(g),
+                                make_agents(inputs),
+                                CommModel::kSimpleBroadcast);
+  exec.run(diameter(g) - 1);
+  // Vertex 5 is at distance 5 from vertex 0.
+  EXPECT_EQ(exec.agent(5).known().count(100), 0u);
+  exec.step();
+  EXPECT_EQ(exec.agent(5).known().count(100), 1u);
+}
+
+TEST(Gossip, ComputesSetBasedFunctions) {
+  const Digraph g = random_strongly_connected(8, 5, 13);
+  const std::vector<std::int64_t> inputs{3, 3, 7, -2, 7, 3, 0, -2};
+  Executor<SetGossipAgent> exec(std::make_shared<StaticSchedule>(g),
+                                make_agents(inputs),
+                                CommModel::kSimpleBroadcast);
+  exec.run(10);
+  const SymmetricFunction min_f = min_function();
+  const SymmetricFunction max_f = max_function();
+  const SymmetricFunction supp = support_size();
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(exec.agent(v).output(min_f), Rational(-2));
+    EXPECT_EQ(exec.agent(v).output(max_f), Rational(7));
+    EXPECT_EQ(exec.agent(v).output(supp), Rational(4));
+  }
+}
+
+TEST(Gossip, CannotSeeMultiplicities) {
+  // Both executions stabilize to the same known-set: gossip is blind to
+  // frequencies — the informal version of the impossibility half.
+  const Digraph g3 = complete_graph(3);
+  const Digraph g6 = complete_graph(6);
+  Executor<SetGossipAgent> a(std::make_shared<StaticSchedule>(g3),
+                             make_agents({1, 1, 2}),
+                             CommModel::kSimpleBroadcast);
+  Executor<SetGossipAgent> b(std::make_shared<StaticSchedule>(g6),
+                             make_agents({1, 2, 2, 2, 2, 2}),
+                             CommModel::kSimpleBroadcast);
+  a.run(3);
+  b.run(3);
+  EXPECT_EQ(a.agent(0).known(), b.agent(0).known());
+}
+
+TEST(Gossip, WorksOnDynamicGraphsWithFiniteDynamicDiameter) {
+  const Vertex n = 5;
+  auto schedule = std::make_shared<TokenRingSchedule>(n);
+  const int d = dynamic_diameter(*schedule, 10, 100);
+  ASSERT_GT(d, 0);
+  const std::vector<std::int64_t> inputs{9, 8, 7, 6, 5};
+  Executor<SetGossipAgent> exec(schedule, make_agents(inputs),
+                                CommModel::kSimpleBroadcast);
+  exec.run(d);
+  const std::set<std::int64_t> support(inputs.begin(), inputs.end());
+  for (Vertex v = 0; v < n; ++v) {
+    EXPECT_EQ(exec.agent(v).known(), support) << v;
+  }
+}
+
+TEST(Gossip, ToleratesAsynchronousStarts) {
+  auto inner = std::make_shared<StaticSchedule>(complete_graph(4));
+  auto schedule =
+      std::make_shared<AsyncStartSchedule>(inner, std::vector<int>{1, 3, 5, 2});
+  Executor<SetGossipAgent> exec(schedule, make_agents({1, 2, 3, 4}),
+                                CommModel::kSimpleBroadcast);
+  exec.run(8);  // everyone started by round 5; one more round to flood
+  for (Vertex v = 0; v < 4; ++v) {
+    EXPECT_EQ(exec.agent(v).known(),
+              (std::set<std::int64_t>{1, 2, 3, 4}));
+  }
+}
+
+TEST(Gossip, SelfStabilizesFromCorruptedKnownSets) {
+  // Gossip is monotone, so corruption never disappears — but corrupting
+  // with a *subset* (losing information) is always repaired. This matches
+  // the flooding algorithm's tolerance: it recovers the support of whatever
+  // the states claim, and agents' own inputs are re-seeded by construction.
+  const Digraph g = bidirectional_ring(5);
+  const std::vector<std::int64_t> inputs{1, 2, 3, 4, 5};
+  Executor<SetGossipAgent> exec(std::make_shared<StaticSchedule>(g),
+                                make_agents(inputs),
+                                CommModel::kSimpleBroadcast);
+  exec.run(2);
+  // "Crash" agent 0 back to its initial state.
+  exec.agents()[0] = SetGossipAgent(1);
+  exec.run(diameter(g));
+  for (Vertex v = 0; v < 5; ++v) {
+    EXPECT_EQ(exec.agent(v).known(),
+              (std::set<std::int64_t>{1, 2, 3, 4, 5}));
+  }
+}
+
+TEST(Gossip, WorksUnderEveryCommunicationModel) {
+  // Gossip ignores outdegree and ports, so it runs unchanged in all four
+  // models — the "any model" claim of the set-based row.
+  const std::vector<std::int64_t> inputs{4, 4, 2, 1};
+  for (CommModel model :
+       {CommModel::kSimpleBroadcast, CommModel::kOutdegreeAware,
+        CommModel::kSymmetricBroadcast, CommModel::kOutputPortAware}) {
+    Digraph g = bidirectional_ring(4);
+    if (model == CommModel::kOutputPortAware) g.assign_output_ports();
+    Executor<SetGossipAgent> exec(std::make_shared<StaticSchedule>(g),
+                                  make_agents(inputs), model);
+    exec.run(4);
+    for (Vertex v = 0; v < 4; ++v) {
+      EXPECT_EQ(exec.agent(v).known(), (std::set<std::int64_t>{1, 2, 4}))
+          << to_string(model);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anonet

@@ -1,0 +1,145 @@
+// Tests for history-tree frequency computation (core/history_tree.hpp):
+// exact frequencies on dynamic symmetric networks with NO bound on n and NO
+// outdegree awareness — the mechanism behind Di Luna & Viglietta's cells of
+// Table 2.
+
+#include "core/history_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/census.hpp"
+#include "dynamics/schedules.hpp"
+#include "graph/generators.hpp"
+#include "runtime/executor.hpp"
+
+namespace anonet {
+namespace {
+
+struct Rig {
+  std::shared_ptr<ViewRegistry> registry = std::make_shared<ViewRegistry>();
+  std::shared_ptr<LabelCodec> codec = std::make_shared<LabelCodec>();
+
+  std::vector<HistoryFrequencyAgent> agents(
+      const std::vector<std::int64_t>& inputs) {
+    std::vector<HistoryFrequencyAgent> result;
+    for (std::int64_t input : inputs) {
+      result.emplace_back(registry, codec, input);
+    }
+    return result;
+  }
+};
+
+TEST(HistoryTree, ExactFrequenciesOnDynamicSymmetricNoBound) {
+  const std::vector<std::int64_t> inputs{7, 7, 3, 3, 3, 3};
+  const Frequency truth = Frequency::of(inputs);
+  Rig rig;
+  Executor<HistoryFrequencyAgent> exec(
+      std::make_shared<RandomSymmetricSchedule>(6, 2, 5), rig.agents(inputs),
+      CommModel::kSymmetricBroadcast);
+  exec.run(20);
+  for (int extra = 0; extra < 5; ++extra) {
+    exec.step();
+    for (Vertex v = 0; v < 6; ++v) {
+      const auto estimate = exec.agent(v).frequency_estimate();
+      ASSERT_TRUE(estimate.has_value()) << v;
+      EXPECT_EQ(*estimate, truth) << v;
+    }
+  }
+}
+
+TEST(HistoryTree, ExactOnStaticSymmetricWithCollapsedClasses) {
+  // Alternating ring: classes never refine below two (size-3) classes —
+  // the relations must still pin the 1:1 ratio.
+  const std::vector<std::int64_t> inputs{1, 2, 1, 2, 1, 2};
+  const Frequency truth = Frequency::of(inputs);
+  Rig rig;
+  Executor<HistoryFrequencyAgent> exec(
+      std::make_shared<StaticSchedule>(bidirectional_ring(6)),
+      rig.agents(inputs), CommModel::kSymmetricBroadcast);
+  exec.run(24);
+  for (Vertex v = 0; v < 6; ++v) {
+    const auto estimate = exec.agent(v).frequency_estimate();
+    ASSERT_TRUE(estimate.has_value()) << v;
+    EXPECT_EQ(*estimate, truth) << v;
+  }
+}
+
+TEST(HistoryTree, UnevenFrequenciesOnStaticStar) {
+  // Hub + 4 identical leaves: classes {hub}, {leaves} with sizes 1:4.
+  Digraph star(5);
+  for (Vertex v = 1; v < 5; ++v) {
+    star.add_edge(0, v);
+    star.add_edge(v, 0);
+  }
+  star.ensure_self_loops();
+  const std::vector<std::int64_t> inputs{9, 4, 4, 4, 4};
+  const Frequency truth = Frequency::of(inputs);
+  Rig rig;
+  Executor<HistoryFrequencyAgent> exec(std::make_shared<StaticSchedule>(star),
+                                       rig.agents(inputs),
+                                       CommModel::kSymmetricBroadcast);
+  exec.run(24);
+  for (Vertex v = 0; v < 5; ++v) {
+    const auto estimate = exec.agent(v).frequency_estimate();
+    ASSERT_TRUE(estimate.has_value()) << v;
+    EXPECT_EQ(*estimate, truth) << v;
+  }
+}
+
+TEST(HistoryTree, WorksOnSparseMatchingSchedule) {
+  // Pairwise interactions (population-protocol regime): rounds are heavily
+  // disconnected, the class relations accumulate across the window.
+  const std::vector<std::int64_t> inputs{5, 5, 5, 8};
+  const Frequency truth = Frequency::of(inputs);
+  Rig rig;
+  Executor<HistoryFrequencyAgent> exec(
+      std::make_shared<RandomMatchingSchedule>(4, 11), rig.agents(inputs),
+      CommModel::kSymmetricBroadcast);
+  exec.run(60);
+  int exact = 0;
+  for (Vertex v = 0; v < 4; ++v) {
+    const auto estimate = exec.agent(v).frequency_estimate();
+    if (estimate.has_value() && *estimate == truth) ++exact;
+  }
+  EXPECT_EQ(exact, 4);
+}
+
+TEST(HistoryTree, LeaderVariantRecoversExactMultiset) {
+  const std::vector<std::int64_t> values{3, 3, 3, 9, 9, 4};
+  std::vector<std::int64_t> inputs;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    inputs.push_back(encode_leader_input(values[i], i == 5));
+  }
+  Rig rig;
+  Executor<HistoryFrequencyAgent> exec(
+      std::make_shared<RandomSymmetricSchedule>(6, 3, 9), rig.agents(inputs),
+      CommModel::kSymmetricBroadcast);
+  exec.run(24);
+  for (Vertex v = 0; v < 6; ++v) {
+    const auto multiset = exec.agent(v).multiset_estimate(1);
+    ASSERT_TRUE(multiset.has_value()) << v;
+    EXPECT_EQ(multiset->at(3), BigInt(3)) << v;
+    EXPECT_EQ(multiset->at(9), BigInt(2)) << v;
+    EXPECT_EQ(multiset->at(4), BigInt(1)) << v;
+  }
+}
+
+TEST(HistoryTree, NoEstimateInTheFirstRounds) {
+  Rig rig;
+  Executor<HistoryFrequencyAgent> exec(
+      std::make_shared<StaticSchedule>(bidirectional_ring(4)),
+      rig.agents({1, 2, 1, 2}), CommModel::kSymmetricBroadcast);
+  exec.step();  // t = 1: window [t/4, t/2] is empty, no estimate yet
+  EXPECT_FALSE(exec.agent(0).frequency_estimate().has_value());
+}
+
+TEST(HistoryTree, InputValidation) {
+  Rig rig;
+  EXPECT_THROW(HistoryFrequencyAgent(nullptr, rig.codec, 1),
+               std::invalid_argument);
+  HistoryFrequencyAgent agent(rig.registry, rig.codec, 1);
+  EXPECT_THROW(agent.multiset_estimate(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anonet

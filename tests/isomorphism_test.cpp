@@ -1,0 +1,103 @@
+// Tests for the small-multigraph isomorphism matcher.
+
+#include "graph/isomorphism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace anonet {
+namespace {
+
+TEST(Isomorphism, RelabeledRing) {
+  const Digraph a = directed_ring(5);
+  Digraph b(5);
+  // Same ring with vertices renamed by +2 mod 5.
+  for (Vertex v = 0; v < 5; ++v) {
+    b.add_edge((v + 2) % 5, (v + 2) % 5);
+    b.add_edge((v + 2) % 5, (v + 3) % 5);
+  }
+  EXPECT_TRUE(are_isomorphic(a, b));
+}
+
+TEST(Isomorphism, DifferentEdgeCounts) {
+  Digraph a = directed_ring(4);
+  Digraph b = directed_ring(4);
+  b.add_edge(0, 2);
+  EXPECT_FALSE(are_isomorphic(a, b));
+}
+
+TEST(Isomorphism, MultiplicityMatters) {
+  Digraph a(2);
+  a.add_edge(0, 1);
+  a.add_edge(0, 1);
+  a.add_edge(1, 0);
+  Digraph b(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(1, 0);
+  // a has double 0->1; b has double 1->0 — isomorphic by swapping vertices.
+  EXPECT_TRUE(are_isomorphic(a, b));
+  Digraph c(2);
+  c.add_edge(0, 1);
+  c.add_edge(0, 1);
+  c.add_edge(0, 1);
+  EXPECT_FALSE(are_isomorphic(a, c));
+}
+
+TEST(Isomorphism, ValuesConstrainTheMapping) {
+  const Digraph ring = directed_ring(4);
+  const std::vector<int> values_a{1, 2, 1, 2};
+  const std::vector<int> values_b{2, 1, 2, 1};
+  const std::vector<int> values_c{1, 1, 2, 2};
+  EXPECT_TRUE(find_isomorphism(ring, values_a, ring, values_b).has_value());
+  EXPECT_FALSE(find_isomorphism(ring, values_a, ring, values_c).has_value());
+}
+
+TEST(Isomorphism, ColorsConstrainTheMapping) {
+  Digraph a(2);
+  a.add_edge(0, 1, 1);
+  a.add_edge(1, 0, 2);
+  Digraph b(2);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 0, 1);
+  EXPECT_TRUE(are_isomorphic(a, b));  // swap 0 and 1
+  Digraph c(2);
+  c.add_edge(0, 1, 1);
+  c.add_edge(1, 0, 1);
+  EXPECT_FALSE(are_isomorphic(a, c));
+}
+
+TEST(Isomorphism, ReturnedMappingIsAWitness) {
+  const Digraph a = directed_ring(6);
+  const Digraph b = directed_ring(6);
+  const std::vector<int> va(6, 0), vb(6, 0);
+  const auto mapping = find_isomorphism(a, va, b, vb);
+  ASSERT_TRUE(mapping.has_value());
+  // Every edge of a must map to an edge of b.
+  for (const Edge& e : a.edges()) {
+    EXPECT_TRUE(b.has_edge((*mapping)[static_cast<std::size_t>(e.source)],
+                           (*mapping)[static_cast<std::size_t>(e.target)]));
+  }
+}
+
+TEST(Isomorphism, SelfNonIsomorphicPair) {
+  // Directed 6-ring vs two directed 3-rings: same degrees everywhere.
+  const Digraph a = directed_ring(6);
+  Digraph b(6);
+  for (Vertex v = 0; v < 6; ++v) b.add_edge(v, v);
+  for (Vertex v = 0; v < 3; ++v) {
+    b.add_edge(v, (v + 1) % 3);
+    b.add_edge(3 + v, 3 + (v + 1) % 3);
+  }
+  EXPECT_FALSE(are_isomorphic(a, b));
+}
+
+TEST(Isomorphism, ValuationSizeMismatchThrows) {
+  const Digraph a = directed_ring(3);
+  EXPECT_THROW(find_isomorphism(a, {1, 2}, a, {1, 2, 3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anonet

@@ -1,0 +1,114 @@
+// Tests for the executable impossibility machinery (core/lifting_demo.hpp):
+// Lemma 3.1 as a property, and the Section 4.1 ring obstruction.
+
+#include "core/lifting_demo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "runtime/executor.hpp"
+
+namespace anonet {
+namespace {
+
+Rational r(std::int64_t num, std::int64_t den = 1) {
+  return Rational(BigInt(num), BigInt(den));
+}
+
+TEST(Lifting, GossipLemmaHoldsOnRandomLifts) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Digraph base = random_strongly_connected(4, 4, seed + 70);
+    const LiftedGraph lift = random_lift(base, {2, 3, 2, 2}, seed);
+    const std::vector<std::int64_t> base_inputs{1, 2, 3, 1};
+    EXPECT_TRUE(gossip_lifting_holds(lift, base, base_inputs, 10)) << seed;
+  }
+}
+
+TEST(Lifting, GossipLemmaHoldsOnRingFibrations) {
+  const LiftedGraph lift = ring_fibration(12, 4);
+  EXPECT_TRUE(gossip_lifting_holds(lift, bidirectional_ring(4),
+                                   {5, 6, 7, 8}, 15));
+}
+
+TEST(Lifting, PortedRingIsAValidPortLabelling) {
+  const Digraph g = ported_ring(5);
+  EXPECT_NO_THROW(validate_output_ports(g));
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_THROW(ported_ring(2), std::invalid_argument);
+}
+
+TEST(Lifting, RingObstructionForcesAverageButBlocksSum) {
+  // v and w are frequency-equivalent with different sums: the obstruction
+  // applies to sum (f(v) != f(w)) but is vacuous for average (f(v) == f(w)).
+  const std::vector<std::int64_t> v{1, 2, 1, 2, 1, 2};
+  const std::vector<std::int64_t> w{1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2};
+  for (CommModel model :
+       {CommModel::kSymmetricBroadcast, CommModel::kOutdegreeAware,
+        CommModel::kOutputPortAware}) {
+    const LiftingObstruction obstruction =
+        demonstrate_ring_obstruction(v, w, model, sum_function(), 12);
+    ASSERT_TRUE(obstruction.applicable) << to_string(model);
+    EXPECT_TRUE(obstruction.lifting_verified) << to_string(model);
+    EXPECT_NE(obstruction.f_of_v, obstruction.f_of_w) << to_string(model);
+
+    const LiftingObstruction harmless =
+        demonstrate_ring_obstruction(v, w, model, average_function(), 12);
+    EXPECT_EQ(harmless.f_of_v, harmless.f_of_w);
+  }
+}
+
+TEST(Lifting, ObstructionAppliesToCountHenceNIsNotComputable) {
+  // Any two equal-frequency vectors of different sizes kill `count`: the
+  // network cannot learn its own size in these models.
+  const std::vector<std::int64_t> v{3, 3, 4};
+  const std::vector<std::int64_t> w{3, 3, 4, 3, 3, 4, 3, 3, 4};
+  const LiftingObstruction obstruction = demonstrate_ring_obstruction(
+      v, w, CommModel::kOutdegreeAware, count_function(), 12);
+  ASSERT_TRUE(obstruction.applicable);
+  EXPECT_TRUE(obstruction.lifting_verified);
+  EXPECT_EQ(obstruction.f_of_v, r(3));
+  EXPECT_EQ(obstruction.f_of_w, r(9));
+}
+
+TEST(Lifting, RequiresFrequencyEquivalentInputs) {
+  EXPECT_THROW(demonstrate_ring_obstruction({1, 1}, {1, 2},
+                                            CommModel::kOutdegreeAware,
+                                            sum_function(), 5),
+               std::invalid_argument);
+}
+
+TEST(Lifting, ReportsInapplicabilityForTinyCommonSize) {
+  // |v| = 3, |w| = 5 share only gcd 1 < 3: no usable ring size.
+  const std::vector<std::int64_t> v{2, 2, 2};
+  const std::vector<std::int64_t> w{2, 2, 2, 2, 2};
+  const LiftingObstruction obstruction = demonstrate_ring_obstruction(
+      v, w, CommModel::kOutdegreeAware, count_function(), 5);
+  EXPECT_FALSE(obstruction.applicable);
+}
+
+TEST(Lifting, VerifiedAcrossManyFrequencyPatterns) {
+  // Sweep several frequency patterns; the lifting must hold in every model.
+  const std::vector<std::vector<std::int64_t>> patterns{
+      {0, 0, 0, 1}, {5, 6, 7, 8}, {1, 1, 2, 2}, {9, 9, 9, 9}};
+  for (const auto& pattern : patterns) {
+    std::vector<std::int64_t> v, w;
+    for (int copy = 0; copy < 2; ++copy) {
+      v.insert(v.end(), pattern.begin(), pattern.end());
+    }
+    for (int copy = 0; copy < 3; ++copy) {
+      w.insert(w.end(), pattern.begin(), pattern.end());
+    }
+    for (CommModel model :
+         {CommModel::kSymmetricBroadcast, CommModel::kOutdegreeAware,
+          CommModel::kOutputPortAware}) {
+      const LiftingObstruction obstruction = demonstrate_ring_obstruction(
+          v, w, model, count_function(), 10);
+      ASSERT_TRUE(obstruction.applicable);
+      EXPECT_TRUE(obstruction.lifting_verified)
+          << to_string(model) << " pattern[0]=" << pattern[0];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anonet

@@ -1,0 +1,245 @@
+// Tests for the distributed minimum-base algorithm (core/minbase_agent.hpp):
+// correctness by round n + D, all three valued variants, self-stabilization.
+
+#include "core/minbase_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynamics/schedules.hpp"
+#include "fibration/minimum_base.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "runtime/executor.hpp"
+
+namespace anonet {
+namespace {
+
+struct Rig {
+  std::shared_ptr<ViewRegistry> registry = std::make_shared<ViewRegistry>();
+  std::shared_ptr<LabelCodec> codec = std::make_shared<LabelCodec>();
+
+  std::vector<MinBaseAgent> agents(const std::vector<std::int64_t>& inputs,
+                                   CommModel model) {
+    std::vector<MinBaseAgent> result;
+    for (std::int64_t input : inputs) {
+      result.emplace_back(registry, codec, input, model);
+    }
+    return result;
+  }
+};
+
+// Ground-truth minimum base for a given model, via the centralized pipeline.
+MinimumBase centralized_truth(const Digraph& g,
+                              const std::vector<std::int64_t>& inputs,
+                              CommModel model,
+                              const std::shared_ptr<LabelCodec>& codec) {
+  std::vector<int> labels;
+  for (std::size_t v = 0; v < inputs.size(); ++v) {
+    if (model == CommModel::kOutdegreeAware) {
+      labels.push_back(codec->valued_degree_label(
+          inputs[v], g.outdegree(static_cast<Vertex>(v))));
+    } else {
+      labels.push_back(codec->value_label(inputs[v]));
+    }
+  }
+  return minimum_base(g, labels);
+}
+
+TEST(MinBaseAgent, RecoversBaseByRoundNPlus2D) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Digraph base = random_strongly_connected(3, 2, seed + 30);
+    LiftedGraph lift = random_lift(base, {2, 2, 2}, seed);
+    ASSERT_TRUE(is_strongly_connected(lift.graph));
+    Digraph g = lift.graph;
+    const std::vector<std::int64_t> inputs{7, 7, 9, 9, 7, 7};
+
+    Rig setup;
+    Executor<MinBaseAgent> exec(std::make_shared<StaticSchedule>(g),
+                                setup.agents(inputs, CommModel::kOutdegreeAware),
+                                CommModel::kOutdegreeAware);
+    const int n = g.vertex_count();
+    const int d = diameter(g);
+    exec.run(n + 2 * d);
+    const MinimumBase truth = centralized_truth(
+        g, inputs, CommModel::kOutdegreeAware, setup.codec);
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      const ExtractedBase& candidate = exec.agent(v).candidate();
+      ASSERT_TRUE(candidate.plausible) << seed << " v=" << v;
+      EXPECT_TRUE(find_isomorphism(candidate.base, candidate.values,
+                                   truth.base, truth.values)
+                      .has_value())
+          << seed << " v=" << v;
+    }
+  }
+}
+
+TEST(MinBaseAgent, CandidateStaysCorrectAfterStabilization) {
+  const Digraph g = bidirectional_ring(6);
+  const std::vector<std::int64_t> inputs{1, 2, 1, 2, 1, 2};
+  Rig setup;
+  Executor<MinBaseAgent> exec(
+      std::make_shared<StaticSchedule>(g),
+      setup.agents(inputs, CommModel::kSymmetricBroadcast),
+      CommModel::kSymmetricBroadcast);
+  const MinimumBase truth = centralized_truth(
+      g, inputs, CommModel::kSymmetricBroadcast, setup.codec);
+  exec.run(g.vertex_count() + 2 * diameter(g));
+  for (int extra = 0; extra < 5; ++extra) {
+    exec.step();
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      const ExtractedBase& candidate = exec.agent(v).candidate();
+      ASSERT_TRUE(candidate.plausible);
+      EXPECT_TRUE(find_isomorphism(candidate.base, candidate.values,
+                                   truth.base, truth.values)
+                      .has_value());
+    }
+  }
+}
+
+TEST(MinBaseAgent, PortColorsSharpenTheBase) {
+  // With output ports, fibrations are coverings: on a port-colored prime
+  // graph the extracted base keeps port colors, and extraction on a covering
+  // lift recovers a base with the same vertex count as the base graph.
+  Digraph base = random_strongly_connected(4, 3, 8);
+  base.assign_output_ports();
+  const LiftedGraph lift = random_covering_lift(base, 2, 8);
+  ASSERT_TRUE(is_strongly_connected(lift.graph));
+  const std::vector<std::int64_t> inputs(
+      static_cast<std::size_t>(lift.graph.vertex_count()), 5);
+  Rig setup;
+  Executor<MinBaseAgent> exec(
+      std::make_shared<StaticSchedule>(lift.graph),
+      setup.agents(inputs, CommModel::kOutputPortAware),
+      CommModel::kOutputPortAware);
+  exec.run(lift.graph.vertex_count() + 2 * diameter(lift.graph));
+  for (Vertex v = 0; v < lift.graph.vertex_count(); ++v) {
+    const ExtractedBase& candidate = exec.agent(v).candidate();
+    ASSERT_TRUE(candidate.plausible);
+    // The covering lift collapses exactly back to the (uniformly valued)
+    // base pattern: same vertex count.
+    EXPECT_EQ(candidate.base.vertex_count(), base.vertex_count()) << v;
+  }
+}
+
+TEST(MinBaseAgent, UniformRingCollapsesToOneVertex) {
+  const Digraph g = bidirectional_ring(5);
+  const std::vector<std::int64_t> inputs(5, 3);
+  Rig setup;
+  Executor<MinBaseAgent> exec(
+      std::make_shared<StaticSchedule>(g),
+      setup.agents(inputs, CommModel::kSymmetricBroadcast),
+      CommModel::kSymmetricBroadcast);
+  exec.run(10);
+  for (Vertex v = 0; v < 5; ++v) {
+    const ExtractedBase& candidate = exec.agent(v).candidate();
+    ASSERT_TRUE(candidate.plausible);
+    EXPECT_EQ(candidate.base.vertex_count(), 1);
+  }
+}
+
+TEST(MinBaseAgent, SelfStabilizesAfterStateCorruption) {
+  const Digraph g = bidirectional_ring(6);
+  const std::vector<std::int64_t> inputs{1, 2, 1, 2, 1, 2};
+  Rig setup;
+  Executor<MinBaseAgent> exec(
+      std::make_shared<StaticSchedule>(g),
+      setup.agents(inputs, CommModel::kSymmetricBroadcast),
+      CommModel::kSymmetricBroadcast);
+  exec.run(4);
+  // Corrupt every agent with garbage views of assorted shapes and depths.
+  ViewRegistry& reg = *setup.registry;
+  const ViewId junk_leaf = reg.leaf(setup.codec->value_label(999));
+  const ViewId junk_node =
+      reg.node(setup.codec->value_label(123), {{junk_leaf, 0}, {junk_leaf, 0}});
+  const ViewId junk_deep =
+      reg.node(setup.codec->value_label(55), {{junk_node, 0}});
+  const ViewId junk[] = {junk_leaf, junk_node, junk_deep,
+                         junk_leaf, junk_deep, junk_node};
+  for (Vertex v = 0; v < 6; ++v) {
+    exec.agents()[static_cast<std::size_t>(v)].corrupt(junk[v]);
+  }
+  // Enough fresh rounds flush the corrupted layers below the extraction
+  // window (twice the corruption depth plus n + 2D is ample here).
+  exec.run(3 * (g.vertex_count() + diameter(g)));
+  const MinimumBase truth = centralized_truth(
+      g, inputs, CommModel::kSymmetricBroadcast, setup.codec);
+  for (Vertex v = 0; v < 6; ++v) {
+    const ExtractedBase& candidate = exec.agent(v).candidate();
+    ASSERT_TRUE(candidate.plausible) << v;
+    EXPECT_TRUE(find_isomorphism(candidate.base, candidate.values, truth.base,
+                                 truth.values)
+                    .has_value())
+        << v;
+  }
+}
+
+TEST(MinBaseAgent, FiniteStateVariantStabilizesWithSufficientWindow) {
+  // End of Section 3.2: the algorithm can be made finite-state by bounding
+  // the view depth; a window >= n + 2D suffices for our extraction.
+  const Digraph g = bidirectional_ring(6);
+  const std::vector<std::int64_t> inputs{1, 2, 1, 2, 1, 2};
+  const int window = g.vertex_count() + 2 * diameter(g);
+  Rig setup;
+  std::vector<MinBaseAgent> agents;
+  for (std::int64_t input : inputs) {
+    agents.emplace_back(setup.registry, setup.codec, input,
+                        CommModel::kSymmetricBroadcast, window);
+  }
+  Executor<MinBaseAgent> exec(std::make_shared<StaticSchedule>(g),
+                              std::move(agents),
+                              CommModel::kSymmetricBroadcast);
+  exec.run(3 * window);
+  const MinimumBase truth = centralized_truth(
+      g, inputs, CommModel::kSymmetricBroadcast, setup.codec);
+  for (Vertex v = 0; v < 6; ++v) {
+    const ExtractedBase& candidate = exec.agent(v).candidate();
+    ASSERT_TRUE(candidate.plausible) << v;
+    // Bounded state: the view never exceeds the window.
+    EXPECT_LE(setup.registry->depth(exec.agent(v).view()), window);
+    EXPECT_TRUE(find_isomorphism(candidate.base, candidate.values, truth.base,
+                                 truth.values)
+                    .has_value())
+        << v;
+  }
+}
+
+TEST(MinBaseAgent, FiniteStateVariantSelfStabilizesFaster) {
+  // The bounded window *hard-deletes* corrupted layers after `window`
+  // rounds, so recovery is guaranteed regardless of corruption depth.
+  const Digraph g = bidirectional_ring(4);
+  const std::vector<std::int64_t> inputs{3, 3, 8, 8};
+  const int window = g.vertex_count() + 2 * diameter(g);
+  Rig setup;
+  std::vector<MinBaseAgent> agents;
+  for (std::int64_t input : inputs) {
+    agents.emplace_back(setup.registry, setup.codec, input,
+                        CommModel::kSymmetricBroadcast, window);
+  }
+  Executor<MinBaseAgent> exec(std::make_shared<StaticSchedule>(g),
+                              std::move(agents),
+                              CommModel::kSymmetricBroadcast);
+  exec.run(window + 2);
+  const ViewId junk = setup.registry->leaf(setup.codec->value_label(4444));
+  for (auto& agent : exec.agents()) agent.corrupt(junk);
+  exec.run(2 * window + 2);
+  const MinimumBase truth = centralized_truth(
+      g, inputs, CommModel::kSymmetricBroadcast, setup.codec);
+  for (Vertex v = 0; v < 4; ++v) {
+    const ExtractedBase& candidate = exec.agent(v).candidate();
+    ASSERT_TRUE(candidate.plausible) << v;
+    EXPECT_TRUE(find_isomorphism(candidate.base, candidate.values, truth.base,
+                                 truth.values)
+                    .has_value())
+        << v;
+  }
+}
+
+TEST(MinBaseAgent, RejectsNullDependencies) {
+  auto codec = std::make_shared<LabelCodec>();
+  EXPECT_THROW(MinBaseAgent(nullptr, codec, 1, CommModel::kSimpleBroadcast),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anonet

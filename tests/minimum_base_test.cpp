@@ -1,0 +1,134 @@
+// Tests for minimum-base computation (fibration/minimum_base.hpp), including
+// the Section 4.2 fibre equations on the resulting bases.
+
+#include "fibration/minimum_base.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fibration/fibration.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+
+namespace anonet {
+namespace {
+
+TEST(MinimumBase, UniformRingCollapsesToOneVertex) {
+  const Digraph g = bidirectional_ring(8);
+  const MinimumBase mb = minimum_base(g, std::vector<int>(8, 0));
+  EXPECT_EQ(mb.base.vertex_count(), 1);
+  // One self-loop from the loop, plus two ring in-edges folded to loops.
+  EXPECT_EQ(mb.base.edge_count(), 3);
+  EXPECT_EQ(mb.fibre_sizes(), (std::vector<int>{8}));
+}
+
+TEST(MinimumBase, ProjectionIsAFibration) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Digraph base = random_strongly_connected(4, 3, seed);
+    const LiftedGraph lift = random_lift(base, {2, 3, 1, 2}, seed);
+    const std::vector<int> values(
+        static_cast<std::size_t>(lift.graph.vertex_count()), 0);
+    const MinimumBase mb = minimum_base(lift.graph, values);
+    EXPECT_TRUE(is_fibration(lift.graph, values, mb.base, mb.values,
+                             mb.projection))
+        << seed;
+  }
+}
+
+TEST(MinimumBase, BaseIsFibrationPrime) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Digraph g = random_strongly_connected(7, 5, seed + 40);
+    const std::vector<int> values{0, 1, 0, 1, 0, 1, 0};
+    const MinimumBase mb = minimum_base(g, values);
+    EXPECT_TRUE(is_fibration_prime(mb.base, mb.values)) << seed;
+  }
+}
+
+TEST(MinimumBase, MinimumBaseOfLiftMatchesMinimumBaseOfBase) {
+  // min_base(lift(B)) ≅ min_base(B): collapsing a lift recovers the same
+  // prime base, the uniqueness half of Section 3.2.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Digraph base = random_strongly_connected(4, 4, seed + 11);
+    const std::vector<int> base_values{0, 1, 2, 0};
+    const LiftedGraph lift = random_lift(base, {2, 2, 3, 1}, seed);
+    const std::vector<int> lift_values =
+        lift_along(lift.projection, base_values);
+
+    const MinimumBase from_lift = minimum_base(lift.graph, lift_values);
+    const MinimumBase from_base = minimum_base(base, base_values);
+    EXPECT_TRUE(find_isomorphism(from_lift.base, from_lift.values,
+                                 from_base.base, from_base.values)
+                    .has_value())
+        << seed;
+  }
+}
+
+TEST(MinimumBase, FibreEquationsHold) {
+  // eq. (1): b_i |fibre_i| = Σ_j d_{i,j} |fibre_j| with b_i the common
+  // outdegree of fibre i in G.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Digraph base = random_strongly_connected(3, 4, seed + 77);
+    const LiftedGraph lift = random_lift(base, {2, 4, 3}, seed);
+    const Digraph& g = lift.graph;
+    const std::vector<int> labels =
+        combine_labels(std::vector<int>(static_cast<std::size_t>(
+                           g.vertex_count()), 0),
+                       outdegree_labels(g));
+    const MinimumBase mb = minimum_base(g, labels);
+    const std::vector<int> sizes = mb.fibre_sizes();
+    // Recover b_i from any member of the fibre.
+    std::vector<int> b(static_cast<std::size_t>(mb.base.vertex_count()), -1);
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      const Vertex c = mb.projection[static_cast<std::size_t>(v)];
+      const int d = g.outdegree(v);
+      if (b[static_cast<std::size_t>(c)] == -1) {
+        b[static_cast<std::size_t>(c)] = d;
+      }
+      EXPECT_EQ(b[static_cast<std::size_t>(c)], d)
+          << "outdegree must be constant on fibres";
+    }
+    for (Vertex i = 0; i < mb.base.vertex_count(); ++i) {
+      int rhs = 0;
+      for (Vertex j = 0; j < mb.base.vertex_count(); ++j) {
+        rhs += mb.base.edge_multiplicity(i, j) *
+               sizes[static_cast<std::size_t>(j)];
+      }
+      EXPECT_EQ(b[static_cast<std::size_t>(i)] *
+                    sizes[static_cast<std::size_t>(i)],
+                rhs)
+          << seed << " i=" << i;
+    }
+  }
+}
+
+TEST(MinimumBase, OutdegreeLabels) {
+  const Digraph g = directed_ring(4);
+  EXPECT_EQ(outdegree_labels(g), (std::vector<int>{2, 2, 2, 2}));
+}
+
+TEST(MinimumBase, DistinctValuesMakePrimeGraphs) {
+  const Digraph g = bidirectional_ring(5);
+  EXPECT_TRUE(is_fibration_prime(g, {1, 2, 3, 4, 5}));
+  EXPECT_FALSE(is_fibration_prime(g, std::vector<int>(5, 0)));
+}
+
+TEST(MinimumBase, ColorsPreservedInBase) {
+  Digraph g = bidirectional_ring(6);
+  // Color the clockwise edges 1, counter-clockwise 2 (a port-like scheme
+  // constant along the collapse).
+  Digraph colored(6);
+  for (Vertex v = 0; v < 6; ++v) {
+    colored.add_edge(v, v, 3);
+    colored.add_edge(v, (v + 1) % 6, 1);
+    colored.add_edge((v + 1) % 6, v, 2);
+  }
+  const MinimumBase mb = minimum_base(colored, std::vector<int>(6, 0));
+  EXPECT_EQ(mb.base.vertex_count(), 1);
+  std::vector<int> colors;
+  for (const Edge& e : mb.base.edges()) colors.push_back(e.color);
+  std::sort(colors.begin(), colors.end());
+  EXPECT_EQ(colors, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace anonet

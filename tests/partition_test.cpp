@@ -1,0 +1,114 @@
+// Tests for in-stable partition refinement (fibration/partition.hpp).
+
+#include "fibration/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace anonet {
+namespace {
+
+TEST(Partition, DenseLabels) {
+  int count = 0;
+  EXPECT_EQ(dense_labels({7, 7, 3, 7, 3}, &count),
+            (std::vector<int>{0, 0, 1, 0, 1}));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Partition, CombineLabels) {
+  const std::vector<int> a{0, 0, 1, 1};
+  const std::vector<int> b{0, 1, 0, 1};
+  const std::vector<int> combined = combine_labels(a, b);
+  EXPECT_EQ(combined[0], combined[0]);
+  // All four pairs distinct.
+  EXPECT_NE(combined[0], combined[1]);
+  EXPECT_NE(combined[0], combined[2]);
+  EXPECT_NE(combined[0], combined[3]);
+  EXPECT_NE(combined[1], combined[2]);
+  EXPECT_THROW(combine_labels({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Partition, UniformRingCollapsesToOneClass) {
+  const Digraph g = directed_ring(6);
+  const auto result =
+      coarsest_in_stable_partition(g, std::vector<int>(6, 0));
+  EXPECT_EQ(result.partition.class_count, 1);
+}
+
+TEST(Partition, ValuesSplitTheRing) {
+  // Alternating values on an even ring: two classes (odd/even positions).
+  const Digraph g = directed_ring(6);
+  const auto result =
+      coarsest_in_stable_partition(g, std::vector<int>{0, 1, 0, 1, 0, 1});
+  EXPECT_EQ(result.partition.class_count, 2);
+  EXPECT_EQ(result.partition.class_sizes(), (std::vector<int>{3, 3}));
+}
+
+TEST(Partition, AsymmetricValuePlacementRefinesFully) {
+  // One distinguished vertex on a directed ring makes everyone distinct
+  // (distance to the leader is an invariant the refinement discovers).
+  const Digraph g = directed_ring(5);
+  const auto result =
+      coarsest_in_stable_partition(g, std::vector<int>{1, 0, 0, 0, 0});
+  EXPECT_EQ(result.partition.class_count, 5);
+}
+
+TEST(Partition, RefinementRespectsInMultiplicity) {
+  // Two vertices with the same value but different in-multiplicity from the
+  // same class must split.
+  Digraph g(3);
+  g.ensure_self_loops();
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 2);  // double edge into 2
+  g.add_edge(1, 0);
+  g.add_edge(2, 0);
+  const auto result =
+      coarsest_in_stable_partition(g, std::vector<int>{0, 1, 1});
+  EXPECT_EQ(result.partition.class_count, 3);
+}
+
+TEST(Partition, EdgeColorsRefine) {
+  // Identical topology, but colors distinguish the two in-edges.
+  Digraph plain(3);
+  plain.ensure_self_loops();
+  plain.add_edge(0, 1);
+  plain.add_edge(0, 2);
+  plain.add_edge(1, 0);
+  plain.add_edge(2, 0);
+  Digraph colored = plain;
+  const auto plain_result =
+      coarsest_in_stable_partition(plain, std::vector<int>(3, 0));
+  // 1 and 2 are in-similar in the plain graph.
+  EXPECT_EQ(plain_result.partition.class_of[1],
+            plain_result.partition.class_of[2]);
+
+  Digraph g(3);
+  g.ensure_self_loops();
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 2);  // different port
+  g.add_edge(1, 0);
+  g.add_edge(2, 0);
+  const auto colored_result =
+      coarsest_in_stable_partition(g, std::vector<int>(3, 0));
+  EXPECT_NE(colored_result.partition.class_of[1],
+            colored_result.partition.class_of[2]);
+}
+
+TEST(Partition, RoundsBoundedByClassGrowth) {
+  const Digraph g = directed_ring(8);
+  const auto result =
+      coarsest_in_stable_partition(g, std::vector<int>{1, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_EQ(result.partition.class_count, 8);
+  EXPECT_LE(result.rounds, 8);
+}
+
+TEST(Partition, LabelSizeMismatchThrows) {
+  EXPECT_THROW(
+      coarsest_in_stable_partition(directed_ring(3), std::vector<int>(2, 0)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anonet

@@ -1,0 +1,98 @@
+// Unit tests for exact rationals (support/rational.hpp).
+
+#include "support/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace anonet {
+namespace {
+
+TEST(Rational, NormalizationInvariant) {
+  const Rational half(BigInt(2), BigInt(4));
+  EXPECT_EQ(half.numerator(), BigInt(1));
+  EXPECT_EQ(half.denominator(), BigInt(2));
+
+  const Rational negative(BigInt(3), BigInt(-6));
+  EXPECT_EQ(negative.numerator(), BigInt(-1));
+  EXPECT_EQ(negative.denominator(), BigInt(2));
+
+  const Rational zero(BigInt(0), BigInt(-17));
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.denominator(), BigInt(1));
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(BigInt(1), BigInt(0)), std::domain_error);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a(BigInt(1), BigInt(3));
+  const Rational b(BigInt(1), BigInt(6));
+  EXPECT_EQ(a + b, Rational(BigInt(1), BigInt(2)));
+  EXPECT_EQ(a - b, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(a * b, Rational(BigInt(1), BigInt(18)));
+  EXPECT_EQ(a / b, Rational(2));
+  EXPECT_EQ(-a, Rational(BigInt(-1), BigInt(3)));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+  EXPECT_THROW(Rational(0).reciprocal(), std::domain_error);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(BigInt(1), BigInt(3)), Rational(BigInt(1), BigInt(2)));
+  EXPECT_LT(Rational(BigInt(-1), BigInt(2)), Rational(BigInt(-1), BigInt(3)));
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)), Rational(BigInt(1), BigInt(2)));
+  EXPECT_GT(Rational(1), Rational(BigInt(99), BigInt(100)));
+}
+
+TEST(Rational, EqualityIsStructuralAfterReduction) {
+  // The class invariant (reduced, positive denominator) makes the defaulted
+  // operator== semantically correct.
+  EXPECT_EQ(Rational(BigInt(10), BigInt(15)), Rational(BigInt(2), BigInt(3)));
+  EXPECT_NE(Rational(BigInt(2), BigInt(3)), Rational(BigInt(3), BigInt(2)));
+}
+
+TEST(Rational, ToStringAndDouble) {
+  EXPECT_EQ(Rational(BigInt(3), BigInt(4)).to_string(), "3/4");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_DOUBLE_EQ(Rational(BigInt(1), BigInt(4)).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(BigInt(-7), BigInt(2)).to_double(), -3.5);
+}
+
+TEST(Rational, AbsAndSignum) {
+  EXPECT_EQ(Rational(BigInt(-2), BigInt(3)).abs(),
+            Rational(BigInt(2), BigInt(3)));
+  EXPECT_EQ(Rational(-5).signum(), -1);
+  EXPECT_EQ(Rational(0).signum(), 0);
+  EXPECT_EQ(Rational(BigInt(1), BigInt(9)).signum(), 1);
+}
+
+TEST(Rational, RandomizedFieldAxioms) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<std::int64_t> dist(-50, 50);
+  auto random_rational = [&]() {
+    std::int64_t d = 0;
+    while (d == 0) d = dist(rng);
+    return Rational(BigInt(dist(rng)), BigInt(d));
+  };
+  for (int i = 0; i < 500; ++i) {
+    const Rational a = random_rational();
+    const Rational b = random_rational();
+    const Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.reciprocal(), Rational(1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anonet

@@ -1,0 +1,170 @@
+// Tests for dynamic-graph schedules and dynamic-diameter measurement.
+
+#include <gtest/gtest.h>
+
+#include "dynamics/connectivity.hpp"
+#include "dynamics/schedules.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace anonet {
+namespace {
+
+TEST(Schedules, StaticScheduleRepeatsTheGraph) {
+  StaticSchedule schedule(directed_ring(4));
+  EXPECT_EQ(schedule.vertex_count(), 4);
+  const Digraph g1 = schedule.at(1);
+  const Digraph g9 = schedule.at(9);
+  EXPECT_EQ(g1.edge_count(), g9.edge_count());
+  EXPECT_TRUE(g1.has_all_self_loops());
+  EXPECT_THROW(schedule.at(0), std::invalid_argument);
+}
+
+TEST(Schedules, StaticDynamicDiameterEqualsDiameter) {
+  // For a static strongly connected graph the dynamic diameter equals the
+  // ordinary diameter (products of the same graph with self-loops).
+  for (Vertex n : {3, 5, 8}) {
+    StaticSchedule schedule(directed_ring(n));
+    EXPECT_EQ(dynamic_diameter(schedule, 3, 2 * n),
+              diameter(directed_ring(n)))
+        << n;
+  }
+}
+
+TEST(Schedules, PeriodicScheduleCycles) {
+  Digraph a(2);
+  a.add_edge(0, 1);
+  Digraph b(2);
+  b.add_edge(1, 0);
+  PeriodicSchedule schedule({a, b});
+  EXPECT_TRUE(schedule.at(1).has_edge(0, 1));
+  EXPECT_FALSE(schedule.at(1).has_edge(1, 0));
+  EXPECT_TRUE(schedule.at(2).has_edge(1, 0));
+  EXPECT_TRUE(schedule.at(3).has_edge(0, 1));  // period 2
+  EXPECT_TRUE(schedule.at(1).has_all_self_loops());  // added by constructor
+}
+
+TEST(Schedules, PeriodicAlternationHasFiniteDynamicDiameter) {
+  // Two half-rings, neither strongly connected, alternating: together they
+  // cover the ring, so the dynamic diameter is finite — the "intermediate
+  // graphs may be disconnected" regime.
+  const Vertex n = 6;
+  Digraph evens(n), odds(n);
+  for (Vertex v = 0; v < n; ++v) {
+    if (v % 2 == 0) evens.add_edge(v, (v + 1) % n);
+    else odds.add_edge(v, (v + 1) % n);
+    evens.add_edge(v, v);
+    odds.add_edge(v, v);
+  }
+  PeriodicSchedule schedule({evens, odds});
+  const int d = dynamic_diameter(schedule, 8, 100);
+  EXPECT_GT(d, 0);
+  EXPECT_LE(d, 2 * n);
+}
+
+TEST(Schedules, RandomStronglyConnectedScheduleIsDeterministicInT) {
+  RandomStronglyConnectedSchedule schedule(6, 3, 17);
+  const Digraph g3a = schedule.at(3);
+  const Digraph g3b = schedule.at(3);
+  EXPECT_EQ(g3a.edges(), g3b.edges());
+  EXPECT_TRUE(is_strongly_connected(schedule.at(1)));
+  EXPECT_TRUE(is_strongly_connected(schedule.at(12)));
+  // Different rounds should (almost surely) differ.
+  EXPECT_NE(schedule.at(1).edges(), schedule.at(2).edges());
+}
+
+TEST(Schedules, RandomStronglyConnectedDynamicDiameterAtMostN) {
+  RandomStronglyConnectedSchedule schedule(7, 2, 5);
+  const int d = dynamic_diameter(schedule, 10, 7);
+  EXPECT_GT(d, 0);
+  EXPECT_LE(d, 6);
+}
+
+TEST(Schedules, RandomSymmetricScheduleIsSymmetricEveryRound) {
+  RandomSymmetricSchedule schedule(8, 3, 23);
+  for (int t = 1; t <= 10; ++t) {
+    EXPECT_TRUE(schedule.at(t).is_symmetric()) << t;
+    EXPECT_TRUE(is_strongly_connected(schedule.at(t))) << t;
+  }
+}
+
+TEST(Schedules, TokenRingIsSparseButFinitelyConnected) {
+  TokenRingSchedule schedule(4);
+  for (int t = 1; t <= 8; ++t) {
+    EXPECT_EQ(schedule.at(t).edge_count(), 5);  // 4 self-loops + 1 edge
+  }
+  const int d = dynamic_diameter(schedule, 6, 64);
+  EXPECT_GT(d, 4);   // much worse than a static ring
+  EXPECT_LE(d, 16);  // but finite (~n^2)
+}
+
+TEST(Schedules, AsyncStartIsolatesLateStarters) {
+  auto inner = std::make_shared<StaticSchedule>(complete_graph(3));
+  AsyncStartSchedule schedule(inner, {1, 1, 5});
+  // Rounds 1-4: vertex 2 only has its self-loop.
+  const Digraph g2 = schedule.at(2);
+  EXPECT_EQ(g2.outdegree(2), 1);
+  EXPECT_EQ(g2.indegree(2), 1);
+  EXPECT_TRUE(g2.has_edge(0, 1));
+  // Round 5 onwards: full graph again.
+  const Digraph g5 = schedule.at(5);
+  EXPECT_EQ(g5.outdegree(2), 3);
+}
+
+TEST(Schedules, AsyncStartValidatesSizes) {
+  auto inner = std::make_shared<StaticSchedule>(complete_graph(3));
+  EXPECT_THROW(AsyncStartSchedule(inner, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(AsyncStartSchedule(nullptr, {}), std::invalid_argument);
+}
+
+TEST(Schedules, RandomMatchingIsDegreeAtMostOne) {
+  RandomMatchingSchedule schedule(7, 3);
+  for (int t = 1; t <= 10; ++t) {
+    const Digraph g = schedule.at(t);
+    EXPECT_TRUE(g.is_symmetric()) << t;
+    EXPECT_TRUE(g.has_all_self_loops()) << t;
+    for (Vertex v = 0; v < 7; ++v) {
+      EXPECT_LE(g.outdegree(v), 2) << t;  // self + at most one partner
+    }
+  }
+  // Deterministic in (seed, t).
+  EXPECT_EQ(schedule.at(4).edges(), RandomMatchingSchedule(7, 3).at(4).edges());
+}
+
+TEST(Schedules, RandomMatchingHasFiniteDynamicDiameterEmpirically) {
+  RandomMatchingSchedule schedule(6, 9);
+  const int d = dynamic_diameter(schedule, 5, 400);
+  EXPECT_GT(d, 0);
+}
+
+TEST(Schedules, GrowingGapHasBurstsWithDoublingGaps) {
+  GrowingGapSchedule schedule(bidirectional_ring(4), 2, 3);
+  // Bursts at rounds {1,2}, then gap 3 -> {6,7}, gap 6 -> {14,15}, ...
+  EXPECT_TRUE(schedule.in_burst(1));
+  EXPECT_TRUE(schedule.in_burst(2));
+  EXPECT_FALSE(schedule.in_burst(3));
+  EXPECT_TRUE(schedule.in_burst(6));
+  EXPECT_FALSE(schedule.in_burst(8));
+  EXPECT_TRUE(schedule.in_burst(14));
+  // In-burst rounds carry the base graph; gaps carry self-loops only.
+  EXPECT_GT(schedule.at(1).edge_count(), 4);
+  EXPECT_EQ(schedule.at(3).edge_count(), 4);
+  EXPECT_THROW(GrowingGapSchedule(bidirectional_ring(3), 0, 1),
+               std::invalid_argument);
+}
+
+TEST(Schedules, GrowingGapHasNoFiniteDynamicDiameter) {
+  // Any claimed window bound is violated by a late-enough gap.
+  GrowingGapSchedule schedule(bidirectional_ring(4), 2, 3);
+  EXPECT_EQ(window_to_complete(schedule, 16, 10), -1);  // inside a long gap
+}
+
+TEST(Schedules, DynamicDiameterUnreachableReturnsMinusOne) {
+  Digraph disconnected(3);
+  disconnected.ensure_self_loops();
+  StaticSchedule schedule(disconnected);
+  EXPECT_EQ(dynamic_diameter(schedule, 2, 10), -1);
+}
+
+}  // namespace
+}  // namespace anonet

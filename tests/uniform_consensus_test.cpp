@@ -1,0 +1,135 @@
+// Tests for degree-oblivious uniform-weight consensus
+// (core/uniform_consensus.hpp): correctness strictly inside the simple
+// symmetric-communications model.
+
+#include "core/uniform_consensus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynamics/schedules.hpp"
+#include "graph/generators.hpp"
+#include "runtime/executor.hpp"
+
+namespace anonet {
+namespace {
+
+TEST(UniformConsensus, RunsUnderSymmetricBroadcastModel) {
+  // The executor hides the outdegree in this model; the agents must not
+  // need it — this is the whole point of the algorithm.
+  std::vector<UniformWeightAgent> agents;
+  for (double v : {1.0, 3.0, 5.0, 7.0}) agents.emplace_back(v, 8);
+  Executor<UniformWeightAgent> exec(
+      std::make_shared<StaticSchedule>(bidirectional_ring(4)),
+      std::move(agents), CommModel::kSymmetricBroadcast);
+  EXPECT_NO_THROW(exec.run(50));
+}
+
+TEST(UniformConsensus, ConvergesToTheAverage) {
+  std::vector<UniformWeightAgent> agents;
+  for (double v : {0.0, 0.0, 12.0, 0.0, 0.0, 0.0}) agents.emplace_back(v, 10);
+  Executor<UniformWeightAgent> exec(
+      std::make_shared<RandomSymmetricSchedule>(6, 3, 5), std::move(agents),
+      CommModel::kSymmetricBroadcast);
+  exec.run(2000);
+  for (Vertex v = 0; v < 6; ++v) {
+    EXPECT_NEAR(exec.agent(v).output(), 2.0, 1e-6) << v;
+  }
+}
+
+TEST(UniformConsensus, PreservesTheSumEveryRound) {
+  std::vector<UniformWeightAgent> agents;
+  for (double v : {3.0, -1.0, 4.0, 1.0, -5.0}) agents.emplace_back(v, 7);
+  Executor<UniformWeightAgent> exec(
+      std::make_shared<RandomSymmetricSchedule>(5, 2, 3), std::move(agents),
+      CommModel::kSymmetricBroadcast);
+  for (int round = 0; round < 80; ++round) {
+    exec.step();
+    double total = 0.0;
+    for (Vertex v = 0; v < 5; ++v) total += exec.agent(v).output();
+    EXPECT_NEAR(total, 2.0, 1e-9) << round;
+  }
+}
+
+TEST(UniformConsensus, BoundMustBeValid) {
+  EXPECT_THROW(UniformWeightAgent(1.0, 0), std::invalid_argument);
+  EXPECT_THROW(FrequencyUniformAgent(1, 0), std::invalid_argument);
+}
+
+TEST(FrequencyUniform, EstimatesConvergeToFrequencies) {
+  const std::vector<std::int64_t> inputs{1, 1, 2, 2, 2, 9};
+  std::vector<FrequencyUniformAgent> agents;
+  for (std::int64_t v : inputs) agents.emplace_back(v, 8);
+  Executor<FrequencyUniformAgent> exec(
+      std::make_shared<RandomSymmetricSchedule>(6, 3, 9), std::move(agents),
+      CommModel::kSymmetricBroadcast);
+  exec.run(2500);
+  for (Vertex v = 0; v < 6; ++v) {
+    const auto& est = exec.agent(v).estimates();
+    EXPECT_NEAR(est.at(1), 1.0 / 3, 1e-6);
+    EXPECT_NEAR(est.at(2), 0.5, 1e-6);
+    EXPECT_NEAR(est.at(9), 1.0 / 6, 1e-6);
+  }
+}
+
+TEST(FrequencyUniform, LazyJoiningPreservesPerValueSums) {
+  const std::vector<std::int64_t> inputs{4, 4, 6, 6, 6, 1};
+  std::vector<FrequencyUniformAgent> agents;
+  for (std::int64_t v : inputs) agents.emplace_back(v, 9);
+  Executor<FrequencyUniformAgent> exec(
+      std::make_shared<RandomSymmetricSchedule>(6, 2, 29), std::move(agents),
+      CommModel::kSymmetricBroadcast);
+  for (int round = 0; round < 60; ++round) {
+    exec.step();
+    std::map<std::int64_t, double> totals;
+    for (Vertex v = 0; v < 6; ++v) {
+      for (const auto& [value, x] : exec.agent(v).estimates()) {
+        totals[value] += x;
+      }
+    }
+    EXPECT_NEAR(totals[4], 2.0, 1e-9) << round;
+    EXPECT_NEAR(totals[6], 3.0, 1e-9) << round;
+    EXPECT_NEAR(totals[1], 1.0, 1e-9) << round;
+  }
+}
+
+TEST(FrequencyUniform, RoundedFrequencyLocksExactly) {
+  const std::vector<std::int64_t> inputs{7, 7, 7, 2};
+  const Frequency truth = Frequency::of(inputs);
+  std::vector<FrequencyUniformAgent> agents;
+  for (std::int64_t v : inputs) agents.emplace_back(v, 6);
+  Executor<FrequencyUniformAgent> exec(
+      std::make_shared<StaticSchedule>(random_symmetric_connected(4, 2, 13)),
+      std::move(agents), CommModel::kSymmetricBroadcast);
+  exec.run(800);
+  for (int extra = 0; extra < 5; ++extra) {
+    exec.step();
+    for (Vertex v = 0; v < 4; ++v) {
+      const auto rounded = exec.agent(v).rounded_frequency();
+      ASSERT_TRUE(rounded.has_value());
+      EXPECT_EQ(*rounded, truth);
+    }
+  }
+}
+
+TEST(FrequencyUniform, SlowerThanMetropolisButSafe) {
+  // The 1/N step is conservative: iterates stay in [0, 1] on indicator
+  // initializations regardless of the round graph.
+  const std::vector<std::int64_t> inputs{1, 2, 3, 4, 5, 6, 7};
+  std::vector<FrequencyUniformAgent> agents;
+  for (std::int64_t v : inputs) agents.emplace_back(v, 10);
+  Executor<FrequencyUniformAgent> exec(
+      std::make_shared<RandomSymmetricSchedule>(7, 4, 17), std::move(agents),
+      CommModel::kSymmetricBroadcast);
+  for (int round = 0; round < 60; ++round) {
+    exec.step();
+    for (Vertex v = 0; v < 7; ++v) {
+      for (const auto& [value, x] : exec.agent(v).estimates()) {
+        EXPECT_GE(x, -1e-12);
+        EXPECT_LE(x, 1.0 + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anonet
