@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_oblivious_ablation.dir/degree_oblivious_ablation.cpp.o"
+  "CMakeFiles/degree_oblivious_ablation.dir/degree_oblivious_ablation.cpp.o.d"
+  "degree_oblivious_ablation"
+  "degree_oblivious_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_oblivious_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for degree_oblivious_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/footnote_census.dir/footnote_census.cpp.o"
+  "CMakeFiles/footnote_census.dir/footnote_census.cpp.o.d"
+  "footnote_census"
+  "footnote_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/footnote_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

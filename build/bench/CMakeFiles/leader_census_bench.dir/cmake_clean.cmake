@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leader_census_bench.dir/leader_census.cpp.o"
+  "CMakeFiles/leader_census_bench.dir/leader_census.cpp.o.d"
+  "leader_census_bench"
+  "leader_census_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leader_census_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for leader_census_bench.
+# This may be replaced when dependencies are built.

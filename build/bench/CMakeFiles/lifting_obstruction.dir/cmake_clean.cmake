@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifting_obstruction.dir/lifting_obstruction.cpp.o"
+  "CMakeFiles/lifting_obstruction.dir/lifting_obstruction.cpp.o.d"
+  "lifting_obstruction"
+  "lifting_obstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifting_obstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

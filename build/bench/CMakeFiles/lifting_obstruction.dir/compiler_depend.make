@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lifting_obstruction.
+# This may be replaced when dependencies are built.

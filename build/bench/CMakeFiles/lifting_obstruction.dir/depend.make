@@ -1,0 +1,2 @@
+# Empty dependencies file for lifting_obstruction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metropolis_convergence.dir/metropolis_convergence.cpp.o"
+  "CMakeFiles/metropolis_convergence.dir/metropolis_convergence.cpp.o.d"
+  "metropolis_convergence"
+  "metropolis_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metropolis_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

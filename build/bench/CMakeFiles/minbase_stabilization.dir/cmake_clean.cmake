@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minbase_stabilization.dir/minbase_stabilization.cpp.o"
+  "CMakeFiles/minbase_stabilization.dir/minbase_stabilization.cpp.o.d"
+  "minbase_stabilization"
+  "minbase_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minbase_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushsum_convergence.dir/pushsum_convergence.cpp.o"
+  "CMakeFiles/pushsum_convergence.dir/pushsum_convergence.cpp.o.d"
+  "pushsum_convergence"
+  "pushsum_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushsum_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rounding_stabilization.dir/rounding_stabilization.cpp.o"
+  "CMakeFiles/rounding_stabilization.dir/rounding_stabilization.cpp.o.d"
+  "rounding_stabilization"
+  "rounding_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rounding_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

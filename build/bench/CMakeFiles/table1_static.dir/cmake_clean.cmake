@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_static.dir/table1_static.cpp.o"
+  "CMakeFiles/table1_static.dir/table1_static.cpp.o.d"
+  "table1_static"
+  "table1_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_connectivity_probe.dir/weak_connectivity_probe.cpp.o"
+  "CMakeFiles/weak_connectivity_probe.dir/weak_connectivity_probe.cpp.o.d"
+  "weak_connectivity_probe"
+  "weak_connectivity_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_connectivity_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

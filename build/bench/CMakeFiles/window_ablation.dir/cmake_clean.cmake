@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_ablation.dir/window_ablation.cpp.o"
+  "CMakeFiles/window_ablation.dir/window_ablation.cpp.o.d"
+  "window_ablation"
+  "window_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

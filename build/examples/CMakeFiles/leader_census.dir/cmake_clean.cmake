@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leader_census.dir/leader_census.cpp.o"
+  "CMakeFiles/leader_census.dir/leader_census.cpp.o.d"
+  "leader_census"
+  "leader_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leader_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opinion_dynamics.dir/opinion_dynamics.cpp.o"
+  "CMakeFiles/opinion_dynamics.dir/opinion_dynamics.cpp.o.d"
+  "opinion_dynamics"
+  "opinion_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opinion_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

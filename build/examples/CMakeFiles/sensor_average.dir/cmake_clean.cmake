@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_average.dir/sensor_average.cpp.o"
+  "CMakeFiles/sensor_average.dir/sensor_average.cpp.o.d"
+  "sensor_average"
+  "sensor_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

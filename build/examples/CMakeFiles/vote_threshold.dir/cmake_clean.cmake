@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vote_threshold.dir/vote_threshold.cpp.o"
+  "CMakeFiles/vote_threshold.dir/vote_threshold.cpp.o.d"
+  "vote_threshold"
+  "vote_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vote_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

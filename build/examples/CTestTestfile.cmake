@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sensor_average "/root/repo/build/examples/sensor_average")
+set_tests_properties(example_sensor_average PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vote_threshold "/root/repo/build/examples/vote_threshold")
+set_tests_properties(example_vote_threshold PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_leader_census "/root/repo/build/examples/leader_census")
+set_tests_properties(example_leader_census PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_opinion_dynamics "/root/repo/build/examples/opinion_dynamics")
+set_tests_properties(example_opinion_dynamics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(explore_static "/root/repo/build/examples/explore" "--graph" "ring:6" "--inputs" "alt:6:1:5" "--model" "outdegree" "--function" "average")
+set_tests_properties(explore_static PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(explore_dynamic_leader "/root/repo/build/examples/explore" "--dynamic" "sc:6:3:7" "--inputs" "alt:6:2:4" "--model" "outdegree" "--function" "sum" "--knowledge" "leaders:1")
+set_tests_properties(explore_dynamic_leader PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(explore_ports "/root/repo/build/examples/explore" "--graph" "sc:6:4:9" "--inputs" "alt:6:0:3" "--model" "ports" "--function" "variance")
+set_tests_properties(explore_ports PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(explore_impossible "/root/repo/build/examples/explore" "--graph" "ring:4" "--inputs" "alt:4:1:2" "--model" "broadcast" "--function" "sum")
+set_tests_properties(explore_impossible PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/census.cpp" "src/CMakeFiles/anonet.dir/core/census.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/core/census.cpp.o.d"
+  "/root/repo/src/core/computability.cpp" "src/CMakeFiles/anonet.dir/core/computability.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/core/computability.cpp.o.d"
+  "/root/repo/src/core/exact_pushsum.cpp" "src/CMakeFiles/anonet.dir/core/exact_pushsum.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/core/exact_pushsum.cpp.o.d"
+  "/root/repo/src/core/freq_static.cpp" "src/CMakeFiles/anonet.dir/core/freq_static.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/core/freq_static.cpp.o.d"
+  "/root/repo/src/core/history_tree.cpp" "src/CMakeFiles/anonet.dir/core/history_tree.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/core/history_tree.cpp.o.d"
+  "/root/repo/src/core/lifting_demo.cpp" "src/CMakeFiles/anonet.dir/core/lifting_demo.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/core/lifting_demo.cpp.o.d"
+  "/root/repo/src/core/metropolis.cpp" "src/CMakeFiles/anonet.dir/core/metropolis.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/core/metropolis.cpp.o.d"
+  "/root/repo/src/core/minbase_agent.cpp" "src/CMakeFiles/anonet.dir/core/minbase_agent.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/core/minbase_agent.cpp.o.d"
+  "/root/repo/src/core/pushsum.cpp" "src/CMakeFiles/anonet.dir/core/pushsum.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/core/pushsum.cpp.o.d"
+  "/root/repo/src/core/uniform_consensus.cpp" "src/CMakeFiles/anonet.dir/core/uniform_consensus.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/core/uniform_consensus.cpp.o.d"
+  "/root/repo/src/dynamics/connectivity.cpp" "src/CMakeFiles/anonet.dir/dynamics/connectivity.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/dynamics/connectivity.cpp.o.d"
+  "/root/repo/src/dynamics/schedules.cpp" "src/CMakeFiles/anonet.dir/dynamics/schedules.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/dynamics/schedules.cpp.o.d"
+  "/root/repo/src/fibration/fibration.cpp" "src/CMakeFiles/anonet.dir/fibration/fibration.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/fibration/fibration.cpp.o.d"
+  "/root/repo/src/fibration/minimum_base.cpp" "src/CMakeFiles/anonet.dir/fibration/minimum_base.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/fibration/minimum_base.cpp.o.d"
+  "/root/repo/src/fibration/partition.cpp" "src/CMakeFiles/anonet.dir/fibration/partition.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/fibration/partition.cpp.o.d"
+  "/root/repo/src/functions/functions.cpp" "src/CMakeFiles/anonet.dir/functions/functions.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/functions/functions.cpp.o.d"
+  "/root/repo/src/graph/analysis.cpp" "src/CMakeFiles/anonet.dir/graph/analysis.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/graph/analysis.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/anonet.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/anonet.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/anonet.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/isomorphism.cpp" "src/CMakeFiles/anonet.dir/graph/isomorphism.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/graph/isomorphism.cpp.o.d"
+  "/root/repo/src/linalg/kernel.cpp" "src/CMakeFiles/anonet.dir/linalg/kernel.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/linalg/kernel.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/anonet.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/perron.cpp" "src/CMakeFiles/anonet.dir/linalg/perron.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/linalg/perron.cpp.o.d"
+  "/root/repo/src/runtime/convergence.cpp" "src/CMakeFiles/anonet.dir/runtime/convergence.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/runtime/convergence.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/anonet.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/CMakeFiles/anonet.dir/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/runtime/trace.cpp.o.d"
+  "/root/repo/src/support/bigint.cpp" "src/CMakeFiles/anonet.dir/support/bigint.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/support/bigint.cpp.o.d"
+  "/root/repo/src/support/farey.cpp" "src/CMakeFiles/anonet.dir/support/farey.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/support/farey.cpp.o.d"
+  "/root/repo/src/support/rational.cpp" "src/CMakeFiles/anonet.dir/support/rational.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/support/rational.cpp.o.d"
+  "/root/repo/src/views/base_extraction.cpp" "src/CMakeFiles/anonet.dir/views/base_extraction.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/views/base_extraction.cpp.o.d"
+  "/root/repo/src/views/view_registry.cpp" "src/CMakeFiles/anonet.dir/views/view_registry.cpp.o" "gcc" "src/CMakeFiles/anonet.dir/views/view_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/computability_test.dir/computability_test.cpp.o"
+  "CMakeFiles/computability_test.dir/computability_test.cpp.o.d"
+  "computability_test"
+  "computability_test.pdb"
+  "computability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/computability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

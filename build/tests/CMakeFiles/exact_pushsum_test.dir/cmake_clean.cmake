@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_pushsum_test.dir/exact_pushsum_test.cpp.o"
+  "CMakeFiles/exact_pushsum_test.dir/exact_pushsum_test.cpp.o.d"
+  "exact_pushsum_test"
+  "exact_pushsum_test.pdb"
+  "exact_pushsum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_pushsum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farey_test.dir/farey_test.cpp.o"
+  "CMakeFiles/farey_test.dir/farey_test.cpp.o.d"
+  "farey_test"
+  "farey_test.pdb"
+  "farey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

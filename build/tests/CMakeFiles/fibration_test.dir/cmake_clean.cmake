@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibration_test.dir/fibration_test.cpp.o"
+  "CMakeFiles/fibration_test.dir/fibration_test.cpp.o.d"
+  "fibration_test"
+  "fibration_test.pdb"
+  "fibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freq_static_test.dir/freq_static_test.cpp.o"
+  "CMakeFiles/freq_static_test.dir/freq_static_test.cpp.o.d"
+  "freq_static_test"
+  "freq_static_test.pdb"
+  "freq_static_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freq_static_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

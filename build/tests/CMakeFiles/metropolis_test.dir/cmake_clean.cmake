@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metropolis_test.dir/metropolis_test.cpp.o"
+  "CMakeFiles/metropolis_test.dir/metropolis_test.cpp.o.d"
+  "metropolis_test"
+  "metropolis_test.pdb"
+  "metropolis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metropolis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

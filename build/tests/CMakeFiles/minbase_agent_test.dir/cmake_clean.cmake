@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minbase_agent_test.dir/minbase_agent_test.cpp.o"
+  "CMakeFiles/minbase_agent_test.dir/minbase_agent_test.cpp.o.d"
+  "minbase_agent_test"
+  "minbase_agent_test.pdb"
+  "minbase_agent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minbase_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

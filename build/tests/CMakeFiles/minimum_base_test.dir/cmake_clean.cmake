@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimum_base_test.dir/minimum_base_test.cpp.o"
+  "CMakeFiles/minimum_base_test.dir/minimum_base_test.cpp.o.d"
+  "minimum_base_test"
+  "minimum_base_test.pdb"
+  "minimum_base_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimum_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushsum_test.dir/pushsum_test.cpp.o"
+  "CMakeFiles/pushsum_test.dir/pushsum_test.cpp.o.d"
+  "pushsum_test"
+  "pushsum_test.pdb"
+  "pushsum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushsum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

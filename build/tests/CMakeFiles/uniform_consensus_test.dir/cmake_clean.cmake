@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniform_consensus_test.dir/uniform_consensus_test.cpp.o"
+  "CMakeFiles/uniform_consensus_test.dir/uniform_consensus_test.cpp.o.d"
+  "uniform_consensus_test"
+  "uniform_consensus_test.pdb"
+  "uniform_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniform_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/rational_test[1]_include.cmake")
+include("/root/repo/build/tests/farey_test[1]_include.cmake")
+include("/root/repo/build/tests/digraph_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/isomorphism_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/minimum_base_test[1]_include.cmake")
+include("/root/repo/build/tests/fibration_test[1]_include.cmake")
+include("/root/repo/build/tests/views_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/schedules_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/functions_test[1]_include.cmake")
+include("/root/repo/build/tests/gossip_test[1]_include.cmake")
+include("/root/repo/build/tests/minbase_agent_test[1]_include.cmake")
+include("/root/repo/build/tests/freq_static_test[1]_include.cmake")
+include("/root/repo/build/tests/census_test[1]_include.cmake")
+include("/root/repo/build/tests/pushsum_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_pushsum_test[1]_include.cmake")
+include("/root/repo/build/tests/history_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/metropolis_test[1]_include.cmake")
+include("/root/repo/build/tests/uniform_consensus_test[1]_include.cmake")
+include("/root/repo/build/tests/computability_test[1]_include.cmake")
+include("/root/repo/build/tests/lifting_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweeps_test[1]_include.cmake")
