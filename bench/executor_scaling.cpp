@@ -1,0 +1,236 @@
+// Round-engine scaling benchmark — emits BENCH_executor.json.
+//
+// Two sweeps, both on outdegree-aware Push-Sum (the workload behind the
+// Theorem 5.2 convergence experiments):
+//   (a) rounds/sec and messages/sec vs n on a static bidirectional ring,
+//       comparing the flat-arena engine against `legacy`, a faithful copy of
+//       the seed executor (per-round nested inbox allocation, per-round
+//       graph copy via at(t), per-round re-validation, shared mt19937_64);
+//   (b) thread scaling 1/2/4/8 at fixed n.
+//
+// Regenerate with scripts/bench.sh (Release build); interpretation notes in
+// docs/round_engine.md.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pushsum.hpp"
+#include "dynamics/schedules.hpp"
+#include "graph/generators.hpp"
+#include "runtime/executor.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace anonet;
+
+namespace {
+
+// The seed implementation's round loop, kept verbatim (modulo the span
+// receive adapter) as the performance baseline.
+template <typename Alg>
+class LegacyExecutor {
+ public:
+  LegacyExecutor(DynamicGraphPtr network, std::vector<Alg> agents,
+                 CommModel model, std::uint64_t shuffle_seed = 0x5eedull)
+      : network_(std::move(network)),
+        agents_(std::move(agents)),
+        model_(model),
+        rng_(shuffle_seed) {}
+
+  void step() {
+    using Message = typename Alg::Message;
+    const int t = rounds_ + 1;
+    const Digraph g = network_->at(t);  // per-round copy, as in the seed
+    if (!g.has_all_self_loops()) throw std::logic_error("missing self-loop");
+    const auto n = static_cast<std::size_t>(g.vertex_count());
+    std::vector<std::vector<Message>> inbox(n);  // per-round allocation
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      const auto out = g.out_edges(v);
+      const int d = static_cast<int>(out.size());
+      const Alg& agent = agents_[static_cast<std::size_t>(v)];
+      const int visible = sees_outdegree(model_) ? d : 0;
+      const Message message = agent.send(visible, 0);
+      for (EdgeId id : out) {
+        inbox[static_cast<std::size_t>(g.edge(id).target)].push_back(message);
+      }
+    }
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      auto& messages = inbox[static_cast<std::size_t>(v)];
+      std::shuffle(messages.begin(), messages.end(), rng_);
+      delivered_ += static_cast<std::int64_t>(messages.size());
+      agents_[static_cast<std::size_t>(v)].receive(
+          std::span<const Message>(messages));
+    }
+    ++rounds_;
+  }
+
+  void run(int rounds) {
+    for (int i = 0; i < rounds; ++i) step();
+  }
+  [[nodiscard]] std::int64_t delivered() const { return delivered_; }
+  [[nodiscard]] const std::vector<Alg>& agents() const { return agents_; }
+
+ private:
+  DynamicGraphPtr network_;
+  std::vector<Alg> agents_;
+  CommModel model_;
+  std::mt19937_64 rng_;
+  int rounds_ = 0;
+  std::int64_t delivered_ = 0;
+};
+
+std::vector<PushSumAgent> make_agents(Vertex n) {
+  std::vector<PushSumAgent> agents;
+  agents.reserve(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) {
+    agents.emplace_back(static_cast<double>(v % 17), 1.0);
+  }
+  return agents;
+}
+
+// Rounds chosen so every configuration moves a comparable message volume.
+int rounds_for(Vertex n) {
+  const std::int64_t deliveries_per_round = 3ll * n;  // ring + self-loops
+  const std::int64_t target = 6'000'000;
+  return static_cast<int>(
+      std::max<std::int64_t>(3, target / deliveries_per_round));
+}
+
+struct Row {
+  std::string workload;
+  std::string engine;
+  Vertex n = 0;
+  int threads = 1;
+  int rounds = 0;
+  double seconds = 0.0;
+  std::int64_t messages = 0;
+  double checksum = 0.0;  // Σ agent outputs — guards against dead-code elim
+};
+
+// Best-of-3: each repetition is deterministic (same checksum), so the
+// minimum isolates engine cost from scheduler noise on shared hosts.
+template <typename Run>
+Row timed(const char* workload, const char* engine, Vertex n, int threads,
+          int rounds, Run&& run) {
+  Row row{workload, engine, n, threads, rounds, 0.0, 0, 0.0};
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    row.messages = 0;
+    const auto start = std::chrono::steady_clock::now();
+    row.checksum = run(row);
+    best = std::min(
+        best,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  row.seconds = best;
+  return row;
+}
+
+void print_row(const Row& row) {
+  std::printf("  %-12s %-6s n=%-7d threads=%d  %8.3fs  %10.0f rounds/s  %12.3e msgs/s\n",
+              row.workload.c_str(), row.engine.c_str(), row.n, row.threads,
+              row.seconds, row.rounds / row.seconds,
+              static_cast<double>(row.messages) / row.seconds);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows;
+
+  // Sweep (a): n scaling, arena vs legacy, single thread.
+  std::printf("executor_scaling (a) — static bidirectional ring, Push-Sum\n");
+  for (Vertex n : {100, 1000, 10000, 100000}) {
+    auto net = std::make_shared<StaticSchedule>(bidirectional_ring(n));
+    const int rounds = rounds_for(n);
+
+    rows.push_back(timed("ring", "arena", n, 1, rounds, [&](Row& row) {
+      Executor<PushSumAgent> exec(net, make_agents(n),
+                                  CommModel::kOutdegreeAware);
+      exec.run(rounds);
+      row.messages = exec.stats().messages_delivered;
+      double sum = 0.0;
+      for (const auto& a : exec.agents()) sum += a.output();
+      return sum;
+    }));
+    print_row(rows.back());
+
+    rows.push_back(timed("ring", "legacy", n, 1, rounds, [&](Row& row) {
+      LegacyExecutor<PushSumAgent> exec(net, make_agents(n),
+                                        CommModel::kOutdegreeAware);
+      exec.run(rounds);
+      row.messages = exec.delivered();
+      double sum = 0.0;
+      for (const auto& a : exec.agents()) sum += a.output();
+      return sum;
+    }));
+    print_row(rows.back());
+  }
+
+  // Sweep (b): thread scaling at fixed n (outdegree-aware Push-Sum).
+  const Vertex n_threads_sweep = 10000;
+  std::printf("executor_scaling (b) — thread scaling at n=%d (host has %d hardware threads)\n",
+              n_threads_sweep, ThreadPool::hardware_threads());
+  {
+    auto net =
+        std::make_shared<StaticSchedule>(bidirectional_ring(n_threads_sweep));
+    const int rounds = rounds_for(n_threads_sweep);
+    for (int threads : {1, 2, 4, 8}) {
+      rows.push_back(timed("ring", "arena", n_threads_sweep, threads, rounds,
+                           [&](Row& row) {
+        Executor<PushSumAgent> exec(net, make_agents(n_threads_sweep),
+                                    CommModel::kOutdegreeAware, 0x5eedull,
+                                    threads);
+        exec.run(rounds);
+        row.messages = exec.stats().messages_delivered;
+        double sum = 0.0;
+        for (const auto& a : exec.agents()) sum += a.output();
+        return sum;
+      }));
+      print_row(rows.back());
+    }
+  }
+
+  // Speedup summary at n = 10^4.
+  double arena_1e4 = 0.0, legacy_1e4 = 0.0;
+  for (const Row& row : rows) {
+    if (row.n == 10000 && row.threads == 1 && row.workload == "ring") {
+      if (row.engine == "arena" && arena_1e4 == 0.0) arena_1e4 = row.seconds;
+      if (row.engine == "legacy") legacy_1e4 = row.seconds;
+    }
+  }
+  if (arena_1e4 > 0.0 && legacy_1e4 > 0.0) {
+    std::printf("speedup vs legacy at n=1e4: %.2fx\n", legacy_1e4 / arena_1e4);
+  }
+
+  FILE* out = std::fopen("BENCH_executor.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_executor.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"hardware_threads\": %d,\n  \"results\": [\n",
+               ThreadPool::hardware_threads());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"workload\": \"%s\", \"engine\": \"%s\", \"n\": %d, "
+                 "\"threads\": %d, \"rounds\": %d, \"seconds\": %.6f, "
+                 "\"rounds_per_sec\": %.2f, \"messages_per_sec\": %.2f, "
+                 "\"checksum\": %.6f}%s\n",
+                 row.workload.c_str(), row.engine.c_str(), row.n, row.threads,
+                 row.rounds, row.seconds, row.rounds / row.seconds,
+                 static_cast<double>(row.messages) / row.seconds, row.checksum,
+                 i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_executor.json (%zu rows)\n", rows.size());
+  return 0;
+}

@@ -10,6 +10,7 @@
 // double-based PushSumAgent remains the workhorse, and tests cross-validate
 // it against this agent trajectory-by-trajectory.
 
+#include <span>
 #include <vector>
 
 #include "support/rational.hpp"
@@ -29,7 +30,7 @@ class ExactPushSumAgent {
   ExactPushSumAgent(Rational value, Rational weight);
 
   [[nodiscard]] Message send(int outdegree, int /*port*/) const;
-  void receive(std::vector<Message> messages);
+  void receive(std::span<const Message> messages);
 
   [[nodiscard]] const Rational& y() const { return y_; }
   [[nodiscard]] const Rational& z() const { return z_; }

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "functions/functions.hpp"
@@ -41,7 +42,7 @@ class SetGossipAgent {
     return Message{{known_.begin(), known_.end()}};
   }
 
-  void receive(std::vector<Message> messages) {
+  void receive(std::span<const Message> messages) {
     for (const Message& m : messages) {
       known_.insert(m.values.begin(), m.values.end());
     }

@@ -29,7 +29,7 @@ HistoryFrequencyAgent::Message HistoryFrequencyAgent::send(int /*outdegree*/,
   return Message{current};
 }
 
-void HistoryFrequencyAgent::receive(std::vector<Message> messages) {
+void HistoryFrequencyAgent::receive(std::span<const Message> messages) {
   if (messages.empty()) {
     throw std::logic_error("HistoryFrequencyAgent: missing self-loop?");
   }

@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "functions/functions.hpp"
@@ -58,7 +59,7 @@ class HistoryFrequencyAgent {
                         std::shared_ptr<LabelCodec> codec, std::int64_t input);
 
   [[nodiscard]] Message send(int /*outdegree*/, int /*port*/) const;
-  void receive(std::vector<Message> messages);
+  void receive(std::span<const Message> messages);
 
   [[nodiscard]] std::int64_t input() const { return input_; }
   [[nodiscard]] ViewId view() const { return view_; }

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "functions/functions.hpp"
@@ -43,7 +44,7 @@ class MetropolisAgent {
   explicit MetropolisAgent(double value) : x_(value) {}
 
   [[nodiscard]] Message send(int outdegree, int /*port*/) const;
-  void receive(std::vector<Message> messages);
+  void receive(std::span<const Message> messages);
 
   [[nodiscard]] double output() const { return x_; }
 
@@ -66,7 +67,7 @@ class FrequencyMetropolisAgent {
   explicit FrequencyMetropolisAgent(std::int64_t input);
 
   [[nodiscard]] Message send(int outdegree, int /*port*/) const;
-  void receive(std::vector<Message> messages);
+  void receive(std::span<const Message> messages);
 
   [[nodiscard]] std::int64_t input() const { return input_; }
   [[nodiscard]] const std::map<std::int64_t, double>& estimates() const {

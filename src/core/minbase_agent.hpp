@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "runtime/comm_model.hpp"
@@ -56,7 +57,7 @@ class MinBaseAgent {
                CommModel model, int max_view_depth = 0);
 
   [[nodiscard]] Message send(int outdegree, int port) const;
-  void receive(std::vector<Message> messages);
+  void receive(std::span<const Message> messages);
 
   [[nodiscard]] std::int64_t input() const { return input_; }
   [[nodiscard]] ViewId view() const { return view_; }

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "functions/functions.hpp"
@@ -48,7 +49,7 @@ class PushSumAgent {
 
   // Outdegree awareness: shares are the state split d ways.
   [[nodiscard]] Message send(int outdegree, int /*port*/) const;
-  void receive(std::vector<Message> messages);
+  void receive(std::span<const Message> messages);
 
   [[nodiscard]] double y() const { return y_; }
   [[nodiscard]] double z() const { return z_; }
@@ -83,7 +84,7 @@ class FrequencyPushSumAgent {
                                  std::optional<bool> is_leader = std::nullopt);
 
   [[nodiscard]] Message send(int outdegree, int /*port*/) const;
-  void receive(std::vector<Message> messages);
+  void receive(std::span<const Message> messages);
 
   [[nodiscard]] std::int64_t input() const { return input_; }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "functions/functions.hpp"
@@ -44,7 +45,7 @@ class UniformWeightAgent {
   [[nodiscard]] Message send(int /*outdegree*/, int /*port*/) const {
     return Message{x_};
   }
-  void receive(std::vector<Message> messages);
+  void receive(std::span<const Message> messages);
 
   [[nodiscard]] double output() const { return x_; }
 
@@ -72,7 +73,7 @@ class FrequencyUniformAgent {
   [[nodiscard]] Message send(int /*outdegree*/, int /*port*/) const {
     return Message{x_};
   }
-  void receive(std::vector<Message> messages);
+  void receive(std::span<const Message> messages);
 
   [[nodiscard]] std::int64_t input() const { return input_; }
   [[nodiscard]] const std::map<std::int64_t, double>& estimates() const {

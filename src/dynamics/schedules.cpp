@@ -34,6 +34,11 @@ Digraph StaticSchedule::at(int t) const {
   return graph_;
 }
 
+RoundGraphRef StaticSchedule::view(int t) const {
+  require_round(t);
+  return RoundGraphRef(&graph_);
+}
+
 PeriodicSchedule::PeriodicSchedule(std::vector<Digraph> phases)
     : phases_(std::move(phases)) {
   if (phases_.empty()) {
@@ -54,6 +59,11 @@ Vertex PeriodicSchedule::vertex_count() const {
 Digraph PeriodicSchedule::at(int t) const {
   require_round(t);
   return phases_[static_cast<std::size_t>(t - 1) % phases_.size()];
+}
+
+RoundGraphRef PeriodicSchedule::view(int t) const {
+  require_round(t);
+  return RoundGraphRef(&phases_[static_cast<std::size_t>(t - 1) % phases_.size()]);
 }
 
 RandomStronglyConnectedSchedule::RandomStronglyConnectedSchedule(
@@ -126,6 +136,8 @@ GrowingGapSchedule::GrowingGapSchedule(Digraph base, int burst_length,
     throw std::invalid_argument("GrowingGapSchedule: positive lengths only");
   }
   base_.ensure_self_loops();
+  isolated_ = Digraph(base_.vertex_count());
+  isolated_.ensure_self_loops();
 }
 
 bool GrowingGapSchedule::in_burst(int t) const {
@@ -144,10 +156,12 @@ bool GrowingGapSchedule::in_burst(int t) const {
 
 Digraph GrowingGapSchedule::at(int t) const {
   require_round(t);
-  if (in_burst(t)) return base_;
-  Digraph isolated(base_.vertex_count());
-  isolated.ensure_self_loops();
-  return isolated;
+  return in_burst(t) ? base_ : isolated_;
+}
+
+RoundGraphRef GrowingGapSchedule::view(int t) const {
+  require_round(t);
+  return RoundGraphRef(in_burst(t) ? &base_ : &isolated_);
 }
 
 AsyncStartSchedule::AsyncStartSchedule(DynamicGraphPtr inner,

@@ -18,6 +18,8 @@ class StaticSchedule final : public DynamicGraph {
     return graph_.vertex_count();
   }
   [[nodiscard]] Digraph at(int t) const override;
+  // Borrowed: the same stored graph every round, no copy.
+  [[nodiscard]] RoundGraphRef view(int t) const override;
 
  private:
   Digraph graph_;
@@ -30,6 +32,9 @@ class PeriodicSchedule final : public DynamicGraph {
 
   [[nodiscard]] Vertex vertex_count() const override;
   [[nodiscard]] Digraph at(int t) const override;
+  // Borrowed: phase storage is immutable after construction, so the
+  // returned pointers are stable and identify the phase topology.
+  [[nodiscard]] RoundGraphRef view(int t) const override;
 
  private:
   std::vector<Digraph> phases_;
@@ -119,11 +124,15 @@ class GrowingGapSchedule final : public DynamicGraph {
     return base_.vertex_count();
   }
   [[nodiscard]] Digraph at(int t) const override;
+  // Borrowed: the burst graph and the self-loop-only gap graph are both
+  // precomputed members.
+  [[nodiscard]] RoundGraphRef view(int t) const override;
   // True when round t falls inside a communication burst.
   [[nodiscard]] bool in_burst(int t) const;
 
  private:
   Digraph base_;
+  Digraph isolated_;  // self-loops only, served between bursts
   int burst_length_;
   int initial_gap_;
 };

@@ -15,8 +15,15 @@ EdgeId Digraph::add_edge(Vertex source, Vertex target, EdgeColor color) {
     throw std::out_of_range("Digraph::add_edge: vertex out of range");
   }
   edges_.push_back(Edge{source, target, color});
-  adjacency_valid_ = false;
+  invalidate_caches();
   return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+void Digraph::invalidate_caches() {
+  adjacency_valid_ = false;
+  self_loops_cache_ = -1;
+  symmetric_cache_ = -1;
+  output_ports_cache_ = -1;
 }
 
 void Digraph::build_adjacency() const {
@@ -86,10 +93,16 @@ int Digraph::edge_multiplicity(Vertex source, Vertex target) const {
 }
 
 bool Digraph::has_all_self_loops() const {
-  for (Vertex v = 0; v < vertex_count_; ++v) {
-    if (!has_edge(v, v)) return false;
+  if (self_loops_cache_ < 0) {
+    self_loops_cache_ = 1;
+    for (Vertex v = 0; v < vertex_count_; ++v) {
+      if (!has_edge(v, v)) {
+        self_loops_cache_ = 0;
+        break;
+      }
+    }
   }
-  return true;
+  return self_loops_cache_ != 0;
 }
 
 int Digraph::ensure_self_loops() {
@@ -104,16 +117,54 @@ int Digraph::ensure_self_loops() {
 }
 
 bool Digraph::is_symmetric() const {
-  for (Vertex v = 0; v < vertex_count_; ++v) {
-    for (EdgeId id : out_edges(v)) {
-      const Edge& e = edge(id);
-      if (edge_multiplicity(e.source, e.target) !=
-          edge_multiplicity(e.target, e.source)) {
-        return false;
+  if (symmetric_cache_ < 0) {
+    symmetric_cache_ = 1;
+    for (Vertex v = 0; v < vertex_count_ && symmetric_cache_ == 1; ++v) {
+      for (EdgeId id : out_edges(v)) {
+        const Edge& e = edge(id);
+        if (edge_multiplicity(e.source, e.target) !=
+            edge_multiplicity(e.target, e.source)) {
+          symmetric_cache_ = 0;
+          break;
+        }
       }
     }
   }
-  return true;
+  return symmetric_cache_ != 0;
+}
+
+bool Digraph::has_valid_output_ports() const {
+  if (output_ports_cache_ < 0) {
+    output_ports_cache_ = 1;
+    // One scratch bitmap shared by all vertices (epoch-marked so it is never
+    // cleared): out-edges of v must carry each port 1..outdegree(v) exactly
+    // once. O(E) total, no sorting.
+    int max_outdegree = 0;
+    for (Vertex v = 0; v < vertex_count_; ++v) {
+      max_outdegree = std::max(max_outdegree, outdegree(v));
+    }
+    std::vector<std::int32_t> seen_epoch(
+        static_cast<std::size_t>(max_outdegree) + 1, -1);
+    for (Vertex v = 0; v < vertex_count_; ++v) {
+      const auto out = out_edges(v);
+      const int d = static_cast<int>(out.size());
+      bool valid = true;
+      for (EdgeId id : out) {
+        const int port = static_cast<int>(edge(id).color);
+        if (port < 1 || port > d ||
+            seen_epoch[static_cast<std::size_t>(port)] == v) {
+          valid = false;
+          break;
+        }
+        seen_epoch[static_cast<std::size_t>(port)] = v;
+      }
+      if (!valid) {
+        output_ports_cache_ = 0;
+        break;
+      }
+    }
+  }
+  return output_ports_cache_ != 0;
 }
 
 Digraph Digraph::reversed() const {
@@ -127,7 +178,7 @@ void Digraph::assign_output_ports() {
   for (Edge& e : edges_) {
     e.color = next_port[static_cast<std::size_t>(e.source)]++;
   }
-  adjacency_valid_ = false;
+  invalidate_caches();
 }
 
 Digraph graph_product(const Digraph& g1, const Digraph& g2) {

@@ -70,6 +70,10 @@ class Digraph {
   // multiplicity(i, j) == multiplicity(j, i). Colors are ignored.
   [[nodiscard]] bool is_symmetric() const;
 
+  // True when every vertex's out-edges are colored with exactly the ports
+  // 1..outdegree (a valid local output labelling, Section 2.2).
+  [[nodiscard]] bool has_valid_output_ports() const;
+
   // Graph with every edge reversed (colors preserved).
   [[nodiscard]] Digraph reversed() const;
 
@@ -80,6 +84,7 @@ class Digraph {
 
  private:
   void build_adjacency() const;
+  void invalidate_caches();
 
   Vertex vertex_count_ = 0;
   std::vector<Edge> edges_;
@@ -88,6 +93,15 @@ class Digraph {
   mutable bool adjacency_valid_ = false;
   mutable std::vector<EdgeId> in_list_, out_list_;
   mutable std::vector<std::int32_t> in_start_, out_start_;
+
+  // Cached validation verdicts (-1 unknown, 0 false, 1 true), keyed on this
+  // graph object: the executor validates each round graph once instead of
+  // re-walking the edge set every round. Copies carry the verdicts along
+  // (they describe the edge multiset, which is copied too); any mutation
+  // resets them.
+  mutable std::int8_t self_loops_cache_ = -1;
+  mutable std::int8_t symmetric_cache_ = -1;
+  mutable std::int8_t output_ports_cache_ = -1;
 };
 
 // Footnote 3 of the paper: the product G1 ∘ G2 has an edge (i, j) whenever

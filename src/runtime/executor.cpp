@@ -19,18 +19,12 @@ std::string_view to_string(CommModel model) {
 }
 
 void validate_output_ports(const Digraph& g) {
-  for (Vertex v = 0; v < g.vertex_count(); ++v) {
-    const auto out = g.out_edges(v);
-    std::vector<int> ports;
-    ports.reserve(out.size());
-    for (EdgeId id : out) ports.push_back(static_cast<int>(g.edge(id).color));
-    std::sort(ports.begin(), ports.end());
-    for (std::size_t k = 0; k < ports.size(); ++k) {
-      if (ports[k] != static_cast<int>(k) + 1) {
-        throw std::invalid_argument(
-            "validate_output_ports: out-edges must carry ports 1..d");
-      }
-    }
+  // The verdict is computed once per graph object and cached (the check
+  // itself runs in O(E) with a single scratch bitmap; see
+  // Digraph::has_valid_output_ports).
+  if (!g.has_valid_output_ports()) {
+    throw std::invalid_argument(
+        "validate_output_ports: out-edges must carry ports 1..d");
   }
 }
 

@@ -15,17 +15,31 @@
 // Delivered messages are shuffled with a seeded RNG so an algorithm cannot
 // extract information from arrival order (it receives a multiset, not a
 // sequence); tests exploit this to verify order independence.
+//
+// Round engine (docs/round_engine.md): rounds run over a flat message arena
+// addressed by receiver-CSR offsets — no per-round inbox allocation — with
+// the send and deliver phases optionally parallelized over vertex blocks on
+// a persistent ThreadPool. Each inbox is shuffled by a counter-based RNG
+// keyed on (seed, round, vertex), so execution is bitwise-identical across
+// thread counts. Round graphs are obtained through DynamicGraph::view(t):
+// schedules with stable storage lend their graph instead of copying it, and
+// validation verdicts are cached per graph object.
 
 #include <algorithm>
+#include <chrono>
 #include <concepts>
 #include <cstdint>
-#include <random>
+#include <iterator>
+#include <memory>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "dynamics/dynamic_graph.hpp"
 #include "runtime/comm_model.hpp"
+#include "support/counter_rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace anonet {
 
@@ -34,14 +48,40 @@ namespace anonet {
 //     outdegree: 0 when the model hides it, else the round outdegree
 //       (self-loop included);
 //     port: 0 for isotropic models, else the output port in [1, outdegree].
+// and ONE of the two receive forms, a transition on the received multiset
+// (shuffled by the executor):
+//   void receive(std::span<const Message> messages);
+//     zero-copy: `messages` aliases the executor's arena and is only valid
+//     during the call. Preferred; every agent in src/core uses it.
 //   void receive(std::vector<Message> messages);
-//     one transition on the received multiset (shuffled by the executor).
+//     compatibility form: the executor materializes a vector (one move per
+//     message) and hands over ownership.
 template <typename A>
-concept AnonymousAgent = requires(A agent, const A const_agent,
-                                  std::vector<typename A::Message> messages) {
+concept HasSpanReceive = requires(A agent,
+                                  std::span<const typename A::Message> m) {
+  { agent.receive(m) };
+};
+
+template <typename A>
+concept HasVectorReceive = requires(A agent,
+                                    std::vector<typename A::Message> m) {
+  { agent.receive(std::move(m)) };
+};
+
+template <typename A>
+concept AnonymousAgent = requires(const A const_agent) {
   typename A::Message;
+  requires std::default_initializable<typename A::Message>;
   { const_agent.send(0, 0) } -> std::same_as<typename A::Message>;
-  { agent.receive(std::move(messages)) };
+} && (HasSpanReceive<A> || HasVectorReceive<A>);
+
+// Wall-clock spent in each phase of step(), cumulative over rounds. Timings
+// are *measurements*, not semantics: they differ between otherwise identical
+// runs and are excluded from determinism comparisons.
+struct PhaseTimings {
+  double validate_seconds = 0.0;  // model checks + arena offset (re)build
+  double send_seconds = 0.0;      // sending-function evaluation
+  double deliver_seconds = 0.0;   // arena fill, shuffle, receive transitions
 };
 
 struct ExecutorStats {
@@ -51,6 +91,7 @@ struct ExecutorStats {
   // a bandwidth proxy. Equals messages_delivered when no message type
   // declares a weight.
   std::int64_t payload_units = 0;
+  PhaseTimings timings;
 };
 
 // Bandwidth accounting hook: a message type may expose
@@ -68,31 +109,43 @@ template <typename M>
 }
 
 // Throws std::invalid_argument unless every vertex's out-edges are colored
-// with exactly the ports 1..outdegree.
+// with exactly the ports 1..outdegree. The verdict is cached on the graph
+// object (Digraph::has_valid_output_ports), so repeated validation of the
+// same round graph is O(1).
 void validate_output_ports(const Digraph& g);
 
 template <AnonymousAgent Alg>
 class Executor {
  public:
+  using Message = typename Alg::Message;
+
+  // `threads` is the worker count for the send and deliver phases
+  // (1 = serial, no pool is created). Agent states, delivery orders, and
+  // the counting fields of ExecutorStats are identical for every value.
   Executor(DynamicGraphPtr network, std::vector<Alg> agents, CommModel model,
-           std::uint64_t shuffle_seed = 0x5eedull)
+           std::uint64_t shuffle_seed = 0x5eedull, int threads = 1)
       : network_(std::move(network)),
         agents_(std::move(agents)),
         model_(model),
-        rng_(shuffle_seed) {
+        seed_(shuffle_seed),
+        threads_(threads < 1 ? 1 : threads) {
     if (network_ == nullptr) {
       throw std::invalid_argument("Executor: null network");
     }
     if (agents_.size() != static_cast<std::size_t>(network_->vertex_count())) {
       throw std::invalid_argument("Executor: one agent per vertex required");
     }
+    if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
   }
 
   // Runs one communication-closed round.
   void step() {
-    using Message = typename Alg::Message;
+    using Clock = std::chrono::steady_clock;
+    const auto t_validate = Clock::now();
+
     const int t = static_cast<int>(stats_.rounds) + 1;
-    const Digraph g = network_->at(t);
+    const RoundGraphRef ref = network_->view(t);
+    const Digraph& g = ref.get();
     if (g.vertex_count() != network_->vertex_count()) {
       throw std::logic_error("Executor: schedule changed vertex count");
     }
@@ -105,36 +158,133 @@ class Executor {
     if (model_ == CommModel::kOutputPortAware) validate_output_ports(g);
 
     const auto n = static_cast<std::size_t>(g.vertex_count());
-    std::vector<std::vector<Message>> inbox(n);
-    for (Vertex v = 0; v < g.vertex_count(); ++v) {
-      const auto out = g.out_edges(v);
-      const int d = static_cast<int>(out.size());
-      const Alg& agent = agents_[static_cast<std::size_t>(v)];
-      if (model_ == CommModel::kOutputPortAware) {
-        for (EdgeId id : out) {
-          const Edge& e = g.edge(id);
-          inbox[static_cast<std::size_t>(e.target)].push_back(
-              agent.send(d, static_cast<int>(e.color)));
-        }
-      } else {
-        const int visible = sees_outdegree(model_) ? d : 0;
-        const Message message = agent.send(visible, 0);
-        for (EdgeId id : out) {
-          inbox[static_cast<std::size_t>(g.edge(id).target)].push_back(
-              message);
-        }
+    const auto edge_total = static_cast<std::size_t>(g.edge_count());
+    prepare_topology(ref, g, n, edge_total);
+
+    const bool port_aware = model_ == CommModel::kOutputPortAware;
+    if (port_aware) {
+      if (edge_outbox_.size() < edge_total) edge_outbox_.resize(edge_total);
+    } else {
+      if (outbox_.size() < n) outbox_.resize(n);
+      if constexpr (kWeighted) {
+        if (outbox_weight_.size() < n) outbox_weight_.resize(n);
       }
     }
-    for (Vertex v = 0; v < g.vertex_count(); ++v) {
-      auto& messages = inbox[static_cast<std::size_t>(v)];
-      std::shuffle(messages.begin(), messages.end(), rng_);
-      stats_.messages_delivered += static_cast<std::int64_t>(messages.size());
-      for (const Message& message : messages) {
-        stats_.payload_units += message_weight(message);
-      }
-      agents_[static_cast<std::size_t>(v)].receive(std::move(messages));
+    if (arena_.size() < edge_total) arena_.resize(edge_total);
+
+    const std::int64_t block =
+        std::max<std::int64_t>(64, static_cast<std::int64_t>(n) /
+                                       (4ll * static_cast<std::int64_t>(threads_)));
+    const auto t_send = Clock::now();
+
+    // Send phase: evaluate each sender's sending function exactly once per
+    // model contract. Senders only write their own outbox slots, so vertex
+    // blocks are independent.
+    parallel(static_cast<std::int64_t>(n), block,
+             [&](std::int64_t begin, std::int64_t end, std::int64_t) {
+               for (std::int64_t i = begin; i < end; ++i) {
+                 const auto v = static_cast<Vertex>(i);
+                 const auto out = g.out_edges(v);
+                 const int d = static_cast<int>(out.size());
+                 const Alg& agent = agents_[static_cast<std::size_t>(i)];
+                 if (port_aware) {
+                   for (EdgeId id : out) {
+                     edge_outbox_[static_cast<std::size_t>(id)] =
+                         agent.send(d, static_cast<int>(g.edge(id).color));
+                   }
+                 } else {
+                   const int visible = sees_outdegree(model_) ? d : 0;
+                   outbox_[static_cast<std::size_t>(i)] = agent.send(visible, 0);
+                   if constexpr (kWeighted) {
+                     // Isotropic broadcast replicates one message to all
+                     // out-neighbors: weigh it once per sender, not once per
+                     // delivery (heavy payloads make the difference).
+                     outbox_weight_[static_cast<std::size_t>(i)] =
+                         message_weight(outbox_[static_cast<std::size_t>(i)]);
+                   }
+                 }
+               }
+             });
+
+    const auto t_deliver = Clock::now();
+
+    // Deliver phase: each receiver gathers its in-edges into its arena
+    // slice, shuffles with its own counter-keyed stream, and transitions.
+    // Receivers only touch their own slice and their own agent, so vertex
+    // blocks are independent and the outcome is thread-count-invariant.
+    const std::int64_t blocks = ThreadPool::block_count(
+        static_cast<std::int64_t>(n), block);
+    struct Partial {
+      std::int64_t messages = 0;
+      std::int64_t payload = 0;
+    };
+    std::vector<Partial> partials(static_cast<std::size_t>(blocks));
+    parallel(static_cast<std::int64_t>(n), block,
+             [&](std::int64_t begin, std::int64_t end, std::int64_t b) {
+               Partial local;
+               for (std::int64_t i = begin; i < end; ++i) {
+                 const auto v = static_cast<Vertex>(i);
+                 const std::size_t base = in_offset_[static_cast<std::size_t>(i)];
+                 const std::size_t deg =
+                     in_offset_[static_cast<std::size_t>(i) + 1] - base;
+                 for (std::size_t k = 0; k < deg; ++k) {
+                   // Slot-aligned topology arrays (prepare_topology): no
+                   // indirection through the graph in the hot loop.
+                   if (port_aware) {
+                     arena_[base + k] =
+                         edge_outbox_[static_cast<std::size_t>(in_edge_[base + k])];
+                     local.payload += message_weight(arena_[base + k]);
+                   } else {
+                     const auto src =
+                         static_cast<std::size_t>(in_source_[base + k]);
+                     arena_[base + k] = outbox_[src];
+                     if constexpr (kWeighted) {
+                       local.payload += outbox_weight_[src];
+                     } else {
+                       local.payload += 1;
+                     }
+                   }
+                 }
+                 local.messages += static_cast<std::int64_t>(deg);
+                 if (deg > 1) {
+                   // Fisher–Yates keyed on (seed, round, vertex): cheaper
+                   // than std::shuffle's division-based bounded draws and
+                   // still a pure function of the key (thread-invariant).
+                   CounterRng rng(seed_, static_cast<std::uint64_t>(t),
+                                  static_cast<std::uint64_t>(v));
+                   Message* slice = arena_.data() + base;
+                   for (std::size_t k = deg - 1; k > 0; --k) {
+                     std::swap(slice[k], slice[rng.bounded(k + 1)]);
+                   }
+                 }
+                 Alg& agent = agents_[static_cast<std::size_t>(i)];
+                 if constexpr (HasSpanReceive<Alg>) {
+                   agent.receive(
+                       std::span<const Message>(arena_.data() + base, deg));
+                 } else {
+                   const auto slice_begin =
+                       arena_.begin() + static_cast<std::ptrdiff_t>(base);
+                   agent.receive(std::vector<Message>(
+                       std::make_move_iterator(slice_begin),
+                       std::make_move_iterator(
+                           slice_begin + static_cast<std::ptrdiff_t>(deg))));
+                 }
+               }
+               partials[static_cast<std::size_t>(b)] = local;
+             });
+    for (const Partial& p : partials) {
+      stats_.messages_delivered += p.messages;
+      stats_.payload_units += p.payload;
     }
     ++stats_.rounds;
+
+    const auto t_end = Clock::now();
+    const auto seconds = [](auto from, auto to) {
+      return std::chrono::duration<double>(to - from).count();
+    };
+    stats_.timings.validate_seconds += seconds(t_validate, t_send);
+    stats_.timings.send_seconds += seconds(t_send, t_deliver);
+    stats_.timings.deliver_seconds += seconds(t_deliver, t_end);
   }
 
   void run(int rounds) {
@@ -150,13 +300,76 @@ class Executor {
   [[nodiscard]] const std::vector<Alg>& agents() const { return agents_; }
   [[nodiscard]] const ExecutorStats& stats() const { return stats_; }
   [[nodiscard]] CommModel model() const { return model_; }
+  [[nodiscard]] int threads() const { return threads_; }
 
  private:
+  static constexpr bool kWeighted = requires(const Message& m) {
+    { m.weight_units() } -> std::convertible_to<std::int64_t>;
+  };
+
+  template <typename Fn>
+  void parallel(std::int64_t count, std::int64_t block, Fn&& fn) {
+    if (pool_ != nullptr) {
+      pool_->parallel_blocks(count, block, fn);
+    } else {
+      // Serial path: direct calls, no std::function indirection.
+      const std::int64_t blocks = ThreadPool::block_count(count, block);
+      for (std::int64_t b = 0; b < blocks; ++b) {
+        const std::int64_t begin = b * block;
+        fn(begin, std::min(begin + block, count), b);
+      }
+    }
+  }
+
+  // (Re)builds the receiver-CSR arena offsets and the slot-aligned
+  // topology arrays for g. Skipped entirely when the schedule lends the
+  // same graph object as last round (borrowed views have stable identity);
+  // fresh owned graphs rebuild in O(n + E). Also forces the graph's
+  // adjacency cache so the parallel phases never race to build it lazily.
+  void prepare_topology(const RoundGraphRef& ref, const Digraph& g,
+                        std::size_t n, std::size_t edge_total) {
+    if (ref.is_borrowed() && topology_key_ == &g &&
+        in_offset_.size() == n + 1 &&
+        in_offset_[n] == edge_total) {
+      return;
+    }
+    in_offset_.resize(n + 1);
+    if (in_edge_.size() < edge_total) in_edge_.resize(edge_total);
+    if (in_source_.size() < edge_total) in_source_.resize(edge_total);
+    std::size_t offset = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      in_offset_[v] = offset;
+      for (EdgeId id : g.in_edges(static_cast<Vertex>(v))) {
+        in_edge_[offset] = id;
+        in_source_[offset] = g.edge(id).source;
+        ++offset;
+      }
+    }
+    in_offset_[n] = offset;
+    // Ensure the out-CSR side is built too (parallel send must not race to
+    // build it lazily).
+    if (n > 0) static_cast<void>(g.out_edges(0));
+    topology_key_ = ref.is_borrowed() ? &g : nullptr;
+  }
+
   DynamicGraphPtr network_;
   std::vector<Alg> agents_;
   CommModel model_;
-  std::mt19937_64 rng_;
+  std::uint64_t seed_;
+  int threads_;
+  std::unique_ptr<ThreadPool> pool_;
   ExecutorStats stats_;
+
+  // Round-engine arena state, reused across rounds (no per-round heap
+  // churn once capacities have grown to the schedule's maxima).
+  const Digraph* topology_key_ = nullptr;  // borrowed graph offsets refer to
+  std::vector<std::size_t> in_offset_;     // receiver-CSR offsets, size n+1
+  std::vector<EdgeId> in_edge_;            // slot -> edge id (port-aware path)
+  std::vector<Vertex> in_source_;          // slot -> sender (isotropic path)
+  std::vector<Message> arena_;             // delivered messages, receiver-major
+  std::vector<Message> outbox_;            // one message per sender (isotropic)
+  std::vector<std::int64_t> outbox_weight_;  // per-sender weight (isotropic)
+  std::vector<Message> edge_outbox_;       // one message per edge (port-aware)
 };
 
 }  // namespace anonet

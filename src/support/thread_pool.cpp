@@ -1,0 +1,140 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace anonet {
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable wake;    // workers wait for a job (or shutdown)
+  std::condition_variable done;    // caller waits for job completion
+  std::vector<std::thread> workers;
+
+  // Current job, guarded by `mutex` for the non-atomic fields. A job is
+  // identified by its generation so a worker never re-runs a finished one.
+  std::uint64_t generation = 0;
+  bool shutdown = false;
+  std::int64_t count = 0;
+  std::int64_t block_size = 1;
+  const std::function<void(std::int64_t, std::int64_t, std::int64_t)>* fn =
+      nullptr;
+  std::atomic<std::int64_t> next_block{0};
+  std::int64_t total_blocks = 0;
+  std::int64_t finished_blocks = 0;  // guarded by mutex
+  std::exception_ptr first_error;    // guarded by mutex
+
+  // Runs blocks of the current job until the cursor is exhausted; returns
+  // the number of blocks this thread completed.
+  std::int64_t drain() {
+    std::int64_t ran = 0;
+    for (;;) {
+      const std::int64_t b = next_block.fetch_add(1, std::memory_order_relaxed);
+      if (b >= total_blocks) return ran;
+      const std::int64_t begin = b * block_size;
+      const std::int64_t end = std::min(begin + block_size, count);
+      try {
+        (*fn)(begin, end, b);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      ++ran;
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex);
+      wake.wait(lock, [&] { return shutdown || generation != seen; });
+      if (shutdown) return;
+      seen = generation;
+      lock.unlock();
+      const std::int64_t ran = drain();
+      lock.lock();
+      finished_blocks += ran;
+      if (finished_blocks == total_blocks) done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads)
+    : impl_(new Impl), threads_(threads < 1 ? 1 : threads) {
+  impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+std::int64_t ThreadPool::block_count(std::int64_t count,
+                                     std::int64_t block_size) {
+  if (count <= 0) return 0;
+  if (block_size < 1) block_size = 1;
+  return (count + block_size - 1) / block_size;
+}
+
+void ThreadPool::parallel_blocks(
+    std::int64_t count, std::int64_t block_size,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn) {
+  if (count <= 0) return;
+  if (block_size < 1) block_size = 1;
+  const std::int64_t blocks = block_count(count, block_size);
+
+  if (threads_ == 1 || blocks == 1) {
+    // Serial fast path: no locking, exceptions propagate directly.
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      const std::int64_t begin = b * block_size;
+      fn(begin, std::min(begin + block_size, count), b);
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->count = count;
+    impl_->block_size = block_size;
+    impl_->fn = &fn;
+    impl_->total_blocks = blocks;
+    impl_->finished_blocks = 0;
+    impl_->first_error = nullptr;
+    impl_->next_block.store(0, std::memory_order_relaxed);
+    ++impl_->generation;
+  }
+  impl_->wake.notify_all();
+
+  const std::int64_t ran = impl_->drain();  // caller participates
+
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->finished_blocks += ran;
+  impl_->done.wait(lock,
+                   [&] { return impl_->finished_blocks == impl_->total_blocks; });
+  impl_->fn = nullptr;
+  if (impl_->first_error) {
+    std::exception_ptr error = impl_->first_error;
+    impl_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace anonet

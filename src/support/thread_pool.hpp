@@ -1,0 +1,58 @@
+#pragma once
+
+// A small persistent worker pool for the round engine.
+//
+// The executor's send and receive phases are embarrassingly parallel over
+// vertices, but rounds are short (microseconds at small n), so spawning
+// threads per phase would dominate. The pool keeps its workers parked on a
+// condition variable between jobs; a job is a half-open index range that
+// workers consume in fixed-size blocks through an atomic cursor. Block
+// boundaries are deterministic (only the block->worker assignment varies),
+// so callers can accumulate per-block partial results and reduce them in
+// block order for bit-reproducible statistics.
+//
+// The calling thread participates as a worker, so `ThreadPool(1)` spawns no
+// threads at all and parallel_blocks degenerates to a plain loop.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace anonet {
+
+class ThreadPool {
+ public:
+  // Total workers including the calling thread; spawns `threads - 1`.
+  // threads < 1 is clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const { return threads_; }
+
+  // Hardware concurrency with a sane floor of 1.
+  [[nodiscard]] static int hardware_threads();
+
+  // Invokes fn(begin, end, block_index) for consecutive blocks of size
+  // `block_size` covering [0, count). Blocks run concurrently on the pool
+  // (caller included); the call returns after every block completed. The
+  // first exception thrown by fn is captured and rethrown here. Not
+  // reentrant: fn must not call parallel_blocks on the same pool.
+  void parallel_blocks(
+      std::int64_t count, std::int64_t block_size,
+      const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn);
+
+  // Number of blocks parallel_blocks will use for the given job; callers
+  // size per-block accumulator arrays with this.
+  [[nodiscard]] static std::int64_t block_count(std::int64_t count,
+                                                std::int64_t block_size);
+
+ private:
+  struct Impl;
+  Impl* impl_;  // pimpl keeps <thread>/<mutex> out of the public header
+  int threads_;
+};
+
+}  // namespace anonet

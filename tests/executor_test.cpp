@@ -5,8 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
+#include <random>
+#include <span>
 
+#include "core/exact_pushsum.hpp"
+#include "core/gossip.hpp"
+#include "core/pushsum.hpp"
 #include "dynamics/schedules.hpp"
 #include "graph/generators.hpp"
 #include "runtime/convergence.hpp"
@@ -207,6 +213,191 @@ TEST(Executor, MissingSelfLoopIsRejected) {
   Executor<ProbeAgent> exec(net, std::move(agents),
                             CommModel::kSimpleBroadcast);
   EXPECT_THROW(exec.step(), std::logic_error);
+}
+
+// Order-*sensitive* span-receive agent: its state folds the exact arrival
+// sequence, so two runs end in identical states only if every inbox was
+// delivered in the identical order. This is the strongest possible probe for
+// the thread-count invariance of the round engine.
+struct OrderHashAgent {
+  struct Message {
+    std::uint64_t tag = 0;
+  };
+
+  std::uint64_t state = 1;
+
+  Message send(int outdegree, int port) const {
+    return Message{state ^ (static_cast<std::uint64_t>(outdegree) << 32) ^
+                   static_cast<std::uint64_t>(port)};
+  }
+  void receive(std::span<const Message> messages) {
+    for (const Message& m : messages) {
+      state = state * 1099511628211ull + m.tag;  // FNV-style, order-sensitive
+    }
+  }
+};
+
+std::vector<std::uint64_t> run_order_hash(const DynamicGraphPtr& net,
+                                          CommModel model, int threads,
+                                          int rounds,
+                                          ExecutorStats* stats_out = nullptr) {
+  std::vector<OrderHashAgent> agents(
+      static_cast<std::size_t>(net->vertex_count()));
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    agents[i].state = 0x1234 + i;
+  }
+  Executor<OrderHashAgent> exec(net, std::move(agents), model, 0x5eedull,
+                                threads);
+  exec.run(rounds);
+  if (stats_out != nullptr) *stats_out = exec.stats();
+  std::vector<std::uint64_t> states;
+  for (const auto& a : exec.agents()) states.push_back(a.state);
+  return states;
+}
+
+TEST(ExecutorDeterminism, ThreadCountInvariantForAllModels) {
+  struct Case {
+    const char* name;
+    DynamicGraphPtr net;
+    CommModel model;
+  };
+  Digraph ported = random_strongly_connected(23, 30, 99);
+  ported.assign_output_ports();
+  const std::vector<Case> cases = {
+      {"simple/dynamic",
+       std::make_shared<RandomStronglyConnectedSchedule>(23, 15, 7),
+       CommModel::kSimpleBroadcast},
+      {"outdegree/dynamic",
+       std::make_shared<RandomStronglyConnectedSchedule>(23, 15, 8),
+       CommModel::kOutdegreeAware},
+      {"symmetric/dynamic", std::make_shared<RandomSymmetricSchedule>(23, 9, 9),
+       CommModel::kSymmetricBroadcast},
+      {"ports/static", std::make_shared<StaticSchedule>(ported),
+       CommModel::kOutputPortAware},
+  };
+  for (const Case& c : cases) {
+    ExecutorStats serial_stats;
+    const auto serial = run_order_hash(c.net, c.model, 1, 20, &serial_stats);
+    for (int threads : {2, 4, 8}) {
+      ExecutorStats parallel_stats;
+      const auto parallel =
+          run_order_hash(c.net, c.model, threads, 20, &parallel_stats);
+      EXPECT_EQ(serial, parallel) << c.name << " threads=" << threads;
+      EXPECT_EQ(serial_stats.rounds, parallel_stats.rounds) << c.name;
+      EXPECT_EQ(serial_stats.messages_delivered,
+                parallel_stats.messages_delivered)
+          << c.name;
+      EXPECT_EQ(serial_stats.payload_units, parallel_stats.payload_units)
+          << c.name;
+    }
+  }
+}
+
+TEST(ExecutorDeterminism, PushSumBitwiseIdenticalAcrossThreadCounts) {
+  // Double addition is not associative, so this only passes because the
+  // delivery *order* into every inbox is thread-count invariant.
+  auto run = [](int threads) {
+    auto net = std::make_shared<RandomStronglyConnectedSchedule>(31, 20, 5);
+    std::vector<PushSumAgent> agents;
+    for (Vertex v = 0; v < 31; ++v) {
+      agents.emplace_back(std::sin(static_cast<double>(v)), 1.0);
+    }
+    Executor<PushSumAgent> exec(net, std::move(agents),
+                                CommModel::kOutdegreeAware, 0x5eedull,
+                                threads);
+    exec.run(30);
+    std::vector<std::pair<double, double>> state;
+    for (const auto& a : exec.agents()) state.emplace_back(a.y(), a.z());
+    return state;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].first, parallel[i].first) << i;   // bitwise
+    EXPECT_EQ(serial[i].second, parallel[i].second) << i; // bitwise
+  }
+}
+
+// A faithful copy of the seed executor's round loop (nested per-round inbox,
+// shared sequential mt19937_64 shuffle, graph copy via at(t)): the reference
+// for multiset-semantics preservation. Message *orders* differ from the new
+// engine (different RNG), so agents compared through it must be
+// order-independent — which Push-Sum over exact rationals and set-gossip
+// are.
+template <typename Alg>
+std::vector<Alg> run_seed_reference(const DynamicGraphPtr& net,
+                                    std::vector<Alg> agents, CommModel model,
+                                    int rounds) {
+  using Message = typename Alg::Message;
+  std::mt19937_64 rng(0x5eedull);
+  for (int t = 1; t <= rounds; ++t) {
+    const Digraph g = net->at(t);
+    const auto n = static_cast<std::size_t>(g.vertex_count());
+    std::vector<std::vector<Message>> inbox(n);
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      const auto out = g.out_edges(v);
+      const int d = static_cast<int>(out.size());
+      const Alg& agent = agents[static_cast<std::size_t>(v)];
+      const int visible = sees_outdegree(model) ? d : 0;
+      const Message message = agent.send(visible, 0);
+      for (EdgeId id : out) {
+        inbox[static_cast<std::size_t>(g.edge(id).target)].push_back(message);
+      }
+    }
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      auto& messages = inbox[static_cast<std::size_t>(v)];
+      std::shuffle(messages.begin(), messages.end(), rng);
+      agents[static_cast<std::size_t>(v)].receive(
+          std::span<const Message>(messages));
+    }
+  }
+  return agents;
+}
+
+TEST(ExecutorDeterminism, ExactPushSumMatchesSeedSemantics) {
+  auto net = std::make_shared<RandomStronglyConnectedSchedule>(9, 6, 11);
+  std::vector<ExactPushSumAgent> init;
+  for (Vertex v = 0; v < 9; ++v) init.emplace_back(Rational(v), Rational(1));
+  const auto reference =
+      run_seed_reference(net, init, CommModel::kOutdegreeAware, 12);
+
+  std::vector<ExactPushSumAgent> agents = init;
+  Executor<ExactPushSumAgent> exec(net, std::move(agents),
+                                   CommModel::kOutdegreeAware);
+  exec.run(12);
+  for (Vertex v = 0; v < 9; ++v) {
+    EXPECT_EQ(exec.agent(v).y(), reference[static_cast<std::size_t>(v)].y());
+    EXPECT_EQ(exec.agent(v).z(), reference[static_cast<std::size_t>(v)].z());
+  }
+}
+
+TEST(ExecutorDeterminism, GossipMatchesSeedSemantics) {
+  auto net = std::make_shared<RandomStronglyConnectedSchedule>(13, 4, 3);
+  std::vector<SetGossipAgent> init;
+  for (Vertex v = 0; v < 13; ++v) init.emplace_back(100 + v % 5);
+  const auto reference =
+      run_seed_reference(net, init, CommModel::kSimpleBroadcast, 6);
+
+  std::vector<SetGossipAgent> agents = init;
+  Executor<SetGossipAgent> exec(net, std::move(agents),
+                                CommModel::kSimpleBroadcast, 0x5eedull, 4);
+  exec.run(6);
+  for (Vertex v = 0; v < 13; ++v) {
+    EXPECT_EQ(exec.agent(v).known(),
+              reference[static_cast<std::size_t>(v)].known());
+  }
+}
+
+TEST(ExecutorDeterminism, PhaseTimingsAccumulate) {
+  auto net = std::make_shared<StaticSchedule>(complete_graph(8));
+  Executor<ProbeAgent> exec(net, std::vector<ProbeAgent>(8),
+                            CommModel::kSimpleBroadcast);
+  exec.run(10);
+  const PhaseTimings& t = exec.stats().timings;
+  EXPECT_GE(t.validate_seconds, 0.0);
+  EXPECT_GE(t.send_seconds, 0.0);
+  EXPECT_GT(t.deliver_seconds, 0.0);
 }
 
 TEST(Convergence, Helpers) {
