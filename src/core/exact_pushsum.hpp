@@ -26,6 +26,9 @@ class ExactPushSumAgent {
     [[nodiscard]] std::int64_t weight_units() const { return 2; }
   };
 
+  // All state is per-agent: safe under the executor's thread-parallel phases.
+  static constexpr bool kParallelSafe = true;
+
   // z(0) must be positive; x = y/z converges to Σvalues / Σweights.
   ExactPushSumAgent(Rational value, Rational weight);
 

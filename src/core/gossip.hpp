@@ -33,6 +33,9 @@ class SetGossipAgent {
     }
   };
 
+  // All state is per-agent: safe under the executor's thread-parallel phases.
+  static constexpr bool kParallelSafe = true;
+
   explicit SetGossipAgent(std::int64_t input) : input_(input) {
     known_.insert(input);
   }

@@ -41,6 +41,9 @@ class MetropolisAgent {
     [[nodiscard]] std::int64_t weight_units() const { return 2; }
   };
 
+  // All state is per-agent: safe under the executor's thread-parallel phases.
+  static constexpr bool kParallelSafe = true;
+
   explicit MetropolisAgent(double value) : x_(value) {}
 
   [[nodiscard]] Message send(int outdegree, int /*port*/) const;
@@ -63,6 +66,9 @@ class FrequencyMetropolisAgent {
       return 2 * static_cast<std::int64_t>(x.size()) + 1;
     }
   };
+
+  // All state is per-agent: safe under the executor's thread-parallel phases.
+  static constexpr bool kParallelSafe = true;
 
   explicit FrequencyMetropolisAgent(std::int64_t input);
 

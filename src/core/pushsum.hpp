@@ -44,6 +44,9 @@ class PushSumAgent {
     [[nodiscard]] std::int64_t weight_units() const { return 2; }
   };
 
+  // All state is per-agent: safe under the executor's thread-parallel phases.
+  static constexpr bool kParallelSafe = true;
+
   // y(0) = value, z(0) = weight (> 0); x converges to Σ values / Σ weights.
   PushSumAgent(double value, double weight);
 
@@ -76,6 +79,9 @@ class FrequencyPushSumAgent {
       return 3 * static_cast<std::int64_t>(entries.size()) + 1;
     }
   };
+
+  // All state is per-agent: safe under the executor's thread-parallel phases.
+  static constexpr bool kParallelSafe = true;
 
   // `leader_count` empty: Algorithm 1 (z defaults to 1 everywhere).
   // `leader_count` set: the Section 5.5 variant — z defaults to 1 at leaders

@@ -39,6 +39,9 @@ class UniformWeightAgent {
     [[nodiscard]] std::int64_t weight_units() const { return 1; }
   };
 
+  // All state is per-agent: safe under the executor's thread-parallel phases.
+  static constexpr bool kParallelSafe = true;
+
   // `bound_on_n` is the common knowledge N >= n.
   UniformWeightAgent(double value, std::uint32_t bound_on_n);
 
@@ -67,6 +70,9 @@ class FrequencyUniformAgent {
       return 2 * static_cast<std::int64_t>(x.size());
     }
   };
+
+  // All state is per-agent: safe under the executor's thread-parallel phases.
+  static constexpr bool kParallelSafe = true;
 
   FrequencyUniformAgent(std::int64_t input, std::uint32_t bound_on_n);
 

@@ -21,9 +21,9 @@ EdgeId Digraph::add_edge(Vertex source, Vertex target, EdgeColor color) {
 
 void Digraph::invalidate_caches() {
   adjacency_valid_ = false;
-  self_loops_cache_ = -1;
-  symmetric_cache_ = -1;
-  output_ports_cache_ = -1;
+  self_loops_cache_.reset();
+  symmetric_cache_.reset();
+  output_ports_cache_.reset();
 }
 
 void Digraph::build_adjacency() const {
@@ -93,16 +93,17 @@ int Digraph::edge_multiplicity(Vertex source, Vertex target) const {
 }
 
 bool Digraph::has_all_self_loops() const {
-  if (self_loops_cache_ < 0) {
-    self_loops_cache_ = 1;
+  if (self_loops_cache_.get() < 0) {
+    bool verdict = true;
     for (Vertex v = 0; v < vertex_count_; ++v) {
       if (!has_edge(v, v)) {
-        self_loops_cache_ = 0;
+        verdict = false;
         break;
       }
     }
+    self_loops_cache_.set(verdict);
   }
-  return self_loops_cache_ != 0;
+  return self_loops_cache_.get() != 0;
 }
 
 int Digraph::ensure_self_loops() {
@@ -117,25 +118,26 @@ int Digraph::ensure_self_loops() {
 }
 
 bool Digraph::is_symmetric() const {
-  if (symmetric_cache_ < 0) {
-    symmetric_cache_ = 1;
-    for (Vertex v = 0; v < vertex_count_ && symmetric_cache_ == 1; ++v) {
+  if (symmetric_cache_.get() < 0) {
+    bool verdict = true;
+    for (Vertex v = 0; v < vertex_count_ && verdict; ++v) {
       for (EdgeId id : out_edges(v)) {
         const Edge& e = edge(id);
         if (edge_multiplicity(e.source, e.target) !=
             edge_multiplicity(e.target, e.source)) {
-          symmetric_cache_ = 0;
+          verdict = false;
           break;
         }
       }
     }
+    symmetric_cache_.set(verdict);
   }
-  return symmetric_cache_ != 0;
+  return symmetric_cache_.get() != 0;
 }
 
 bool Digraph::has_valid_output_ports() const {
-  if (output_ports_cache_ < 0) {
-    output_ports_cache_ = 1;
+  if (output_ports_cache_.get() < 0) {
+    bool verdict = true;
     // One scratch bitmap shared by all vertices (epoch-marked so it is never
     // cleared): out-edges of v must carry each port 1..outdegree(v) exactly
     // once. O(E) total, no sorting.
@@ -145,26 +147,22 @@ bool Digraph::has_valid_output_ports() const {
     }
     std::vector<std::int32_t> seen_epoch(
         static_cast<std::size_t>(max_outdegree) + 1, -1);
-    for (Vertex v = 0; v < vertex_count_; ++v) {
+    for (Vertex v = 0; v < vertex_count_ && verdict; ++v) {
       const auto out = out_edges(v);
       const int d = static_cast<int>(out.size());
-      bool valid = true;
       for (EdgeId id : out) {
         const int port = static_cast<int>(edge(id).color);
         if (port < 1 || port > d ||
             seen_epoch[static_cast<std::size_t>(port)] == v) {
-          valid = false;
+          verdict = false;
           break;
         }
         seen_epoch[static_cast<std::size_t>(port)] = v;
       }
-      if (!valid) {
-        output_ports_cache_ = 0;
-        break;
-      }
     }
+    output_ports_cache_.set(verdict);
   }
-  return output_ports_cache_ != 0;
+  return output_ports_cache_.get() != 0;
 }
 
 Digraph Digraph::reversed() const {

@@ -10,6 +10,7 @@
 // outside the structure, as plain vectors indexed by vertex, so the same
 // topology can carry several valuations at once.
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -29,6 +30,36 @@ struct Edge {
   EdgeColor color = kNoColor;
 
   friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// A lazily computed tri-state verdict (-1 unknown, 0 false, 1 true) held in
+// an atomic so concurrent const queries on a shared graph are race-free:
+// two threads may both compute the predicate, but it is a pure function of
+// the edge multiset, so they store the same value (benign double-checked
+// compute, relaxed ordering suffices). Copyable so graph copies carry their
+// verdicts along.
+class CachedVerdict {
+ public:
+  CachedVerdict() = default;
+  CachedVerdict(const CachedVerdict& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  CachedVerdict& operator=(const CachedVerdict& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  // -1 unknown, 0 false, 1 true.
+  [[nodiscard]] std::int8_t get() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void set(bool verdict) {
+    value_.store(verdict ? 1 : 0, std::memory_order_relaxed);
+  }
+  void reset() { value_.store(-1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int8_t> value_{-1};
 };
 
 class Digraph {
@@ -94,14 +125,17 @@ class Digraph {
   mutable std::vector<EdgeId> in_list_, out_list_;
   mutable std::vector<std::int32_t> in_start_, out_start_;
 
-  // Cached validation verdicts (-1 unknown, 0 false, 1 true), keyed on this
-  // graph object: the executor validates each round graph once instead of
-  // re-walking the edge set every round. Copies carry the verdicts along
-  // (they describe the edge multiset, which is copied too); any mutation
-  // resets them.
-  mutable std::int8_t self_loops_cache_ = -1;
-  mutable std::int8_t symmetric_cache_ = -1;
-  mutable std::int8_t output_ports_cache_ = -1;
+  // Cached validation verdicts, keyed on this graph object: the executor
+  // validates each round graph once instead of re-walking the edge set every
+  // round. Copies carry the verdicts along (they describe the edge multiset,
+  // which is copied too); any mutation resets them. Atomic, so concurrent
+  // const verdict queries on a shared graph are race-free; the lazy
+  // adjacency cache is the remaining unsynchronized const path — force it
+  // (any in_edges/out_edges call) before sharing a graph across threads, as
+  // Executor::prepare_topology does.
+  mutable CachedVerdict self_loops_cache_;
+  mutable CachedVerdict symmetric_cache_;
+  mutable CachedVerdict output_ports_cache_;
 };
 
 // Footnote 3 of the paper: the product G1 ∘ G2 has an edge (i, j) whenever

@@ -75,6 +75,18 @@ concept AnonymousAgent = requires(const A const_agent) {
   { const_agent.send(0, 0) } -> std::same_as<typename A::Message>;
 } && (HasSpanReceive<A> || HasVectorReceive<A>);
 
+// An agent opts into thread-parallel execution by declaring
+//     static constexpr bool kParallelSafe = true;
+// promising that send()/receive() touch no state shared between agents.
+// Agents that mutate shared structures (MinBaseAgent and
+// HistoryFrequencyAgent intern into a shared ViewRegistry) must not
+// declare it; the Executor constructor rejects threads > 1 for them
+// instead of racing silently.
+template <typename A>
+inline constexpr bool kParallelSafeAgent = requires {
+  requires static_cast<bool>(A::kParallelSafe);
+};
+
 // Wall-clock spent in each phase of step(), cumulative over rounds. Timings
 // are *measurements*, not semantics: they differ between otherwise identical
 // runs and are excluded from determinism comparisons.
@@ -122,6 +134,7 @@ class Executor {
   // `threads` is the worker count for the send and deliver phases
   // (1 = serial, no pool is created). Agent states, delivery orders, and
   // the counting fields of ExecutorStats are identical for every value.
+  // threads > 1 throws unless Alg declares kParallelSafe (see above).
   Executor(DynamicGraphPtr network, std::vector<Alg> agents, CommModel model,
            std::uint64_t shuffle_seed = 0x5eedull, int threads = 1)
       : network_(std::move(network)),
@@ -135,7 +148,16 @@ class Executor {
     if (agents_.size() != static_cast<std::size_t>(network_->vertex_count())) {
       throw std::invalid_argument("Executor: one agent per vertex required");
     }
-    if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+    if (threads_ > 1) {
+      if constexpr (!kParallelSafeAgent<Alg>) {
+        throw std::invalid_argument(
+            "Executor: threads > 1 requires the agent type to declare "
+            "static constexpr bool kParallelSafe = true (its send/receive "
+            "must not touch state shared between agents)");
+      } else {
+        pool_ = std::make_unique<ThreadPool>(threads_);
+      }
+    }
   }
 
   // Runs one communication-closed round.
@@ -214,11 +236,9 @@ class Executor {
     // blocks are independent and the outcome is thread-count-invariant.
     const std::int64_t blocks = ThreadPool::block_count(
         static_cast<std::int64_t>(n), block);
-    struct Partial {
-      std::int64_t messages = 0;
-      std::int64_t payload = 0;
-    };
-    std::vector<Partial> partials(static_cast<std::size_t>(blocks));
+    if (partials_.size() < static_cast<std::size_t>(blocks)) {
+      partials_.resize(static_cast<std::size_t>(blocks));
+    }
     parallel(static_cast<std::int64_t>(n), block,
              [&](std::int64_t begin, std::int64_t end, std::int64_t b) {
                Partial local;
@@ -270,9 +290,10 @@ class Executor {
                            slice_begin + static_cast<std::ptrdiff_t>(deg))));
                  }
                }
-               partials[static_cast<std::size_t>(b)] = local;
+               partials_[static_cast<std::size_t>(b)] = local;
              });
-    for (const Partial& p : partials) {
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      const Partial& p = partials_[static_cast<std::size_t>(b)];
       stats_.messages_delivered += p.messages;
       stats_.payload_units += p.payload;
     }
@@ -307,12 +328,20 @@ class Executor {
     { m.weight_units() } -> std::convertible_to<std::int64_t>;
   };
 
+  // Per-block partial statistics, reduced in block order after the deliver
+  // phase (deterministic regardless of which worker ran which block).
+  struct Partial {
+    std::int64_t messages = 0;
+    std::int64_t payload = 0;
+  };
+
   template <typename Fn>
   void parallel(std::int64_t count, std::int64_t block, Fn&& fn) {
     if (pool_ != nullptr) {
+      // BlockFn borrows `fn` without allocating (parallel_blocks is
+      // synchronous), so the pooled path stays heap-free per round too.
       pool_->parallel_blocks(count, block, fn);
     } else {
-      // Serial path: direct calls, no std::function indirection.
       const std::int64_t blocks = ThreadPool::block_count(count, block);
       for (std::int64_t b = 0; b < blocks; ++b) {
         const std::int64_t begin = b * block;
@@ -370,6 +399,7 @@ class Executor {
   std::vector<Message> outbox_;            // one message per sender (isotropic)
   std::vector<std::int64_t> outbox_weight_;  // per-sender weight (isotropic)
   std::vector<Message> edge_outbox_;       // one message per edge (port-aware)
+  std::vector<Partial> partials_;          // per-block deliver-phase stats
 };
 
 }  // namespace anonet

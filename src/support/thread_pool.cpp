@@ -1,5 +1,6 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <exception>
@@ -13,52 +14,86 @@ struct ThreadPool::Impl {
   std::mutex mutex;
   std::condition_variable wake;    // workers wait for a job (or shutdown)
   std::condition_variable done;    // caller waits for job completion
-  std::vector<std::thread> workers;
 
-  // Current job, guarded by `mutex` for the non-atomic fields. A job is
-  // identified by its generation so a worker never re-runs a finished one.
-  std::uint64_t generation = 0;
-  bool shutdown = false;
-  std::int64_t count = 0;
-  std::int64_t block_size = 1;
-  const std::function<void(std::int64_t, std::int64_t, std::int64_t)>* fn =
-      nullptr;
-  std::atomic<std::int64_t> next_block{0};
-  std::int64_t total_blocks = 0;
+  // Everything a worker needs to run blocks, snapshotted under `mutex` when
+  // the worker wakes so it never reads fields mid-overwrite by a later
+  // submission. `fn` is non-owning; the caller's callable outlives the job
+  // because parallel_blocks cannot return before every claimed block ran.
+  struct Job {
+    std::uint64_t generation = 0;
+    std::int64_t count = 0;
+    std::int64_t block_size = 1;
+    std::int64_t total_blocks = 0;
+    BlockFn fn;
+  };
+  Job job;                           // current job, guarded by mutex
+  bool shutdown = false;             // guarded by mutex
   std::int64_t finished_blocks = 0;  // guarded by mutex
   std::exception_ptr first_error;    // guarded by mutex
 
-  // Runs blocks of the current job until the cursor is exhausted; returns
-  // the number of blocks this thread completed.
-  std::int64_t drain() {
+  std::vector<std::thread> workers;
+
+  // Block cursor tagged with the job generation: low 32 bits are the next
+  // unclaimed block, high 32 bits the generation (mod 2^32). Claiming is a
+  // CAS that only succeeds while the claimant's snapshotted generation is
+  // still current, so a worker that was preempted between waking for job G
+  // and claiming its first block can neither steal a block from job G+1
+  // (which would silently skip that block's work) nor invoke a stale or
+  // cleared `fn`. Aliasing would need the worker to sleep across exactly
+  // 2^32 submissions — not a practical concern.
+  std::atomic<std::uint64_t> cursor{0};
+
+  static constexpr std::uint64_t kGenShift = 32;
+  static constexpr std::uint64_t kBlockMask = (1ull << kGenShift) - 1;
+
+  static std::uint64_t tag(std::uint64_t generation) {
+    return generation << kGenShift;
+  }
+
+  // Runs blocks of `j` until its cursor is exhausted or superseded; returns
+  // the number of blocks this thread completed. Operates purely on the
+  // snapshot — the only shared state touched is the tagged cursor (and the
+  // error slot under the mutex).
+  std::int64_t drain(const Job& j) {
+    const std::uint64_t gen_tag = tag(j.generation);
     std::int64_t ran = 0;
+    std::uint64_t cur = cursor.load(std::memory_order_relaxed);
     for (;;) {
-      const std::int64_t b = next_block.fetch_add(1, std::memory_order_relaxed);
-      if (b >= total_blocks) return ran;
-      const std::int64_t begin = b * block_size;
-      const std::int64_t end = std::min(begin + block_size, count);
+      if ((cur & ~kBlockMask) != gen_tag) return ran;  // job superseded
+      const auto b = static_cast<std::int64_t>(cur & kBlockMask);
+      if (b >= j.total_blocks) return ran;  // job exhausted
+      if (!cursor.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_relaxed)) {
+        continue;  // cur was reloaded by the failed CAS
+      }
+      const std::int64_t begin = b * j.block_size;
+      const std::int64_t end = std::min(begin + j.block_size, j.count);
       try {
-        (*fn)(begin, end, b);
+        j.fn(begin, end, b);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!first_error) first_error = std::current_exception();
       }
       ++ran;
+      cur = cursor.load(std::memory_order_relaxed);
     }
   }
 
   void worker_loop() {
     std::uint64_t seen = 0;
     for (;;) {
-      std::unique_lock<std::mutex> lock(mutex);
-      wake.wait(lock, [&] { return shutdown || generation != seen; });
-      if (shutdown) return;
-      seen = generation;
-      lock.unlock();
-      const std::int64_t ran = drain();
-      lock.lock();
+      Job snapshot;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [&] { return shutdown || job.generation != seen; });
+        if (shutdown) return;
+        seen = job.generation;
+        snapshot = job;
+      }
+      const std::int64_t ran = drain(snapshot);
+      std::lock_guard<std::mutex> lock(mutex);
       finished_blocks += ran;
-      if (finished_blocks == total_blocks) done.notify_all();
+      if (finished_blocks == job.total_blocks) done.notify_all();
     }
   }
 };
@@ -93,12 +128,15 @@ std::int64_t ThreadPool::block_count(std::int64_t count,
   return (count + block_size - 1) / block_size;
 }
 
-void ThreadPool::parallel_blocks(
-    std::int64_t count, std::int64_t block_size,
-    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn) {
+void ThreadPool::parallel_blocks(std::int64_t count, std::int64_t block_size,
+                                 BlockFn fn) {
   if (count <= 0) return;
   if (block_size < 1) block_size = 1;
   const std::int64_t blocks = block_count(count, block_size);
+  if (blocks > static_cast<std::int64_t>(Impl::kBlockMask)) {
+    throw std::invalid_argument(
+        "ThreadPool::parallel_blocks: job exceeds 2^32 - 1 blocks");
+  }
 
   if (threads_ == 1 || blocks == 1) {
     // Serial fast path: no locking, exceptions propagate directly.
@@ -109,26 +147,35 @@ void ThreadPool::parallel_blocks(
     return;
   }
 
+  Impl::Job submitted;
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->count = count;
-    impl_->block_size = block_size;
-    impl_->fn = &fn;
-    impl_->total_blocks = blocks;
+    submitted.generation = impl_->job.generation + 1;
+    submitted.count = count;
+    submitted.block_size = block_size;
+    submitted.total_blocks = blocks;
+    submitted.fn = fn;
+    impl_->job = submitted;
     impl_->finished_blocks = 0;
     impl_->first_error = nullptr;
-    impl_->next_block.store(0, std::memory_order_relaxed);
-    ++impl_->generation;
+    // Publishing the tagged cursor opens the new generation for claiming;
+    // any block claims still in flight belong to older generations and are
+    // rejected by drain()'s CAS.
+    impl_->cursor.store(Impl::tag(submitted.generation),
+                        std::memory_order_relaxed);
   }
   impl_->wake.notify_all();
 
-  const std::int64_t ran = impl_->drain();  // caller participates
+  const std::int64_t ran = impl_->drain(submitted);  // caller participates
 
   std::unique_lock<std::mutex> lock(impl_->mutex);
   impl_->finished_blocks += ran;
-  impl_->done.wait(lock,
-                   [&] { return impl_->finished_blocks == impl_->total_blocks; });
-  impl_->fn = nullptr;
+  // Every claimed block is eventually both run and counted by its claimant,
+  // so this wait cannot be satisfied before all of the job's work landed —
+  // which also keeps the borrowed `fn` alive for every executing block.
+  impl_->done.wait(
+      lock, [&] { return impl_->finished_blocks == impl_->job.total_blocks; });
+  impl_->job.fn = BlockFn();  // drop the borrowed callable
   if (impl_->first_error) {
     std::exception_ptr error = impl_->first_error;
     impl_->first_error = nullptr;

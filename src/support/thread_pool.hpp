@@ -14,11 +14,43 @@
 // The calling thread participates as a worker, so `ThreadPool(1)` spawns no
 // threads at all and parallel_blocks degenerates to a plain loop.
 
+#include <concepts>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace anonet {
+
+// Non-owning reference to a block callable (function_ref style).
+// parallel_blocks is fully synchronous — every block completes before it
+// returns — so borrowing the caller's callable is safe, and unlike
+// std::function no allocation happens however large the capture set is.
+class BlockFn {
+ public:
+  BlockFn() = default;
+
+  template <typename F>
+    requires std::invocable<F&, std::int64_t, std::int64_t, std::int64_t> &&
+             (!std::same_as<std::remove_cvref_t<F>, BlockFn>)
+  BlockFn(F&& f)  // NOLINT(google-explicit-constructor): by-design adaptor
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, std::int64_t begin, std::int64_t end,
+                 std::int64_t block) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(begin, end, block);
+        }) {}
+
+  void operator()(std::int64_t begin, std::int64_t end,
+                  std::int64_t block) const {
+    call_(obj_, begin, end, block);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  void (*call_)(void*, std::int64_t, std::int64_t, std::int64_t) = nullptr;
+};
 
 class ThreadPool {
  public:
@@ -39,10 +71,10 @@ class ThreadPool {
   // `block_size` covering [0, count). Blocks run concurrently on the pool
   // (caller included); the call returns after every block completed. The
   // first exception thrown by fn is captured and rethrown here. Not
-  // reentrant: fn must not call parallel_blocks on the same pool.
-  void parallel_blocks(
-      std::int64_t count, std::int64_t block_size,
-      const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn);
+  // reentrant: fn must not call parallel_blocks on the same pool. The job
+  // may span at most 2^32 - 1 blocks (the block half of the tagged cursor).
+  void parallel_blocks(std::int64_t count, std::int64_t block_size,
+                       BlockFn fn);
 
   // Number of blocks parallel_blocks will use for the given job; callers
   // size per-block accumulator arrays with this.

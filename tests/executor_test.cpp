@@ -52,6 +52,20 @@ TEST(Executor, RequiresOneAgentPerVertex) {
                std::invalid_argument);
 }
 
+TEST(Executor, RejectsThreadsWithoutParallelSafeOptIn) {
+  // ProbeAgent does not declare kParallelSafe, so a parallel executor must
+  // be refused at construction instead of racing silently.
+  auto net = std::make_shared<StaticSchedule>(directed_ring(3));
+  EXPECT_THROW(Executor<ProbeAgent>(net, std::vector<ProbeAgent>(3),
+                                    CommModel::kSimpleBroadcast, 0x5eedull,
+                                    /*threads=*/2),
+               std::invalid_argument);
+  // threads == 1 stays available to any agent type.
+  EXPECT_NO_THROW(Executor<ProbeAgent>(net, std::vector<ProbeAgent>(3),
+                                       CommModel::kSimpleBroadcast, 0x5eedull,
+                                       /*threads=*/1));
+}
+
 TEST(Executor, SimpleBroadcastHidesOutdegree) {
   auto net = std::make_shared<StaticSchedule>(complete_graph(3));
   std::vector<ProbeAgent> agents(3);
@@ -223,6 +237,8 @@ struct OrderHashAgent {
   struct Message {
     std::uint64_t tag = 0;
   };
+
+  static constexpr bool kParallelSafe = true;
 
   std::uint64_t state = 1;
 

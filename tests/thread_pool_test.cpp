@@ -80,6 +80,30 @@ TEST(ThreadPool, PoolIsReusableAcrossJobs) {
   }
 }
 
+TEST(ThreadPool, BackToBackJobsNeverLoseOrLeakBlocks) {
+  // Regression for a stale-worker race: a worker that woke for job G but
+  // was preempted before claiming its first block must not consume blocks
+  // (or invoke the callable) of job G+1. Tiny jobs submitted back-to-back
+  // maximize the window in which workers from the previous generation are
+  // still in flight; every index must be hit exactly once per job.
+  ThreadPool pool(4);
+  for (int job = 0; job < 2000; ++job) {
+    const std::int64_t count = 2 + (job % 7) * 3;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+    pool.parallel_blocks(count, 1,
+                         [&](std::int64_t begin, std::int64_t end,
+                             std::int64_t) {
+                           for (std::int64_t i = begin; i < end; ++i) {
+                             hits[static_cast<std::size_t>(i)].fetch_add(1);
+                           }
+                         });
+    for (std::int64_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "job " << job << " index " << i;
+    }
+  }
+}
+
 TEST(ThreadPool, PropagatesFirstException) {
   for (int threads : {1, 4}) {
     ThreadPool pool(threads);
