@@ -19,9 +19,9 @@
 //   --dot       also print the static graph in Graphviz DOT
 //
 // Examples:
-//   explore --graph ring:6 --inputs 1,5,1,5,1,5 --model outdegree \
+//   explore --graph ring:6 --inputs 1,5,1,5,1,5 --model outdegree
 //           --function average
-//   explore --dynamic sc:8:3:7 --inputs random:8:0:3:1 --model outdegree \
+//   explore --dynamic sc:8:3:7 --inputs random:8:0:3:1 --model outdegree
 //           --function sum --knowledge leaders:1
 
 #include <cstdio>

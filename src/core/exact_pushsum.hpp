@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "runtime/capabilities.hpp"
 #include "support/rational.hpp"
 
 namespace anonet {
@@ -28,6 +29,9 @@ class ExactPushSumAgent {
 
   // All state is per-agent: safe under the executor's thread-parallel phases.
   static constexpr bool kParallelSafe = true;
+  // Same 1/d rational mass split as PushSumAgent: outdegree awareness.
+  static constexpr ModelCapabilities kModelCapabilities =
+      ModelCapabilities::kNeedsOutdegree;
 
   // z(0) must be positive; x = y/z converges to Σvalues / Σweights.
   ExactPushSumAgent(Rational value, Rational weight);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "functions/functions.hpp"
+#include "runtime/capabilities.hpp"
 
 namespace anonet {
 
@@ -35,6 +36,10 @@ class SetGossipAgent {
 
   // All state is per-agent: safe under the executor's thread-parallel phases.
   static constexpr bool kParallelSafe = true;
+  // The sending function is a pure function of the state — the simple
+  // broadcast cell of Table 1, hence runnable under every model.
+  static constexpr ModelCapabilities kModelCapabilities =
+      ModelCapabilities::kNone;
 
   explicit SetGossipAgent(std::int64_t input) : input_(input) {
     known_.insert(input);

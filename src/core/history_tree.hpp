@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "functions/functions.hpp"
+#include "runtime/capabilities.hpp"
 #include "support/bigint.hpp"
 #include "views/label_codec.hpp"
 #include "views/view_registry.hpp"
@@ -53,6 +54,13 @@ class HistoryFrequencyAgent {
 
     [[nodiscard]] std::int64_t weight_units() const { return 1; }
   };
+
+  // Degree-oblivious (simple broadcast sending function), but the whole
+  // double-count mechanism rests on bidirectional round graphs: the executor
+  // verifies symmetry every round. NOT kParallelSafe: agents intern into the
+  // shared registry.
+  static constexpr ModelCapabilities kModelCapabilities =
+      ModelCapabilities::kSymmetricOnly;
 
   // All agents of an execution share `registry` and `codec` (interning).
   HistoryFrequencyAgent(std::shared_ptr<ViewRegistry> registry,

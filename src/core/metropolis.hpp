@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "functions/functions.hpp"
+#include "runtime/capabilities.hpp"
 #include "support/farey.hpp"
 
 namespace anonet {
@@ -43,6 +44,11 @@ class MetropolisAgent {
 
   // All state is per-agent: safe under the executor's thread-parallel phases.
   static constexpr bool kParallelSafe = true;
+  // Metropolis weights consume the round degree (outdegree awareness) and
+  // the pairwise cancellation is only sum-preserving on bidirectional round
+  // graphs: the executor verifies symmetry every round.
+  static constexpr ModelCapabilities kModelCapabilities =
+      ModelCapabilities::kNeedsOutdegree | ModelCapabilities::kSymmetricOnly;
 
   explicit MetropolisAgent(double value) : x_(value) {}
 
@@ -69,6 +75,9 @@ class FrequencyMetropolisAgent {
 
   // All state is per-agent: safe under the executor's thread-parallel phases.
   static constexpr bool kParallelSafe = true;
+  // Same cell as MetropolisAgent: round degrees + symmetric networks.
+  static constexpr ModelCapabilities kModelCapabilities =
+      ModelCapabilities::kNeedsOutdegree | ModelCapabilities::kSymmetricOnly;
 
   explicit FrequencyMetropolisAgent(std::int64_t input);
 

@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "runtime/capabilities.hpp"
 #include "runtime/comm_model.hpp"
 #include "views/base_extraction.hpp"
 #include "views/label_codec.hpp"
@@ -41,6 +42,13 @@ class MinBaseAgent {
     // the edge color of the corresponding child in the receiver's view.
     int port = 0;
   };
+
+  // Adapts to whatever the model provides: views are labeled with values,
+  // (value, outdegree) pairs, or port-colored edges depending on the
+  // CommModel handed to the constructor (Section 3.2), so every pairing is
+  // legitimate. NOT kParallelSafe: agents intern into the shared registry.
+  static constexpr ModelCapabilities kModelCapabilities =
+      ModelCapabilities::kModelPolymorphic;
 
   // All agents of an execution share `registry` and `codec` (see the
   // interning rationale in views/view_registry.hpp).

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "functions/functions.hpp"
+#include "runtime/capabilities.hpp"
 #include "support/farey.hpp"
 
 namespace anonet {
@@ -46,6 +47,10 @@ class PushSumAgent {
 
   // All state is per-agent: safe under the executor's thread-parallel phases.
   static constexpr bool kParallelSafe = true;
+  // The 1/d mass split consumes the round outdegree (Table 1, outdegree
+  // awareness); the executor rejects this agent under broadcast models.
+  static constexpr ModelCapabilities kModelCapabilities =
+      ModelCapabilities::kNeedsOutdegree;
 
   // y(0) = value, z(0) = weight (> 0); x converges to Σ values / Σ weights.
   PushSumAgent(double value, double weight);
@@ -82,6 +87,9 @@ class FrequencyPushSumAgent {
 
   // All state is per-agent: safe under the executor's thread-parallel phases.
   static constexpr bool kParallelSafe = true;
+  // Per-value Push-Sum inherits the 1/d split: outdegree awareness required.
+  static constexpr ModelCapabilities kModelCapabilities =
+      ModelCapabilities::kNeedsOutdegree;
 
   // `leader_count` empty: Algorithm 1 (z defaults to 1 everywhere).
   // `leader_count` set: the Section 5.5 variant — z defaults to 1 at leaders

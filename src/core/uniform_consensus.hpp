@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "functions/functions.hpp"
+#include "runtime/capabilities.hpp"
 #include "support/farey.hpp"
 
 namespace anonet {
@@ -41,6 +42,10 @@ class UniformWeightAgent {
 
   // All state is per-agent: safe under the executor's thread-parallel phases.
   static constexpr bool kParallelSafe = true;
+  // Genuinely degree-oblivious (the whole point), but the 1/N step is only
+  // sum-preserving on bidirectional round graphs: symmetric networks only.
+  static constexpr ModelCapabilities kModelCapabilities =
+      ModelCapabilities::kSymmetricOnly;
 
   // `bound_on_n` is the common knowledge N >= n.
   UniformWeightAgent(double value, std::uint32_t bound_on_n);
@@ -73,6 +78,9 @@ class FrequencyUniformAgent {
 
   // All state is per-agent: safe under the executor's thread-parallel phases.
   static constexpr bool kParallelSafe = true;
+  // Same cell as UniformWeightAgent: degree-oblivious, symmetric networks.
+  static constexpr ModelCapabilities kModelCapabilities =
+      ModelCapabilities::kSymmetricOnly;
 
   FrequencyUniformAgent(std::int64_t input, std::uint32_t bound_on_n);
 

@@ -1,0 +1,138 @@
+#pragma once
+
+// Compile-time capability traits: machine-checked Table 1.
+//
+// The paper's separation results are statements about what a sending
+// function is *allowed to see*: simple broadcast hides the outdegree,
+// outdegree awareness reveals it, output-port awareness addresses ports
+// individually, and the symmetric column restricts the network class rather
+// than the sending function. An algorithm only witnesses a row of Table 1
+// if it genuinely stays inside its cell — an agent that peeks at the
+// outdegree under simple broadcast silently proves a theorem the paper
+// forbids. Agents therefore declare what they consume:
+//
+//     static constexpr ModelCapabilities kModelCapabilities =
+//         ModelCapabilities::kNeedsOutdegree | ModelCapabilities::kSymmetricOnly;
+//
+// and the Executor enforces the declaration twice: at compile time when the
+// model is a constant (the ModelTag constructor overload static_asserts with
+// an explanation), and at construction time for runtime-chosen models (the
+// CommModel constructor throws std::invalid_argument). The standalone
+// anonet_lint tool (tools/anonet_lint/) closes the loop from the other side:
+// rule M1 flags agent code that reads the outdegree/port parameters without
+// declaring the matching capability. See docs/static_analysis.md.
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/comm_model.hpp"
+
+namespace anonet {
+
+// What an agent's sending/transition functions consume from the
+// communication model. Combine with operator|.
+enum class ModelCapabilities : std::uint8_t {
+  // The sending function is a pure function of the state: runs under every
+  // model (the executor passes outdegree 0 / port 0 and the agent must not
+  // care). SetGossipAgent is the canonical example.
+  kNone = 0,
+  // send() reads its outdegree parameter: requires a model for which
+  // sees_outdegree() holds (outdegree or output-port awareness).
+  kNeedsOutdegree = 1u << 0,
+  // send() distinguishes recipients through its port parameter: requires
+  // CommModel::kOutputPortAware, the only non-isotropic model.
+  kNeedsOutputPorts = 1u << 1,
+  // Correctness relies on bidirectional round graphs (the "symmetric
+  // communications" columns of Tables 1 and 2). No model is excluded, but
+  // the executor additionally verifies every round graph is symmetric —
+  // also under models that would not otherwise check (e.g. Metropolis runs
+  // under kOutdegreeAware; the paper states it for symmetric networks).
+  kSymmetricOnly = 1u << 2,
+  // The agent adapts its behavior to whatever the model provides (it may
+  // read outdegree/port when present and degrade gracefully when hidden).
+  // MinBaseAgent, which takes the CommModel as a constructor argument and
+  // labels views accordingly, is the canonical example. Disables the
+  // compile-time pairing checks.
+  kModelPolymorphic = 1u << 3,
+};
+
+[[nodiscard]] constexpr ModelCapabilities operator|(ModelCapabilities a,
+                                                    ModelCapabilities b) {
+  return static_cast<ModelCapabilities>(static_cast<std::uint8_t>(a) |
+                                        static_cast<std::uint8_t>(b));
+}
+
+[[nodiscard]] constexpr bool has_capability(ModelCapabilities set,
+                                            ModelCapabilities bit) {
+  return (static_cast<std::uint8_t>(set) & static_cast<std::uint8_t>(bit)) !=
+         0;
+}
+
+template <typename A>
+concept DeclaresModelCapabilities = requires {
+  { A::kModelCapabilities } -> std::convertible_to<ModelCapabilities>;
+};
+
+// The declared capability set, or kModelPolymorphic when the agent predates
+// the annotation scheme (test probes, downstream agents). Library and
+// example agents are required to declare — anonet_lint rule M1 enforces it
+// syntactically for any agent whose send() names its outdegree/port
+// parameters.
+template <typename A>
+[[nodiscard]] constexpr ModelCapabilities agent_capabilities() {
+  if constexpr (DeclaresModelCapabilities<A>) {
+    return A::kModelCapabilities;
+  } else {
+    return ModelCapabilities::kModelPolymorphic;
+  }
+}
+
+// Whether a model satisfies a capability set — the admissibility predicate
+// of Table 1. kSymmetricOnly is deliberately absent: it restricts the
+// network class, not the model, and is enforced per round by the executor.
+[[nodiscard]] constexpr bool model_provides(CommModel model,
+                                            ModelCapabilities caps) {
+  if (has_capability(caps, ModelCapabilities::kModelPolymorphic)) return true;
+  if (has_capability(caps, ModelCapabilities::kNeedsOutdegree) &&
+      !sees_outdegree(model)) {
+    return false;
+  }
+  if (has_capability(caps, ModelCapabilities::kNeedsOutputPorts) &&
+      model != CommModel::kOutputPortAware) {
+    return false;
+  }
+  return true;
+}
+
+// Compile-time model selection. Passing a tag instead of the runtime enum
+//     Executor<PushSumAgent> exec(net, agents, under<CommModel::kOutdegreeAware>);
+// turns a forbidden agent/model pairing into a static_assert instead of a
+// construction-time throw.
+template <CommModel M>
+struct ModelTag {
+  static constexpr CommModel value = M;
+};
+
+template <CommModel M>
+inline constexpr ModelTag<M> under{};
+
+// Diagnosis string for the runtime throw on a forbidden pairing.
+[[nodiscard]] inline std::string describe_model_mismatch(
+    CommModel model, ModelCapabilities caps) {
+  std::string out = "agent/model pairing forbidden by Table 1: the agent";
+  if (has_capability(caps, ModelCapabilities::kNeedsOutdegree) &&
+      !sees_outdegree(model)) {
+    out += " declares kNeedsOutdegree, but ";
+    out += to_string(model);
+    out += " hides the sender's outdegree";
+  }
+  if (has_capability(caps, ModelCapabilities::kNeedsOutputPorts) &&
+      model != CommModel::kOutputPortAware) {
+    out += " declares kNeedsOutputPorts, but ";
+    out += to_string(model);
+    out += " is isotropic (one message replicated to all out-neighbors)";
+  }
+  return out;
+}
+
+}  // namespace anonet

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "dynamics/dynamic_graph.hpp"
+#include "runtime/capabilities.hpp"
 #include "runtime/comm_model.hpp"
 #include "support/counter_rng.hpp"
 #include "support/thread_pool.hpp"
@@ -131,10 +132,19 @@ class Executor {
  public:
   using Message = typename Alg::Message;
 
+  // Capability set declared by the agent (runtime/capabilities.hpp);
+  // undeclared agents are treated as model-polymorphic.
+  static constexpr ModelCapabilities kAgentCapabilities =
+      agent_capabilities<Alg>();
+
   // `threads` is the worker count for the send and deliver phases
   // (1 = serial, no pool is created). Agent states, delivery orders, and
   // the counting fields of ExecutorStats are identical for every value.
   // threads > 1 throws unless Alg declares kParallelSafe (see above).
+  // A model that does not provide the agent's declared capabilities
+  // (e.g. an outdegree-consuming agent under kSimpleBroadcast) throws
+  // std::invalid_argument; use the ModelTag overload below to turn that
+  // into a compile error.
   Executor(DynamicGraphPtr network, std::vector<Alg> agents, CommModel model,
            std::uint64_t shuffle_seed = 0x5eedull, int threads = 1)
       : network_(std::move(network)),
@@ -144,6 +154,10 @@ class Executor {
         threads_(threads < 1 ? 1 : threads) {
     if (network_ == nullptr) {
       throw std::invalid_argument("Executor: null network");
+    }
+    if (!model_provides(model_, kAgentCapabilities)) {
+      throw std::invalid_argument(
+          "Executor: " + describe_model_mismatch(model_, kAgentCapabilities));
     }
     if (agents_.size() != static_cast<std::size_t>(network_->vertex_count())) {
       throw std::invalid_argument("Executor: one agent per vertex required");
@@ -160,6 +174,37 @@ class Executor {
     }
   }
 
+  // Compile-time-checked model selection: pass `under<CommModel::k...>`
+  // instead of the enum and a pairing forbidden by Table 1 fails to compile
+  // with an explanation instead of throwing at construction.
+  template <CommModel M>
+  Executor(DynamicGraphPtr network, std::vector<Alg> agents,
+           ModelTag<M> /*model*/, std::uint64_t shuffle_seed = 0x5eedull,
+           int threads = 1)
+      : Executor(std::move(network), std::move(agents), M, shuffle_seed,
+                 threads) {
+    static_assert(
+        !(has_capability(kAgentCapabilities,
+                         ModelCapabilities::kNeedsOutdegree) &&
+          !sees_outdegree(M)),
+        "anonet model-compliance violation (Table 1): this agent declares "
+        "ModelCapabilities::kNeedsOutdegree, but the selected communication "
+        "model hides the sender's outdegree — simple and symmetric broadcast "
+        "call send() with outdegree 0. Run the agent under kOutdegreeAware "
+        "or kOutputPortAware, or rewrite its sending function so it no "
+        "longer consumes the outdegree.");
+    static_assert(
+        !(has_capability(kAgentCapabilities,
+                         ModelCapabilities::kNeedsOutputPorts) &&
+          M != CommModel::kOutputPortAware),
+        "anonet model-compliance violation (Table 1): this agent declares "
+        "ModelCapabilities::kNeedsOutputPorts, but only "
+        "CommModel::kOutputPortAware addresses output ports individually — "
+        "every other model is isotropic and replicates one message to all "
+        "out-neighbors. Run the agent under kOutputPortAware, or rewrite "
+        "its sending function to ignore the port.");
+  }
+
   // Runs one communication-closed round.
   void step() {
     using Clock = std::chrono::steady_clock;
@@ -174,8 +219,19 @@ class Executor {
     if (!g.has_all_self_loops()) {
       throw std::logic_error("Executor: round graph misses a self-loop");
     }
+    // kSymmetricOnly agents get their network-class assumption verified
+    // under every model (Metropolis runs under kOutdegreeAware but is only
+    // correct on bidirectional round graphs); the verdict is cached on the
+    // graph object, so static schedules pay once.
+    constexpr bool requires_symmetric = has_capability(
+        kAgentCapabilities, ModelCapabilities::kSymmetricOnly);
     if (model_ == CommModel::kSymmetricBroadcast && !g.is_symmetric()) {
       throw std::logic_error("Executor: asymmetric round under symmetric model");
+    }
+    if (requires_symmetric && !g.is_symmetric()) {
+      throw std::logic_error(
+          "Executor: asymmetric round graph for an agent declaring "
+          "ModelCapabilities::kSymmetricOnly");
     }
     if (model_ == CommModel::kOutputPortAware) validate_output_ports(g);
 

@@ -111,10 +111,11 @@ TEST(BigInt, GcdLcm) {
 
 TEST(BigInt, ToInt64OverflowThrows) {
   const BigInt big = BigInt::from_string("9223372036854775808");  // 2^63
-  EXPECT_THROW(big.to_int64(), std::overflow_error);
+  EXPECT_THROW(static_cast<void>(big.to_int64()), std::overflow_error);
   const BigInt min = BigInt::from_string("-9223372036854775808");  // -2^63
   EXPECT_EQ(min.to_int64(), std::numeric_limits<std::int64_t>::min());
-  EXPECT_THROW((min - BigInt(1)).to_int64(), std::overflow_error);
+  EXPECT_THROW(static_cast<void>((min - BigInt(1)).to_int64()),
+               std::overflow_error);
 }
 
 TEST(BigInt, RandomizedAgainstInt128) {

@@ -81,7 +81,8 @@ TEST(Fibration, FibreSizes) {
 
 TEST(Fibration, ProjectionSizeMismatchThrows) {
   EXPECT_THROW(
-      is_fibration(directed_ring(3), directed_ring(3), {0, 1}),
+      static_cast<void>(is_fibration(directed_ring(3), directed_ring(3),
+                                     {0, 1})),
       std::invalid_argument);
 }
 

@@ -94,7 +94,8 @@ TEST(SymmetricFunction, ApproxEvaluators) {
       threshold_predicate(0, r(1, 2)).eval_approximate(nu), 0.0);
   EXPECT_TRUE(average_function().continuous_in_frequency());
   EXPECT_FALSE(sum_function().continuous_in_frequency());
-  EXPECT_THROW(sum_function().eval_approximate(nu), std::logic_error);
+  EXPECT_THROW(static_cast<void>(sum_function().eval_approximate(nu)),
+               std::logic_error);
 }
 
 TEST(SymmetricFunction, ExtendedLibrary) {

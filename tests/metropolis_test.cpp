@@ -71,7 +71,7 @@ TEST(Metropolis, ToleratesAsynchronousStarts) {
 
 TEST(Metropolis, RequiresOutdegreeAwareness) {
   MetropolisAgent agent(1.0);
-  EXPECT_THROW(agent.send(0, 0), std::logic_error);
+  EXPECT_THROW(static_cast<void>(agent.send(0, 0)), std::logic_error);
 }
 
 TEST(FrequencyMetropolis, IndicatorAveragesAreFrequencies) {

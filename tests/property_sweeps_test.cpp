@@ -86,12 +86,12 @@ std::vector<StaticCase> static_cases() {
 
 INSTANTIATE_TEST_SUITE_P(
     ModelsAndSeeds, StaticFrequencySweep, ::testing::ValuesIn(static_cases()),
-    [](const ::testing::TestParamInfo<StaticCase>& info) {
-      std::string name(to_string(info.param.model));
+    [](const ::testing::TestParamInfo<StaticCase>& param_info) {
+      std::string name(to_string(param_info.param.model));
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
-      return name + "_" + std::to_string(info.param.seed);
+      return name + "_" + std::to_string(param_info.param.seed);
     });
 
 // --- Sweep 2: Push-Sum invariants across sizes and schedules ----------------

@@ -16,10 +16,6 @@
 namespace anonet {
 namespace {
 
-Rational r(std::int64_t num, std::int64_t den = 1) {
-  return Rational(BigInt(num), BigInt(den));
-}
-
 TEST(PushSum, ComputesQuotSumOnStaticGraph) {
   // quot-sum = Σv / Σw = (1+2+3+4) / (1+1+2+4) = 10/8.
   const std::vector<double> values{1, 2, 3, 4};
@@ -104,7 +100,8 @@ TEST(PushSum, ErrorShrinksGeometrically) {
 
 TEST(PushSum, RequiresOutdegreeAwareness) {
   PushSumAgent agent(1.0, 1.0);
-  EXPECT_THROW(agent.send(0, 0), std::logic_error);  // model hid the degree
+  EXPECT_THROW(static_cast<void>(agent.send(0, 0)),
+               std::logic_error);  // model hid the degree
   EXPECT_THROW(PushSumAgent(1.0, 0.0), std::invalid_argument);
 }
 

@@ -188,7 +188,7 @@ TEST(LabelCodec, ValueLabelsRoundTrip) {
   EXPECT_EQ(codec.value_of(a), 42);
   EXPECT_EQ(codec.value_of(b), -7);
   EXPECT_FALSE(codec.has_outdegree(a));
-  EXPECT_THROW(codec.outdegree_of(a), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(codec.outdegree_of(a)), std::out_of_range);
 }
 
 TEST(LabelCodec, ValuedDegreeLabels) {
@@ -200,8 +200,9 @@ TEST(LabelCodec, ValuedDegreeLabels) {
   EXPECT_EQ(codec.value_of(with_degree), 5);
   EXPECT_TRUE(codec.has_outdegree(with_degree));
   EXPECT_EQ(codec.outdegree_of(with_degree), 3);
-  EXPECT_THROW(codec.valued_degree_label(5, -1), std::invalid_argument);
-  EXPECT_THROW(codec.value_of(9999), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(codec.valued_degree_label(5, -1)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(codec.value_of(9999)), std::out_of_range);
 }
 
 }  // namespace
