@@ -1,0 +1,134 @@
+// End-to-end campaign benchmark — emits BENCH_campaign.json.
+//
+// Runs the "tables" grid (both verdict tables of the paper) plus the
+// "adversarial" grid (explicit agents pinned against the worst-case
+// schedules) through campaign::Runner, and summarizes the outcome: per
+// suite the cell counts by verdict, the paper comparison for the table
+// suites, and aggregate message/bandwidth totals from the arena. Wall
+// time is reported for the campaign as a whole, not per cell, so the
+// record-level data stays deterministic.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/metrics.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "support/jsonl.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace anonet;
+using namespace anonet::campaign;
+
+namespace {
+
+struct SuiteSummary {
+  std::string suite;
+  int cells = 0;
+  int ok = 0;
+  int skipped = 0;
+  int failed = 0;
+  int exact = 0;
+  int approximate = 0;  // success without exact stabilization
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t payload = 0;
+};
+
+void fold(const std::vector<CellRecord>& records,
+          std::vector<SuiteSummary>& suites) {
+  for (const CellRecord& record : records) {
+    SuiteSummary* summary = nullptr;
+    for (SuiteSummary& s : suites) {
+      if (s.suite == record.suite) summary = &s;
+    }
+    if (summary == nullptr) {
+      suites.push_back({});
+      summary = &suites.back();
+      summary->suite = record.suite;
+    }
+    ++summary->cells;
+    if (record.verdict == "ok") ++summary->ok;
+    if (record.verdict == "skipped") ++summary->skipped;
+    if (record.verdict == "failed") ++summary->failed;
+    if (record.exact) ++summary->exact;
+    if (record.success && !record.exact) ++summary->approximate;
+    summary->rounds += record.rounds;
+    summary->messages += record.messages;
+    summary->payload += record.payload;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto started = std::chrono::steady_clock::now();
+
+  RunnerOptions options;
+  options.threads = ThreadPool::hardware_threads();
+  options.resume = false;
+  const Runner runner(options);
+
+  std::printf("campaign bench: running 'tables' grid...\n");
+  const std::vector<CellRecord> tables = runner.run(Grid::preset("tables"));
+  std::printf("campaign bench: running 'adversarial' grid...\n");
+  const std::vector<CellRecord> adversarial =
+      runner.run(Grid::preset("adversarial"));
+
+  std::vector<SuiteSummary> suites;
+  fold(tables, suites);
+  fold(adversarial, suites);
+
+  const TableComparison table1 = compare_table(tables, "table1");
+  const TableComparison table2 = compare_table(tables, "table2");
+  std::printf("\n%s\n%s\n", render_table(table1).c_str(),
+              render_table(table2).c_str());
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  FILE* out = std::fopen("BENCH_campaign.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_campaign.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"hardware_threads\": %d,\n",
+               ThreadPool::hardware_threads());
+  std::fprintf(out, "  \"wall_seconds\": %.3f,\n", wall_seconds);
+  std::fprintf(out, "  \"table1_matches_paper\": %s,\n",
+               table1.all_match ? "true" : "false");
+  std::fprintf(out, "  \"table2_matches_paper\": %s,\n",
+               table2.all_match ? "true" : "false");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < suites.size(); ++i) {
+    const SuiteSummary& s = suites[i];
+    JsonObject o;
+    o.field("suite", s.suite)
+        .field("cells", s.cells)
+        .field("ok", s.ok)
+        .field("skipped", s.skipped)
+        .field("failed", s.failed)
+        .field("exact", s.exact)
+        .field("approximate", s.approximate)
+        .field("rounds", s.rounds)
+        .field("messages", s.messages)
+        .field("payload_units", s.payload);
+    std::fprintf(out, "    %s%s\n", o.str().c_str(),
+                 i + 1 < suites.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+
+  bool failures = false;
+  for (const SuiteSummary& s : suites) failures = failures || s.failed > 0;
+  std::printf("wrote BENCH_campaign.json (%zu suites, %.1fs)\n",
+              suites.size(), wall_seconds);
+  if (!table1.all_match || !table2.all_match || failures) {
+    std::printf("MISMATCH or failed cells — see above.\n");
+    return 1;
+  }
+  return 0;
+}

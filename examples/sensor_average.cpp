@@ -47,8 +47,10 @@ int main() {
   for (std::int64_t r : readings) {
     scalar_agents.emplace_back(static_cast<double>(r));
   }
+  // `under<...>` fixes the model at compile time: a capability the agent
+  // declares but the model hides would fail the build, not the run.
   Executor<MetropolisAgent> exec(mesh, std::move(scalar_agents),
-                                 CommModel::kOutdegreeAware);
+                                 under<CommModel::kOutdegreeAware>);
 
   std::printf("%8s  %14s\n", "round", "max |x - avg|");
   for (int checkpoint = 0; checkpoint <= 5; ++checkpoint) {
@@ -63,8 +65,8 @@ int main() {
   // Exact finite-time variant: per-value indicator averaging + rounding.
   std::vector<FrequencyMetropolisAgent> freq_agents;
   for (std::int64_t r : readings) freq_agents.emplace_back(r);
-  Executor<FrequencyMetropolisAgent> exact_exec(mesh, std::move(freq_agents),
-                                                CommModel::kOutdegreeAware);
+  Executor<FrequencyMetropolisAgent> exact_exec(
+      mesh, std::move(freq_agents), under<CommModel::kOutdegreeAware>);
   int locked_round = -1;
   const Frequency truth_freq = Frequency::of(readings);
   for (int round = 1; round <= 2000 && locked_round == -1; ++round) {

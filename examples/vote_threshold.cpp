@@ -43,8 +43,10 @@ int main() {
 
   std::vector<FrequencyPushSumAgent> agents;
   for (std::int64_t v : votes) agents.emplace_back(v);
+  // Compile-time model pairing: Push-Sum declares kNeedsOutdegree, and
+  // `under<...>` static_asserts the model actually provides it.
   Executor<FrequencyPushSumAgent> exec(schedule, std::move(agents),
-                                       CommModel::kOutdegreeAware);
+                                       under<CommModel::kOutdegreeAware>);
 
   std::printf("%8s  %18s  %10s\n", "round", "yes-share range", "verdicts");
   for (int checkpoint = 0; checkpoint <= 6; ++checkpoint) {

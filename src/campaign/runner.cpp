@@ -1,0 +1,332 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/census.hpp"
+#include "core/gossip.hpp"
+#include "core/metropolis.hpp"
+#include "core/pushsum.hpp"
+#include "dynamics/adversarial.hpp"
+#include "dynamics/schedules.hpp"
+#include "runtime/executor.hpp"
+#include "support/thread_pool.hpp"
+
+namespace anonet::campaign {
+
+namespace {
+
+// Fixed adversary parameters: the spooner releases its bridge every 5th
+// round (dynamic diameter ~ period + 2), the union ring splits the ring
+// over 3 phases (no round connected, union over any 3 rounds is the ring).
+constexpr int kSpoonerPeriod = 5;
+constexpr int kUnionRingParts = 3;
+
+DynamicGraphPtr make_cell_schedule(const Cell& cell) {
+  const auto n = static_cast<Vertex>(cell.n());
+  switch (cell.schedule) {
+    case ScheduleKind::kStaticPanel:
+      return std::make_shared<StaticSchedule>(
+          make_static_panel(cell.model, cell.variant).graph);
+    case ScheduleKind::kRandomStronglyConnected:
+      return std::make_shared<RandomStronglyConnectedSchedule>(n, 3,
+                                                               cell.seed);
+    case ScheduleKind::kRandomSymmetric:
+      return std::make_shared<RandomSymmetricSchedule>(n, 3, cell.seed);
+    case ScheduleKind::kRandomMatching:
+      return std::make_shared<RandomMatchingSchedule>(n, cell.seed);
+    case ScheduleKind::kTokenRing:
+      return std::make_shared<TokenRingSchedule>(n);
+    case ScheduleKind::kSpooner:
+      return std::make_shared<SpoonerSchedule>(n, kSpoonerPeriod);
+    case ScheduleKind::kUnionRing:
+      return std::make_shared<UnionRingSchedule>(n, kUnionRingParts);
+  }
+  throw std::invalid_argument("make_cell_schedule: unknown schedule kind");
+}
+
+// The computability-harness path (AgentKind::kAuto): the harness picks the
+// paper's algorithm for the (model, knowledge, function) cell, exactly as
+// the bench table probes do.
+void run_auto(const Cell& cell, CellRecord& record) {
+  Attempt attempt;
+  attempt.model = cell.model;
+  attempt.knowledge = cell.knowledge;
+  attempt.rounds = cell.rounds;
+  attempt.tolerance = cell.tolerance;
+  attempt.seed = cell.seed;
+  std::vector<std::int64_t> inputs = cell.inputs;
+  const int n = cell.n();
+  switch (cell.knowledge) {
+    case Knowledge::kNone:
+      break;
+    case Knowledge::kUpperBound:
+      attempt.parameter = 2 * n;
+      break;
+    case Knowledge::kExactSize:
+      attempt.parameter = n;
+      break;
+    case Knowledge::kLeaders:
+      attempt.parameter = 1;
+      inputs.clear();
+      for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+        inputs.push_back(encode_leader_input(cell.inputs[i], i == 0));
+      }
+      break;
+  }
+  const SymmetricFunction f = make_function(cell.function);
+  const AttemptResult result =
+      cell.schedule == ScheduleKind::kStaticPanel
+          ? attempt_static(make_static_panel(cell.model, cell.variant).graph,
+                           inputs, f, attempt)
+          : attempt_dynamic(make_cell_schedule(cell), inputs, f, attempt);
+  record.success = result.success;
+  record.exact = result.success && result.stabilization_round >= 0;
+  record.stabilization_round = result.stabilization_round;
+  record.error = result.final_error;
+  record.rounds = result.rounds_run;
+  record.messages = result.messages_delivered;
+  record.payload = result.payload_units;
+  record.mechanism = result.mechanism;
+}
+
+void finish_from_stats(const ExecutorStats& stats, CellRecord& record) {
+  record.rounds = stats.rounds;
+  record.messages = stats.messages_delivered;
+  record.payload = stats.payload_units;
+}
+
+// Flooding on the pinned schedule: exact (δ0) verdict. Known sets only
+// grow, so the first all-agents-exact round is permanent and we can stop.
+void run_gossip(const Cell& cell, CellRecord& record) {
+  std::vector<SetGossipAgent> agents;
+  agents.reserve(cell.inputs.size());
+  for (std::int64_t input : cell.inputs) agents.emplace_back(input);
+  Executor<SetGossipAgent> executor(make_cell_schedule(cell),
+                                    std::move(agents), cell.model, cell.seed);
+  const SymmetricFunction f = make_function(cell.function);
+  const Rational truth = ground_truth(cell.inputs, f, Knowledge::kNone);
+  int stabilized = -1;
+  for (int t = 1; t <= cell.rounds; ++t) {
+    executor.step();
+    bool all_exact = true;
+    for (const SetGossipAgent& agent : executor.agents()) {
+      if (agent.output(f) != truth) {
+        all_exact = false;
+        break;
+      }
+    }
+    if (all_exact) {
+      stabilized = t;
+      break;
+    }
+  }
+  double error = 0.0;
+  for (const SetGossipAgent& agent : executor.agents()) {
+    error = std::max(error, std::abs(agent.output(f).to_double() -
+                                     truth.to_double()));
+  }
+  record.exact = stabilized >= 0;
+  record.success = record.exact;
+  record.stabilization_round = stabilized;
+  record.error = error;
+  record.mechanism = "set gossip (flooding)";
+  finish_from_stats(executor.stats(), record);
+}
+
+// Shared δ2 loop for the frequency estimators: step until the sup-error of
+// the estimated function value drops within tolerance or the round budget
+// (the cell's timeout) is exhausted.
+template <typename Agent, typename EstimateFn>
+void run_frequency_estimator(const Cell& cell, CellRecord& record,
+                             const char* mechanism, EstimateFn&& estimate) {
+  std::vector<Agent> agents;
+  agents.reserve(cell.inputs.size());
+  for (std::int64_t input : cell.inputs) agents.emplace_back(input);
+  Executor<Agent> executor(make_cell_schedule(cell), std::move(agents),
+                           cell.model, cell.seed);
+  const SymmetricFunction f = make_function(cell.function);
+  const double truth = ground_truth(cell.inputs, f, Knowledge::kNone)
+                           .to_double();
+  double error = std::numeric_limits<double>::infinity();
+  for (int t = 1; t <= cell.rounds; ++t) {
+    executor.step();
+    error = 0.0;
+    for (const Agent& agent : executor.agents()) {
+      const double value = f.eval_approximate(estimate(agent));
+      error = std::max(error, std::abs(value - truth));
+    }
+    if (error <= cell.tolerance) break;
+  }
+  record.success = error <= cell.tolerance;
+  record.exact = false;
+  record.stabilization_round = -1;
+  record.error = error;
+  record.mechanism = mechanism;
+  finish_from_stats(executor.stats(), record);
+}
+
+}  // namespace
+
+Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
+  if (options_.shards < 1) {
+    throw std::invalid_argument("Runner: shards must be >= 1");
+  }
+  if (options_.shard_index < 0 || options_.shard_index >= options_.shards) {
+    throw std::invalid_argument("Runner: shard index out of [0, shards)");
+  }
+  if (options_.threads < 1) options_.threads = 1;
+}
+
+CellRecord Runner::run_cell(const Cell& cell, bool record_wall_time) {
+  CellRecord record;
+  record.cell = cell.index;
+  record.key = cell.key();
+  record.suite = cell.suite;
+  record.agent = slug(cell.agent);
+  record.model = slug(cell.model);
+  record.knowledge = slug(cell.knowledge);
+  record.function = slug(cell.function);
+  record.schedule = slug(cell.schedule);
+  record.variant = cell.variant;
+  record.n = cell.n();
+  record.seed = cell.seed;
+
+  if (!cell.admissible) {
+    record.verdict = "skipped";
+    record.reason = cell.skip_reason;
+    record.mechanism = "(not run)";
+    return record;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    switch (cell.agent) {
+      case AgentKind::kAuto:
+        run_auto(cell, record);
+        break;
+      case AgentKind::kSetGossip:
+        run_gossip(cell, record);
+        break;
+      case AgentKind::kFrequencyPushSum:
+        run_frequency_estimator<FrequencyPushSumAgent>(
+            cell, record, "per-value Push-Sum (Algorithm 1)",
+            [](const FrequencyPushSumAgent& agent) {
+              return agent.normalized_estimates();
+            });
+        break;
+      case AgentKind::kMetropolis:
+        run_frequency_estimator<FrequencyMetropolisAgent>(
+            cell, record, "Metropolis indicator averaging",
+            [](const FrequencyMetropolisAgent& agent) {
+              return agent.estimates();
+            });
+        break;
+    }
+    record.verdict = "ok";
+  } catch (const std::exception& e) {
+    record.verdict = "failed";
+    record.reason = e.what();
+    record.success = false;
+    record.exact = false;
+  }
+  if (record_wall_time) {
+    record.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+  }
+  return record;
+}
+
+std::vector<CellRecord> Runner::run(const Grid& grid) const {
+  const std::vector<Cell> cells = grid.expand();
+  std::vector<Cell> mine;
+  for (const Cell& cell : cells) {
+    if (cell.index % options_.shards == options_.shard_index) {
+      mine.push_back(cell);
+    }
+  }
+
+  // Resume: reuse any complete record whose key matches one of this shard's
+  // cells (keys are pure coordinates, so a changed grid simply misses).
+  // Records belonging to *other* shards are preserved verbatim, which lets
+  // several shards target the same output file in turn — after the last
+  // shard the file equals a single-shard run byte for byte.
+  std::vector<CellRecord> kept;
+  std::vector<CellRecord> foreign;
+  std::unordered_set<std::string> finished;
+  bool had_output = false;
+  if (!options_.out_path.empty() && options_.resume) {
+    std::unordered_map<std::string, int> wanted;
+    for (const Cell& cell : mine) wanted.emplace(cell.key(), cell.index);
+    std::unordered_set<std::string> seen;
+    for (CellRecord& record : MetricsSink::read_file(options_.out_path)) {
+      had_output = true;
+      if (!seen.insert(record.key).second) continue;
+      const auto it = wanted.find(record.key);
+      if (it == wanted.end()) {
+        foreign.push_back(std::move(record));
+        continue;
+      }
+      record.cell = it->second;  // re-anchor to the current expansion order
+      finished.insert(record.key);
+      kept.push_back(std::move(record));
+    }
+  }
+
+  std::vector<Cell> pending;
+  for (Cell& cell : mine) {
+    if (finished.count(cell.key()) == 0) pending.push_back(std::move(cell));
+  }
+
+  std::unique_ptr<MetricsSink> sink;
+  if (!options_.out_path.empty()) {
+    sink = std::make_unique<MetricsSink>(
+        options_.out_path, options_.include_timings,
+        /*append=*/options_.resume && had_output);
+  }
+
+  std::vector<CellRecord> fresh(pending.size());
+  const bool timings = options_.include_timings;
+  ThreadPool pool(options_.threads);
+  pool.parallel_blocks(
+      static_cast<std::int64_t>(pending.size()), 1,
+      [&](std::int64_t begin, std::int64_t end, std::int64_t /*block*/) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          fresh[static_cast<std::size_t>(i)] =
+              run_cell(pending[static_cast<std::size_t>(i)], timings);
+          if (sink != nullptr) {
+            sink->append(fresh[static_cast<std::size_t>(i)]);
+          }
+        }
+      });
+
+  std::vector<CellRecord> all = std::move(kept);
+  all.insert(all.end(), std::make_move_iterator(fresh.begin()),
+             std::make_move_iterator(fresh.end()));
+  std::sort(all.begin(), all.end(),
+            [](const CellRecord& a, const CellRecord& b) {
+              return a.cell < b.cell;
+            });
+  if (sink != nullptr) {
+    sink->close();
+    std::vector<CellRecord> file_records = all;
+    file_records.insert(file_records.end(),
+                        std::make_move_iterator(foreign.begin()),
+                        std::make_move_iterator(foreign.end()));
+    std::sort(file_records.begin(), file_records.end(),
+              [](const CellRecord& a, const CellRecord& b) {
+                return a.cell < b.cell;
+              });
+    MetricsSink::write_canonical(options_.out_path, std::move(file_records),
+                                 options_.include_timings);
+  }
+  return all;
+}
+
+}  // namespace anonet::campaign

@@ -1,0 +1,57 @@
+#pragma once
+
+// Sharded campaign execution (docs/campaign.md).
+//
+// The runner turns an expanded grid into JSONL records. Parallelism is
+// *between* cells only: the worker pool shards cells one per block, and
+// every cell constructs its Executor with threads = 1, so agents that do
+// not declare kParallelSafe stay legal and each cell's round sequence is
+// bit-identical to a standalone serial run. A cell is a closed failure
+// domain — an exception inside it (executor validation, numeric trouble,
+// bad schedule) becomes a verdict "failed" record with the exception text,
+// and the campaign keeps going.
+//
+// Sharding and resume compose through the cell index and key: a cell runs
+// in the shard whose index matches `cell.index % shards`, and a cell whose
+// key already appears in the output file is reused, not recomputed. After
+// a run the output file is rewritten in canonical (cell-index) order, so
+// the concatenation of all shards' files — or the same campaign resumed
+// any number of times — is byte-identical to a single-shard run.
+
+#include <string>
+#include <vector>
+
+#include "campaign/metrics.hpp"
+#include "campaign/spec.hpp"
+
+namespace anonet::campaign {
+
+struct RunnerOptions {
+  int shards = 1;       // total shard count (>= 1)
+  int shard_index = 0;  // this process's shard in [0, shards)
+  int threads = 1;      // worker threads; cells stay serial internally
+  bool include_timings = false;  // emit wall_ms (breaks byte-reproducibility)
+  bool resume = true;   // reuse finished cells found in out_path
+  std::string out_path; // JSONL output; empty = return records only
+};
+
+class Runner {
+ public:
+  // Throws std::invalid_argument on an inconsistent shard spec.
+  explicit Runner(RunnerOptions options);
+
+  // Expands, shards, resumes, runs, and canonicalizes. Returns this shard's
+  // records (reused and fresh) sorted by cell index.
+  std::vector<CellRecord> run(const Grid& grid) const;
+
+  // Runs one cell synchronously. Never throws: inadmissible cells return
+  // "skipped" records, exceptions "failed" ones. `record_wall_time` fills
+  // wall_ms (a measurement — off for byte-reproducible campaigns).
+  [[nodiscard]] static CellRecord run_cell(const Cell& cell,
+                                           bool record_wall_time = false);
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace anonet::campaign

@@ -98,6 +98,9 @@ AttemptResult run_exact(Executor<Alg>& executor, const Attempt& attempt,
   result.success = result.stabilization_round != -1;
   result.final_error = tracker.final_error();
   result.mechanism = std::move(mechanism);
+  result.rounds_run = executor.stats().rounds;
+  result.messages_delivered = executor.stats().messages_delivered;
+  result.payload_units = executor.stats().payload_units;
   return result;
 }
 
@@ -120,6 +123,9 @@ AttemptResult run_approximate(Executor<Alg>& executor, const Attempt& attempt,
   result.success = error <= attempt.tolerance;
   result.final_error = error;
   result.mechanism = std::move(mechanism);
+  result.rounds_run = executor.stats().rounds;
+  result.messages_delivered = executor.stats().messages_delivered;
+  result.payload_units = executor.stats().payload_units;
   return result;
 }
 
@@ -275,8 +281,12 @@ AttemptResult run_pushsum_dynamic(const DynamicGraphPtr& network,
       agents.emplace_back(input);
     }
   }
+  // The model is structurally kOutdegreeAware on this path (attempt_dynamic
+  // dispatches here for exactly that model); saying so with a ModelTag turns
+  // the agent/model pairing check into a compile-time static_assert.
   Executor<FrequencyPushSumAgent> executor(network, std::move(agents),
-                                           attempt.model, attempt.seed);
+                                           under<CommModel::kOutdegreeAware>,
+                                           attempt.seed);
 
   switch (attempt.knowledge) {
     case Knowledge::kNone: {
@@ -378,9 +388,9 @@ AttemptResult run_uniform_symmetric(const DynamicGraphPtr& network,
   std::vector<FrequencyUniformAgent> agents;
   agents.reserve(inputs.size());
   for (std::int64_t input : inputs) agents.emplace_back(input, bound);
-  Executor<FrequencyUniformAgent> executor(network, std::move(agents),
-                                           CommModel::kSymmetricBroadcast,
-                                           attempt.seed);
+  Executor<FrequencyUniformAgent> executor(
+      network, std::move(agents), under<CommModel::kSymmetricBroadcast>,
+      attempt.seed);
   return run_exact(
       executor, attempt, truth,
       [&](const FrequencyUniformAgent& agent) -> std::optional<Rational> {
@@ -417,7 +427,7 @@ AttemptResult run_metropolis_dynamic(const DynamicGraphPtr& network,
   // symmetric, matching the paper's setting.
   Executor<FrequencyMetropolisAgent> executor(
       std::make_shared<SymmetricCheckedSchedule>(network), std::move(agents),
-      CommModel::kOutdegreeAware, attempt.seed);
+      under<CommModel::kOutdegreeAware>, attempt.seed);
 
   switch (attempt.knowledge) {
     case Knowledge::kNone:
@@ -453,9 +463,9 @@ AttemptResult run_history_symmetric(const DynamicGraphPtr& network,
   for (std::int64_t input : inputs) {
     agents.emplace_back(registry, codec, input);
   }
-  Executor<HistoryFrequencyAgent> executor(network, std::move(agents),
-                                           CommModel::kSymmetricBroadcast,
-                                           attempt.seed);
+  Executor<HistoryFrequencyAgent> executor(
+      network, std::move(agents), under<CommModel::kSymmetricBroadcast>,
+      attempt.seed);
   Attempt capped = attempt;
   capped.rounds =
       std::min(attempt.rounds,

@@ -50,6 +50,12 @@ struct AttemptResult {
   // are non-numeric failures).
   double final_error = std::numeric_limits<double>::quiet_NaN();
   std::string mechanism;  // algorithm (or impossibility reason) used
+  // Executor accounting for the attempt (campaign metrics): rounds actually
+  // run, messages delivered, and payload units (the executor's bandwidth
+  // proxy). All zero when the attempt was rejected before running.
+  std::int64_t rounds_run = 0;
+  std::int64_t messages_delivered = 0;
+  std::int64_t payload_units = 0;
 };
 
 // Static strongly connected networks (Theorem 4.1, Corollaries 4.2-4.4).

@@ -1,0 +1,76 @@
+#include "dynamics/adversarial.hpp"
+
+#include <stdexcept>
+
+namespace anonet {
+
+namespace {
+
+void require_round(int t) {
+  if (t < 1) throw std::invalid_argument("DynamicGraph::at: rounds start at 1");
+}
+
+}  // namespace
+
+SpoonerSchedule::SpoonerSchedule(Vertex n, int period)
+    : n_(n), period_(period) {
+  if (n < 3) {
+    throw std::invalid_argument(
+        "SpoonerSchedule: need n >= 3 (bowl of at least two plus the handle)");
+  }
+  if (period < 1) throw std::invalid_argument("SpoonerSchedule: period >= 1");
+  Digraph star(n_);
+  for (Vertex v = 0; v < n_; ++v) star.add_edge(v, v);
+  for (Vertex v = 1; v < n_ - 1; ++v) {
+    star.add_edge(0, v);
+    star.add_edge(v, 0);
+  }
+  without_bridge_ = star;
+  star.add_edge(n_ - 2, n_ - 1);
+  star.add_edge(n_ - 1, n_ - 2);
+  with_bridge_ = std::move(star);
+}
+
+bool SpoonerSchedule::bridge_round(int t) const {
+  require_round(t);
+  return t % period_ == 0;
+}
+
+Digraph SpoonerSchedule::at(int t) const {
+  return bridge_round(t) ? with_bridge_ : without_bridge_;
+}
+
+RoundGraphRef SpoonerSchedule::view(int t) const {
+  return RoundGraphRef(bridge_round(t) ? &with_bridge_ : &without_bridge_);
+}
+
+UnionRingSchedule::UnionRingSchedule(Vertex n, int parts) : n_(n) {
+  if (n < 2) throw std::invalid_argument("UnionRingSchedule: need n >= 2");
+  if (parts < 1) throw std::invalid_argument("UnionRingSchedule: parts >= 1");
+  phases_.reserve(static_cast<std::size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    Digraph g(n_);
+    for (Vertex v = 0; v < n_; ++v) g.add_edge(v, v);
+    // Ring edge i connects i and i+1 (mod n); part p serves edges i ≡ p.
+    for (Vertex i = p; i < n_; i += parts) {
+      const Vertex j = (i + 1) % n_;
+      if (i == j) continue;  // n == 1 degenerate, excluded above anyway
+      g.add_edge(i, j);
+      g.add_edge(j, i);
+    }
+    phases_.push_back(std::move(g));
+  }
+}
+
+Digraph UnionRingSchedule::at(int t) const {
+  require_round(t);
+  return phases_[static_cast<std::size_t>(t - 1) % phases_.size()];
+}
+
+RoundGraphRef UnionRingSchedule::view(int t) const {
+  require_round(t);
+  return RoundGraphRef(
+      &phases_[static_cast<std::size_t>(t - 1) % phases_.size()]);
+}
+
+}  // namespace anonet

@@ -1,0 +1,89 @@
+#pragma once
+
+// Adversarial dynamic-graph schedules for the campaign subsystem.
+//
+// The random schedules (schedules.hpp) have dynamic diameter close to their
+// expectation almost every round; worst-case claims — Theorem 5.2's
+// O(n^{2D}·D·log(1/ε)) Push-Sum bound, the n + D minimum-base stabilization
+// of Sections 3.2/4.2 — are about the *maximum* over schedules of a class.
+// These two adversaries pin the corners the random families never hit, in
+// the spirit of the dynamic-network separations of Di Luna & Viglietta
+// (PAPERS.md): a schedule that realizes a prescribed dynamic diameter D by
+// maximally delaying cross-network information, and a schedule that is
+// connected only in the union — no single round graph is connected — yet
+// still has finite dynamic diameter.
+//
+// Both serve borrowed views from precomputed phase storage, so campaigns
+// over them pay no per-round graph materialization.
+
+#include <vector>
+
+#include "dynamics/dynamic_graph.hpp"
+
+namespace anonet {
+
+// Bounded-dynamic-diameter delay adversary ("spooner": a spoon-shaped round
+// graph — a well-mixed bowl with one long handle it feeds only reluctantly).
+//
+// Vertices {0, ..., n-2} form a bidirectional star around hub 0 (the bowl:
+// any bowl vertex reaches any other within 2 rounds through the hub). The
+// handle vertex n-1 is attached through the bidirectional bridge
+// {n-2, n-1}, but the adversary serves the bridge only on rounds that are
+// multiples of `period` — every other round the handle is isolated (its
+// self-loop only). Information between the handle and the rest of the
+// network therefore waits up to `period` rounds at the bridge in each
+// direction, which maximizes the information delay achievable for the
+// resulting dynamic diameter D (measured: D = period + 2 for period >= 2;
+// tests certify this with dynamics/connectivity.hpp). Every round graph is
+// symmetric, so the schedule is admissible for every communication model
+// and for kSymmetricOnly agents.
+//
+// Requires n >= 3 and period >= 1.
+class SpoonerSchedule final : public DynamicGraph {
+ public:
+  SpoonerSchedule(Vertex n, int period);
+
+  [[nodiscard]] Vertex vertex_count() const override { return n_; }
+  [[nodiscard]] Digraph at(int t) const override;
+  // Borrowed: both phase graphs are precomputed members.
+  [[nodiscard]] RoundGraphRef view(int t) const override;
+  // True when round t carries the bridge to the handle vertex.
+  [[nodiscard]] bool bridge_round(int t) const;
+  [[nodiscard]] int period() const { return period_; }
+
+ private:
+  Vertex n_;
+  int period_;
+  Digraph with_bridge_;     // star + bridge + self-loops
+  Digraph without_bridge_;  // star + isolated handle + self-loops
+};
+
+// Eventually-connected union adversary: a proper partition of a
+// bidirectional ring's edges into `parts` groups, served round-robin — round
+// t carries only the ring edges with index ≡ (t-1) (mod parts), both
+// orientations, plus all self-loops. With parts >= 2 and n >= 4 every
+// single round graph is disconnected (it is a partial matching of the
+// ring), yet the union of any `parts` consecutive rounds is the full ring,
+// so the dynamic diameter is finite (at most parts · n). This is the
+// "connected only in the union" regime: algorithms that implicitly assume
+// per-round connectivity (or per-round strong connectivity) break here
+// while the paper's finite-dynamic-diameter machinery must not.
+//
+// Every round graph is symmetric. Requires n >= 2 and parts >= 1; rounds
+// cycle deterministically, no randomness involved.
+class UnionRingSchedule final : public DynamicGraph {
+ public:
+  UnionRingSchedule(Vertex n, int parts);
+
+  [[nodiscard]] Vertex vertex_count() const override { return n_; }
+  [[nodiscard]] Digraph at(int t) const override;
+  // Borrowed: one precomputed graph per part.
+  [[nodiscard]] RoundGraphRef view(int t) const override;
+  [[nodiscard]] int parts() const { return static_cast<int>(phases_.size()); }
+
+ private:
+  Vertex n_;
+  std::vector<Digraph> phases_;
+};
+
+}  // namespace anonet

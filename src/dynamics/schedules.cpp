@@ -79,6 +79,11 @@ Digraph RandomStronglyConnectedSchedule::at(int t) const {
   return random_strongly_connected(n_, extra_edges_, mix_seed(seed_, t));
 }
 
+RoundGraphRef RandomStronglyConnectedSchedule::view(int t) const {
+  require_round(t);
+  return RoundGraphRef(cache_.get(t, [this](int round) { return at(round); }));
+}
+
 RandomSymmetricSchedule::RandomSymmetricSchedule(Vertex n, int extra_pairs,
                                                  std::uint64_t seed)
     : n_(n), extra_pairs_(extra_pairs), seed_(seed) {
@@ -88,6 +93,11 @@ RandomSymmetricSchedule::RandomSymmetricSchedule(Vertex n, int extra_pairs,
 Digraph RandomSymmetricSchedule::at(int t) const {
   require_round(t);
   return random_symmetric_connected(n_, extra_pairs_, mix_seed(seed_, t));
+}
+
+RoundGraphRef RandomSymmetricSchedule::view(int t) const {
+  require_round(t);
+  return RoundGraphRef(cache_.get(t, [this](int round) { return at(round); }));
 }
 
 TokenRingSchedule::TokenRingSchedule(Vertex n) : n_(n) {
@@ -125,6 +135,11 @@ Digraph RandomMatchingSchedule::at(int t) const {
     g.add_edge(order[i + 1], order[i]);
   }
   return g;
+}
+
+RoundGraphRef RandomMatchingSchedule::view(int t) const {
+  require_round(t);
+  return RoundGraphRef(cache_.get(t, [this](int round) { return at(round); }));
 }
 
 GrowingGapSchedule::GrowingGapSchedule(Digraph base, int burst_length,

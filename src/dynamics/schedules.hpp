@@ -40,6 +40,47 @@ class PeriodicSchedule final : public DynamicGraph {
   std::vector<Digraph> phases_;
 };
 
+// Double-buffered per-schedule cache backing borrowed view(t) for schedules
+// that materialize an independent graph per round. Without it the executor
+// falls back to the owning view(t) path and re-materializes (allocates,
+// copies, re-validates) a graph every round; with it the schedule builds
+// the round graph once into stable storage and lends it out.
+//
+// Two slots alternate between consecutive materialized rounds, so the
+// borrowed address *changes* whenever the topology changes — this is what
+// keeps the executor's address-keyed caches (arena offsets, validation
+// verdicts) honest: reusing one slot would present a different random graph
+// at an unchanged address. A borrowed ref for round t therefore stays valid
+// until the cache materializes a second further round. Like the Digraph
+// adjacency cache, the slots are an unsynchronized mutable const path: a
+// schedule with a round cache must not be shared between concurrently
+// stepping executors — give each executor (each campaign cell) its own
+// schedule object.
+class RoundGraphCache {
+ public:
+  // Returns stable storage holding build(t), reusing it when round t is
+  // already cached (repeated view(t) calls lend the same object).
+  template <typename BuildFn>
+  [[nodiscard]] const Digraph* get(int t, BuildFn&& build) const {
+    for (const Slot& slot : slots_) {
+      if (slot.round == t) return &slot.graph;
+    }
+    Slot& slot = slots_[next_];
+    next_ = 1 - next_;
+    slot.round = t;
+    slot.graph = build(t);
+    return &slot.graph;
+  }
+
+ private:
+  struct Slot {
+    int round = -1;  // rounds start at 1; -1 = empty
+    Digraph graph;
+  };
+  mutable Slot slots_[2];
+  mutable int next_ = 0;
+};
+
 // Each round: an independent random Hamiltonian cycle plus `extra_edges`
 // random edges plus self-loops. Every round graph is strongly connected, so
 // the dynamic diameter is at most n - 1. Deterministic in (seed, t).
@@ -50,11 +91,14 @@ class RandomStronglyConnectedSchedule final : public DynamicGraph {
 
   [[nodiscard]] Vertex vertex_count() const override { return n_; }
   [[nodiscard]] Digraph at(int t) const override;
+  // Borrowed through the double-buffered round cache (see RoundGraphCache).
+  [[nodiscard]] RoundGraphRef view(int t) const override;
 
  private:
   Vertex n_;
   int extra_edges_;
   std::uint64_t seed_;
+  RoundGraphCache cache_;
 };
 
 // Each round: an independent random symmetric connected graph (random
@@ -66,11 +110,14 @@ class RandomSymmetricSchedule final : public DynamicGraph {
 
   [[nodiscard]] Vertex vertex_count() const override { return n_; }
   [[nodiscard]] Digraph at(int t) const override;
+  // Borrowed through the double-buffered round cache (see RoundGraphCache).
+  [[nodiscard]] RoundGraphRef view(int t) const override;
 
  private:
   Vertex n_;
   int extra_pairs_;
   std::uint64_t seed_;
+  RoundGraphCache cache_;
 };
 
 // Sparse adversarial schedule: round t carries only the single ring edge
@@ -101,10 +148,13 @@ class RandomMatchingSchedule final : public DynamicGraph {
 
   [[nodiscard]] Vertex vertex_count() const override { return n_; }
   [[nodiscard]] Digraph at(int t) const override;
+  // Borrowed through the double-buffered round cache (see RoundGraphCache).
+  [[nodiscard]] RoundGraphRef view(int t) const override;
 
  private:
   Vertex n_;
   std::uint64_t seed_;
+  RoundGraphCache cache_;
 };
 
 // Weak connectivity (the concluding-remarks regime of Section 6): the

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/jsonl.hpp"
+
 namespace anonet {
 
 TraceRecorder::TraceRecorder(std::vector<std::string> labels)
@@ -36,11 +38,37 @@ std::string TraceRecorder::to_csv() const {
   return os.str();
 }
 
-void TraceRecorder::write_csv(const std::string& path) const {
+std::string TraceRecorder::to_jsonl() const {
+  std::string out;
+  for (std::size_t r = 0; r < rounds_.size(); ++r) {
+    JsonObject o;
+    o.field("round", rounds_[r]);
+    for (std::size_t c = 0; c < labels_.size(); ++c) {
+      o.field(labels_[c], values_[r][c]);
+    }
+    out += o.str();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void write_text(const std::string& path, const std::string& text) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("TraceRecorder: cannot open " + path);
-  out << to_csv();
+  out << text;
   if (!out) throw std::runtime_error("TraceRecorder: write failed: " + path);
+}
+
+}  // namespace
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  write_text(path, to_csv());
+}
+
+void TraceRecorder::write_jsonl(const std::string& path) const {
+  write_text(path, to_jsonl());
 }
 
 }  // namespace anonet

@@ -21,9 +21,15 @@ class TraceRecorder {
 
   [[nodiscard]] std::size_t rows() const { return rounds_.size(); }
   [[nodiscard]] std::string to_csv() const;
-  // Convenience: writes to_csv() to `path`; throws std::runtime_error on
-  // I/O failure.
+  // One JSON object per row — {"round":t,"agent0":...} — rendered through
+  // support/jsonl.hpp, the same escaping/formatting path as the campaign
+  // metrics records, so traces and campaign output stay byte-compatible
+  // consumers of one format.
+  [[nodiscard]] std::string to_jsonl() const;
+  // Convenience: write to_csv()/to_jsonl() to `path`; throw
+  // std::runtime_error on I/O failure.
   void write_csv(const std::string& path) const;
+  void write_jsonl(const std::string& path) const;
 
  private:
   std::vector<std::string> labels_;

@@ -1,0 +1,556 @@
+// Tests for the campaign subsystem: grid expansion, capability filtering,
+// the JSONL metrics round-trip, sharding/resume determinism, and the
+// Table 1 aggregation. Suites are named so scripts/check.sh's TSan filter
+// picks up the concurrency-sensitive ones (CampaignDeterminism,
+// CampaignParallel) while the heavier end-to-end checks stay in Campaign.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/metrics.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "support/jsonl.hpp"
+
+namespace anonet::campaign {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "anonet_campaign_" + name;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// A one-cell grid around an explicit Spec block.
+Grid single_spec_grid(Spec spec) {
+  Grid grid;
+  grid.add(std::move(spec));
+  return grid;
+}
+
+Spec derived_spec() {
+  Spec spec;
+  spec.suite = "probe";
+  spec.knowledges = {Knowledge::kNone};
+  spec.functions = {FunctionKind::kAverage};
+  spec.schedules = {ScheduleKind::kRandomStronglyConnected};
+  spec.input_source = InputSource::kDerived;
+  spec.sizes = {4};
+  spec.seeds = {1};
+  spec.rounds = 50;
+  return spec;
+}
+
+TEST(Campaign, ExpansionIsDeterministicWithStableIndices) {
+  const std::vector<Cell> a = Grid::preset("smoke").expand();
+  const std::vector<Cell> b = Grid::preset("smoke").expand();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  std::set<std::string> keys;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, static_cast<int>(i));
+    EXPECT_EQ(a[i].key(), b[i].key());
+    EXPECT_EQ(a[i].inputs, b[i].inputs);
+    EXPECT_TRUE(keys.insert(a[i].key()).second) << a[i].key();
+  }
+}
+
+TEST(Campaign, PresetNamesAllExpand) {
+  for (const std::string& name : Grid::preset_names()) {
+    EXPECT_FALSE(Grid::preset(name).expand().empty()) << name;
+  }
+  EXPECT_THROW(Grid::preset("nope"), std::invalid_argument);
+}
+
+TEST(Campaign, ExpandRejectsEmptyAxes) {
+  Spec spec = derived_spec();
+  spec.agents = {AgentKind::kAuto};
+  spec.sizes.clear();
+  EXPECT_THROW(single_spec_grid(spec).expand(), std::invalid_argument);
+  Spec no_seeds = derived_spec();
+  no_seeds.agents = {AgentKind::kAuto};
+  no_seeds.seeds.clear();
+  EXPECT_THROW(single_spec_grid(no_seeds).expand(), std::invalid_argument);
+}
+
+TEST(Campaign, SlugParseRoundTrip) {
+  for (AgentKind kind : {AgentKind::kAuto, AgentKind::kSetGossip,
+                         AgentKind::kFrequencyPushSum, AgentKind::kMetropolis}) {
+    EXPECT_EQ(parse_agent(slug(kind)), kind);
+  }
+  for (ScheduleKind kind :
+       {ScheduleKind::kStaticPanel, ScheduleKind::kRandomStronglyConnected,
+        ScheduleKind::kRandomSymmetric, ScheduleKind::kRandomMatching,
+        ScheduleKind::kTokenRing, ScheduleKind::kSpooner,
+        ScheduleKind::kUnionRing}) {
+    EXPECT_EQ(parse_schedule(slug(kind)), kind);
+  }
+  for (FunctionKind kind :
+       {FunctionKind::kMax, FunctionKind::kAverage, FunctionKind::kSum}) {
+    EXPECT_EQ(parse_function(slug(kind)), kind);
+  }
+  for (CommModel model :
+       {CommModel::kSimpleBroadcast, CommModel::kOutdegreeAware,
+        CommModel::kSymmetricBroadcast, CommModel::kOutputPortAware}) {
+    EXPECT_EQ(parse_model(slug(model)), model);
+  }
+  for (Knowledge knowledge : {Knowledge::kNone, Knowledge::kUpperBound,
+                              Knowledge::kExactSize, Knowledge::kLeaders}) {
+    EXPECT_EQ(parse_knowledge(slug(knowledge)), knowledge);
+  }
+  EXPECT_THROW((void)parse_agent("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)parse_model("bogus"), std::invalid_argument);
+}
+
+TEST(Campaign, ForbiddenPairingsBecomeSkippedRows) {
+  // Push-Sum under simple broadcast: the canonical Table 1 forbidden cell.
+  Spec pushsum = derived_spec();
+  pushsum.agents = {AgentKind::kFrequencyPushSum};
+  pushsum.models = {CommModel::kSimpleBroadcast};
+  std::vector<Cell> cells = single_spec_grid(pushsum).expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_FALSE(cells[0].admissible);
+  EXPECT_NE(cells[0].skip_reason.find("outdegree"), std::string::npos)
+      << cells[0].skip_reason;
+
+  // Metropolis (kSymmetricOnly) on an asymmetric schedule.
+  Spec metro = derived_spec();
+  metro.agents = {AgentKind::kMetropolis};
+  metro.models = {CommModel::kOutdegreeAware};
+  metro.schedules = {ScheduleKind::kTokenRing};
+  cells = single_spec_grid(metro).expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_FALSE(cells[0].admissible);
+  EXPECT_NE(cells[0].skip_reason.find("kSymmetricOnly"), std::string::npos)
+      << cells[0].skip_reason;
+
+  // Symmetric broadcast on an asymmetric schedule (model, not agent).
+  Spec sym = derived_spec();
+  sym.agents = {AgentKind::kSetGossip};
+  sym.functions = {FunctionKind::kMax};
+  sym.models = {CommModel::kSymmetricBroadcast};
+  sym.schedules = {ScheduleKind::kTokenRing};
+  cells = single_spec_grid(sym).expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_FALSE(cells[0].admissible);
+
+  // Output-port awareness on a dynamic schedule.
+  Spec ports = derived_spec();
+  ports.agents = {AgentKind::kAuto};
+  ports.models = {CommModel::kOutputPortAware};
+  cells = single_spec_grid(ports).expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_FALSE(cells[0].admissible);
+  EXPECT_NE(cells[0].skip_reason.find("static"), std::string::npos)
+      << cells[0].skip_reason;
+
+  // Function-class pinning: gossip computes set-based functions only.
+  Spec gossip = derived_spec();
+  gossip.agents = {AgentKind::kSetGossip};
+  gossip.models = {CommModel::kSimpleBroadcast};
+  gossip.functions = {FunctionKind::kSum};
+  cells = single_spec_grid(gossip).expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_FALSE(cells[0].admissible);
+}
+
+TEST(Campaign, TablesGridSkipsExactlyTheOpenCells) {
+  // Table 2's two "?" pairings x 3 functions x 3 input sets = 18 open-skips.
+  const std::vector<Cell> cells = Grid::preset("tables").expand();
+  int open_skips = 0;
+  int other_skips = 0;
+  for (const Cell& cell : cells) {
+    if (cell.admissible) continue;
+    if (cell.skip_reason.find("open in the paper") != std::string::npos) {
+      ++open_skips;
+      EXPECT_EQ(cell.suite, "table2");
+      EXPECT_EQ(cell.model, CommModel::kOutdegreeAware);
+      EXPECT_TRUE(cell.knowledge == Knowledge::kNone ||
+                  cell.knowledge == Knowledge::kLeaders);
+    } else {
+      ++other_skips;
+    }
+  }
+  EXPECT_EQ(open_skips, 18);
+  EXPECT_EQ(other_skips, 0);
+}
+
+TEST(Campaign, RunCellRecordsSkipsWithoutRunning) {
+  Cell cell;
+  cell.index = 7;
+  cell.suite = "probe";
+  cell.agent = AgentKind::kFrequencyPushSum;
+  cell.model = CommModel::kSimpleBroadcast;
+  cell.function = FunctionKind::kAverage;
+  cell.inputs = {1, 2, 3, 4};
+  cell.admissible = false;
+  cell.skip_reason = "diagnosis text";
+  const CellRecord record = Runner::run_cell(cell);
+  EXPECT_EQ(record.verdict, "skipped");
+  EXPECT_EQ(record.reason, "diagnosis text");
+  EXPECT_EQ(record.mechanism, "(not run)");
+  EXPECT_EQ(record.cell, 7);
+  EXPECT_EQ(record.key, cell.key());
+  EXPECT_EQ(record.rounds, 0);
+}
+
+TEST(Campaign, RunCellCapturesExceptionsAsFailedRecords) {
+  // SpoonerSchedule requires n >= 3; an admissible-looking cell with two
+  // agents makes the schedule constructor throw inside the runner.
+  Cell cell;
+  cell.index = 0;
+  cell.suite = "probe";
+  cell.agent = AgentKind::kSetGossip;
+  cell.model = CommModel::kSimpleBroadcast;
+  cell.function = FunctionKind::kMax;
+  cell.schedule = ScheduleKind::kSpooner;
+  cell.inputs = {1, 2};
+  cell.rounds = 10;
+  const CellRecord record = Runner::run_cell(cell);
+  EXPECT_EQ(record.verdict, "failed");
+  EXPECT_FALSE(record.reason.empty());
+  EXPECT_FALSE(record.success);
+}
+
+TEST(Campaign, RunnerValidatesShardOptions) {
+  RunnerOptions bad_shards;
+  bad_shards.shards = 0;
+  EXPECT_THROW(Runner{bad_shards}, std::invalid_argument);
+  RunnerOptions bad_index;
+  bad_index.shards = 2;
+  bad_index.shard_index = 2;
+  EXPECT_THROW(Runner{bad_index}, std::invalid_argument);
+}
+
+TEST(Campaign, JsonEscapingAndNumbers) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string("nul\x01")), "nul\\u0001");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(std::nan("")), "\"nan\"");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "\"inf\"");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()),
+            "\"-inf\"");
+}
+
+TEST(Campaign, RecordJsonRoundTripsThroughParseLine) {
+  CellRecord record;
+  record.cell = 42;
+  record.key = "suite/agent/model/none/max/sched/n6/v1/s17";
+  record.suite = "table2";
+  record.agent = "auto";
+  record.model = "outdegree-aware";
+  record.knowledge = "leaders";
+  record.function = "sum";
+  record.schedule = "random-strong";
+  record.variant = 2;
+  record.n = 6;
+  record.seed = 19;
+  record.verdict = "failed";
+  record.reason = "quote \" backslash \\ newline \n control \x02 done";
+  record.success = true;
+  record.exact = true;
+  record.stabilization_round = 13;
+  record.error = 0.125;
+  record.rounds = 400;
+  record.messages = 12345;
+  record.payload = 67890;
+  record.mechanism = "per-value Push-Sum (Algorithm 1)";
+
+  const std::string line = MetricsSink::to_json(record, false);
+  const auto parsed = MetricsSink::parse_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cell, record.cell);
+  EXPECT_EQ(parsed->key, record.key);
+  EXPECT_EQ(parsed->suite, record.suite);
+  EXPECT_EQ(parsed->knowledge, record.knowledge);
+  EXPECT_EQ(parsed->reason, record.reason);
+  EXPECT_EQ(parsed->variant, record.variant);
+  EXPECT_EQ(parsed->n, record.n);
+  EXPECT_EQ(parsed->seed, record.seed);
+  EXPECT_EQ(parsed->verdict, record.verdict);
+  EXPECT_TRUE(parsed->success);
+  EXPECT_TRUE(parsed->exact);
+  EXPECT_EQ(parsed->stabilization_round, record.stabilization_round);
+  EXPECT_EQ(parsed->error, record.error);
+  EXPECT_EQ(parsed->rounds, record.rounds);
+  EXPECT_EQ(parsed->messages, record.messages);
+  EXPECT_EQ(parsed->payload, record.payload);
+  EXPECT_EQ(parsed->mechanism, record.mechanism);
+  // Re-rendering the parsed record reproduces the exact bytes.
+  EXPECT_EQ(MetricsSink::to_json(*parsed, false), line);
+
+  // The default NaN error survives as NaN (spelled "nan" on the wire).
+  CellRecord nan_record = record;
+  nan_record.error = std::numeric_limits<double>::quiet_NaN();
+  const auto nan_parsed =
+      MetricsSink::parse_line(MetricsSink::to_json(nan_record, false));
+  ASSERT_TRUE(nan_parsed.has_value());
+  EXPECT_TRUE(std::isnan(nan_parsed->error));
+}
+
+TEST(Campaign, ParseLineRejectsTruncatedLines) {
+  CellRecord record;
+  record.cell = 3;
+  record.key = "k";
+  record.verdict = "ok";
+  record.mechanism = "text with \"quotes\"";
+  const std::string line = MetricsSink::to_json(record, false);
+  EXPECT_TRUE(MetricsSink::parse_line(line).has_value());
+  for (std::size_t len = 0; len < line.size(); ++len) {
+    EXPECT_FALSE(MetricsSink::parse_line(line.substr(0, len)).has_value())
+        << "accepted truncation at " << len;
+  }
+  EXPECT_FALSE(MetricsSink::parse_line("not json").has_value());
+  EXPECT_FALSE(MetricsSink::parse_line("{}").has_value());  // missing fields
+}
+
+TEST(Campaign, SinkWritesReadableCanonicalFiles) {
+  const std::string path = temp_path("sink.jsonl");
+  CellRecord a;
+  a.cell = 1;
+  a.key = "k1";
+  a.verdict = "ok";
+  CellRecord b;
+  b.cell = 0;
+  b.key = "k0";
+  b.verdict = "skipped";
+  {
+    MetricsSink sink(path, false, /*append=*/false);
+    sink.append(a);
+    sink.append(b);
+  }
+  std::vector<CellRecord> records = MetricsSink::read_file(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "k1");  // file order = append order
+
+  // Canonical rewrite sorts by cell and drops duplicate cells (first wins).
+  CellRecord dup = a;
+  dup.verdict = "failed";
+  records.push_back(dup);
+  MetricsSink::write_canonical(path, records, false);
+  records = MetricsSink::read_file(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "k0");
+  EXPECT_EQ(records[1].key, "k1");
+  EXPECT_EQ(records[1].verdict, "ok");
+
+  EXPECT_TRUE(MetricsSink::read_file(temp_path("missing.jsonl")).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, Table1RunMatchesThePaper) {
+  // The full static table: every admissible (model, knowledge, function,
+  // panel) cell measured and folded back into the paper's verdict grid.
+  const Runner runner{RunnerOptions{}};
+  const std::vector<CellRecord> records =
+      runner.run(Grid::preset("table1"));
+  for (const CellRecord& record : records) {
+    EXPECT_NE(record.verdict, "failed") << record.key << ": " << record.reason;
+  }
+  const TableComparison table = compare_table(records, "table1");
+  EXPECT_TRUE(table.all_match) << render_table(table);
+
+  // Sabotaging the measurements must flip the verdict.
+  std::vector<CellRecord> broken = records;
+  for (CellRecord& record : broken) {
+    if (record.function == "sum") {
+      record.exact = false;
+      record.success = false;
+    }
+  }
+  EXPECT_FALSE(compare_table(broken, "table1").all_match);
+  EXPECT_NE(render_table(compare_table(broken, "table1")).find("DIFFERS"),
+            std::string::npos);
+}
+
+TEST(Campaign, CompareTableRequiresOpenCellsSkipped) {
+  // Synthesized table2 records shaped exactly like the paper's grid.
+  const std::vector<Knowledge> rows = {Knowledge::kNone, Knowledge::kUpperBound,
+                                       Knowledge::kExactSize,
+                                       Knowledge::kLeaders};
+  const std::vector<CommModel> cols = {CommModel::kSimpleBroadcast,
+                                       CommModel::kOutdegreeAware,
+                                       CommModel::kSymmetricBroadcast};
+  const std::vector<std::vector<std::string>> labels = {
+      {"set-based", "?", "frequency-based"},
+      {"set-based", "frequency-based", "frequency-based"},
+      {"set-based", "multiset-based", "multiset-based"},
+      {"set-based", "?", "multiset-based"},
+  };
+  std::vector<CellRecord> records;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      for (const char* function : {"max", "average", "sum"}) {
+        CellRecord record;
+        record.cell = static_cast<int>(records.size());
+        record.key = "cell" + std::to_string(record.cell);
+        record.suite = "table2";
+        record.knowledge = std::string(slug(rows[r]));
+        record.model = std::string(slug(cols[c]));
+        record.function = function;
+        const std::string& label = labels[r][c];
+        if (label == "?") {
+          record.verdict = "skipped";
+        } else {
+          record.verdict = "ok";
+          const std::string f = function;
+          record.exact = (label == "multiset-based") ||
+                         (label == "frequency-based" && f != "sum") ||
+                         (label == "set-based" && f == "max");
+          record.success = record.exact;
+        }
+        records.push_back(std::move(record));
+      }
+    }
+  }
+  const TableComparison table = compare_table(records, "table2");
+  EXPECT_TRUE(table.all_match) << render_table(table);
+
+  // An open cell that was measured instead of skipped is a mismatch even if
+  // the measurement is impressive.
+  std::vector<CellRecord> measured_open = records;
+  for (CellRecord& record : measured_open) {
+    if (record.knowledge == "none" && record.model == "outdegree-aware") {
+      record.verdict = "ok";
+      record.exact = true;
+      record.success = true;
+    }
+  }
+  EXPECT_FALSE(compare_table(measured_open, "table2").all_match);
+
+  // Asymptotic-only average is the starred frequency label.
+  std::vector<CellRecord> starred = records;
+  for (CellRecord& record : starred) {
+    if (record.knowledge == "upper-bound" &&
+        record.model == "outdegree-aware" && record.function == "average") {
+      record.exact = false;
+      record.success = true;
+    }
+  }
+  const TableComparison star = compare_table(starred, "table2");
+  EXPECT_EQ(star.measured[1][1], "frequency-based*");
+  EXPECT_FALSE(star.all_match);
+
+  EXPECT_THROW(compare_table(records, "table9"), std::invalid_argument);
+}
+
+TEST(CampaignDeterminism, ShardedRunsProduceIdenticalFiles) {
+  const std::string single = temp_path("single.jsonl");
+  const std::string sharded = temp_path("sharded.jsonl");
+  const Grid grid = Grid::preset("smoke");
+
+  RunnerOptions one;
+  one.out_path = single;
+  one.resume = false;
+  const std::vector<CellRecord> records = Runner(one).run(grid);
+  ASSERT_FALSE(records.empty());
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].cell, records[i].cell);
+  }
+
+  // Four shards in turn against one shared file: each appends its cells and
+  // canonically rewrites, so the final file equals the single-shard bytes.
+  std::remove(sharded.c_str());
+  for (int shard = 0; shard < 4; ++shard) {
+    RunnerOptions options;
+    options.shards = 4;
+    options.shard_index = shard;
+    options.out_path = sharded;
+    Runner(options).run(grid);
+  }
+  const std::string a = read_bytes(single);
+  const std::string b = read_bytes(sharded);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  std::remove(single.c_str());
+  std::remove(sharded.c_str());
+}
+
+TEST(CampaignDeterminism, ResumeReusesFinishedCells) {
+  const std::string path = temp_path("resume.jsonl");
+  const Grid grid = Grid::preset("smoke");
+  RunnerOptions options;
+  options.out_path = path;
+  Runner(options).run(grid);
+  const std::string complete = read_bytes(path);
+
+  // Tamper with one finished record: a resumed run must trust and keep it
+  // (proof the cell was not recomputed), while recomputing the cells whose
+  // lines we drop.
+  std::vector<CellRecord> records = MetricsSink::read_file(path);
+  ASSERT_GE(records.size(), 4u);
+  const std::string tampered_key = records[1].key;
+  records[1].mechanism = "sentinel: must survive resume";
+  records.resize(records.size() / 2);  // "crash": lose the tail
+  MetricsSink::write_canonical(path, std::move(records), false);
+
+  const std::vector<CellRecord> resumed = Runner(options).run(grid);
+  bool sentinel_seen = false;
+  for (const CellRecord& record : resumed) {
+    if (record.key == tampered_key) {
+      sentinel_seen = record.mechanism == "sentinel: must survive resume";
+    }
+  }
+  EXPECT_TRUE(sentinel_seen);
+
+  // A half-written (truncated mid-line) file: the broken line is recomputed
+  // and the final file converges back to the canonical bytes.
+  std::string crashed = complete;
+  crashed.resize(crashed.size() - complete.size() / 3);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << crashed;
+  }
+  Runner(options).run(grid);
+  EXPECT_EQ(read_bytes(path), complete);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignParallel, ThreadedRunMatchesSerial) {
+  const Grid grid = Grid::preset("smoke");
+  RunnerOptions serial;
+  serial.threads = 1;
+  RunnerOptions threaded;
+  threaded.threads = 4;
+  const std::vector<CellRecord> a = Runner(serial).run(grid);
+  const std::vector<CellRecord> b = Runner(threaded).run(grid);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(MetricsSink::to_json(a[i], false),
+              MetricsSink::to_json(b[i], false))
+        << a[i].key;
+  }
+}
+
+TEST(CampaignParallel, ConcurrentAppendsKeepWholeLines) {
+  const std::string path = temp_path("parallel_sink.jsonl");
+  const Grid grid = Grid::preset("smoke");
+  RunnerOptions options;
+  options.threads = 4;
+  options.out_path = path;
+  options.resume = false;
+  const std::vector<CellRecord> records = Runner(options).run(grid);
+  const std::vector<CellRecord> reread = MetricsSink::read_file(path);
+  ASSERT_EQ(reread.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(reread[i].key, records[i].key);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace anonet::campaign

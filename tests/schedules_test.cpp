@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dynamics/adversarial.hpp"
 #include "dynamics/connectivity.hpp"
 #include "dynamics/schedules.hpp"
 #include "graph/analysis.hpp"
@@ -164,6 +165,101 @@ TEST(Schedules, DynamicDiameterUnreachableReturnsMinusOne) {
   disconnected.ensure_self_loops();
   StaticSchedule schedule(disconnected);
   EXPECT_EQ(dynamic_diameter(schedule, 2, 10), -1);
+}
+
+TEST(Schedules, SpoonerServesTheBridgeOnlyOnPeriodMultiples) {
+  const Vertex n = 6;
+  SpoonerSchedule schedule(n, 5);
+  EXPECT_EQ(schedule.vertex_count(), n);
+  EXPECT_EQ(schedule.period(), 5);
+  for (int t = 1; t <= 12; ++t) {
+    EXPECT_EQ(schedule.bridge_round(t), t % 5 == 0) << t;
+    const Digraph g = schedule.at(t);
+    EXPECT_TRUE(g.is_symmetric()) << t;
+    EXPECT_TRUE(g.has_all_self_loops()) << t;
+    EXPECT_EQ(g.has_edge(n - 2, n - 1), t % 5 == 0) << t;
+    // Off-bridge rounds isolate the handle (self-loop only).
+    if (t % 5 != 0) {
+      EXPECT_EQ(g.outdegree(n - 1), 1) << t;
+    }
+  }
+}
+
+TEST(Schedules, SpoonerRealizesDynamicDiameterPeriodPlusTwo) {
+  // The handle waits up to `period` rounds at the bridge; crossing the bowl
+  // adds two hub hops, so D = period + 2 — the prescribed-delay adversary.
+  for (int period : {2, 5}) {
+    SpoonerSchedule schedule(6, period);
+    EXPECT_EQ(dynamic_diameter(schedule, 3 * period, 4 * period + 8),
+              period + 2)
+        << period;
+  }
+}
+
+TEST(Schedules, SpoonerValidates) {
+  EXPECT_THROW(SpoonerSchedule(2, 1), std::invalid_argument);
+  EXPECT_THROW(SpoonerSchedule(5, 0), std::invalid_argument);
+}
+
+TEST(Schedules, UnionRingNoRoundIsConnectedButTheUnionIs) {
+  const Vertex n = 6;
+  UnionRingSchedule schedule(n, 3);
+  EXPECT_EQ(schedule.parts(), 3);
+  for (int t = 1; t <= 7; ++t) {
+    const Digraph g = schedule.at(t);
+    EXPECT_FALSE(is_strongly_connected(g)) << t;
+    EXPECT_TRUE(g.is_symmetric()) << t;
+    EXPECT_TRUE(g.has_all_self_loops()) << t;
+  }
+  // Phases cycle with period `parts`.
+  EXPECT_EQ(schedule.at(1).edges(), schedule.at(4).edges());
+  // The union over any window of `parts` rounds is the ring, so information
+  // still flows: finite dynamic diameter, at most parts * n.
+  const int d = dynamic_diameter(schedule, 6, 3 * static_cast<int>(n));
+  EXPECT_GT(d, 0);
+  EXPECT_LE(d, 3 * static_cast<int>(n));
+}
+
+TEST(Schedules, UnionRingValidates) {
+  EXPECT_THROW(UnionRingSchedule(1, 1), std::invalid_argument);
+  EXPECT_THROW(UnionRingSchedule(4, 0), std::invalid_argument);
+}
+
+TEST(Schedules, AdversarialSchedulesServeBorrowedPhaseViews) {
+  SpoonerSchedule spooner(5, 4);
+  EXPECT_TRUE(spooner.view(4).is_borrowed());
+  // The two phase graphs are stable members: same round class, same object.
+  EXPECT_EQ(&spooner.view(4).get(), &spooner.view(8).get());
+  EXPECT_EQ(&spooner.view(1).get(), &spooner.view(2).get());
+  EXPECT_NE(&spooner.view(1).get(), &spooner.view(4).get());
+
+  UnionRingSchedule ring(6, 3);
+  EXPECT_TRUE(ring.view(2).is_borrowed());
+  EXPECT_EQ(&ring.view(2).get(), &ring.view(5).get());
+  EXPECT_NE(&ring.view(2).get(), &ring.view(3).get());
+}
+
+TEST(Schedules, RandomScheduleViewsAreCachedPerRound) {
+  RandomStronglyConnectedSchedule schedule(6, 3, 17);
+  // Repeating a round serves the cached graph: same object, no rebuild.
+  const RoundGraphRef a = schedule.view(3);
+  const RoundGraphRef b = schedule.view(3);
+  EXPECT_TRUE(a.is_borrowed());
+  EXPECT_EQ(&a.get(), &b.get());
+  // Consecutive rounds come from different slots — the executor keys its
+  // per-graph caches on the address, so a changed topology must change it.
+  const RoundGraphRef c = schedule.view(4);
+  EXPECT_NE(&b.get(), &c.get());
+  // Cached views carry exactly the at(t) graph, wherever they live.
+  for (int t : {1, 2, 3, 2, 5, 1}) {
+    EXPECT_EQ(schedule.view(t).get().edges(), schedule.at(t).edges()) << t;
+  }
+  RandomSymmetricSchedule symmetric(6, 3, 9);
+  EXPECT_TRUE(symmetric.view(2).is_borrowed());
+  EXPECT_EQ(symmetric.view(2).get().edges(), symmetric.at(2).edges());
+  RandomMatchingSchedule matching(6, 9);
+  EXPECT_TRUE(matching.view(2).is_borrowed());
+  EXPECT_EQ(matching.view(2).get().edges(), matching.at(2).edges());
 }
 
 }  // namespace

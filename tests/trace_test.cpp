@@ -1,0 +1,91 @@
+// Tests for TraceRecorder: row-width enforcement, CSV/JSONL shape, default
+// labels, and I/O failure reporting.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/trace.hpp"
+
+namespace anonet {
+namespace {
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Trace, DefaultLabelsComeFromTheFirstRow) {
+  TraceRecorder trace;
+  const std::vector<double> row = {1.0, 2.5, -3.0};
+  trace.record(1, row);
+  EXPECT_EQ(trace.rows(), 1u);
+  const std::string csv = trace.to_csv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "round,agent0,agent1,agent2");
+}
+
+TEST(Trace, RowWidthIsEnforced) {
+  TraceRecorder trace({"a", "b"});
+  const std::vector<double> good = {1.0, 2.0};
+  trace.record(1, good);
+  const std::vector<double> narrow = {1.0};
+  const std::vector<double> wide = {1.0, 2.0, 3.0};
+  EXPECT_THROW(trace.record(2, narrow), std::invalid_argument);
+  EXPECT_THROW(trace.record(2, wide), std::invalid_argument);
+  EXPECT_EQ(trace.rows(), 1u);  // failed rows are not recorded
+}
+
+TEST(Trace, CsvHasOneLinePerRowPlusHeader) {
+  TraceRecorder trace({"x", "y"});
+  const std::vector<double> r1 = {0.5, 1.0};
+  const std::vector<double> r2 = {0.25, 2.0};
+  trace.record(1, r1);
+  trace.record(2, r2);
+  EXPECT_EQ(trace.to_csv(), "round,x,y\n1,0.5,1\n2,0.25,2\n");
+}
+
+TEST(Trace, JsonlMirrorsTheCsvRows) {
+  TraceRecorder trace({"x", "y"});
+  const std::vector<double> r1 = {0.5, 1.0};
+  const std::vector<double> r2 = {0.25, 2.0};
+  trace.record(1, r1);
+  trace.record(2, r2);
+  EXPECT_EQ(trace.to_jsonl(),
+            "{\"round\":1,\"x\":0.5,\"y\":1}\n"
+            "{\"round\":2,\"x\":0.25,\"y\":2}\n");
+}
+
+TEST(Trace, WriteRoundTripsAndReportsIoFailure) {
+  TraceRecorder trace({"v"});
+  const std::vector<double> row = {42.0};
+  trace.record(1, row);
+
+  const std::string csv_path = ::testing::TempDir() + "anonet_trace.csv";
+  const std::string jsonl_path = ::testing::TempDir() + "anonet_trace.jsonl";
+  trace.write_csv(csv_path);
+  trace.write_jsonl(jsonl_path);
+  EXPECT_EQ(read_bytes(csv_path), trace.to_csv());
+  EXPECT_EQ(read_bytes(jsonl_path), trace.to_jsonl());
+  std::remove(csv_path.c_str());
+  std::remove(jsonl_path.c_str());
+
+  const std::string bad = ::testing::TempDir() + "no_such_dir/trace.csv";
+  EXPECT_THROW(trace.write_csv(bad), std::runtime_error);
+  EXPECT_THROW(trace.write_jsonl(bad), std::runtime_error);
+}
+
+TEST(Trace, EmptyRecorderProducesHeaderlessOutput) {
+  const TraceRecorder trace;
+  EXPECT_EQ(trace.rows(), 0u);
+  EXPECT_EQ(trace.to_csv(), "round\n");
+  EXPECT_EQ(trace.to_jsonl(), "");
+}
+
+}  // namespace
+}  // namespace anonet

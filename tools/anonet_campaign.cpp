@@ -1,0 +1,165 @@
+// anonet_campaign — sharded campaign driver (docs/campaign.md).
+//
+//   anonet_campaign --grid tables --out out.jsonl
+//   anonet_campaign --grid tables --shards 4 --shard-index 2 --out s2.jsonl
+//
+// Expands a named grid, runs this process's shard, and appends one JSONL
+// record per cell to --out (resuming past completed cells on rerun). For
+// the table suites it then folds the records into the Table 1 / Table 2
+// verdict grids and compares them against the paper: the exit status is 0
+// iff every non-open cell matches and every open cell was skipped. Other
+// grids exit 0 when no cell has verdict "failed".
+//
+// Records are byte-reproducible by default (no wall-clock fields), so the
+// canonical output of N shards concatenated equals the 1-shard output.
+// --timings opts into wall_ms per cell and gives up that guarantee.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "campaign/metrics.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --grid NAME [options]\n"
+      "\n"
+      "options:\n"
+      "  --grid NAME         grid preset: table1, table2, tables,\n"
+      "                      adversarial, smoke (required)\n"
+      "  --out PATH          JSONL output file (resumable; omit to only\n"
+      "                      print the aggregate)\n"
+      "  --shards N          total shard count (default 1)\n"
+      "  --shard-index I     this process's shard in [0, N) (default 0)\n"
+      "  --threads T         worker threads for this shard (default 1;\n"
+      "                      cells always run serially inside)\n"
+      "  --timings           record wall_ms per cell (breaks byte-for-byte\n"
+      "                      reproducibility across runs)\n"
+      "  --fresh             ignore an existing --out file instead of\n"
+      "                      resuming from it\n"
+      "  --quiet             suppress the per-suite aggregate tables\n",
+      argv0);
+}
+
+bool parse_int(const char* text, int& out) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anonet::campaign;
+
+  std::string grid_name;
+  RunnerOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "anonet_campaign: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--grid") {
+      grid_name = value();
+    } else if (arg == "--out") {
+      options.out_path = value();
+    } else if (arg == "--shards") {
+      if (!parse_int(value(), options.shards)) {
+        std::fprintf(stderr, "anonet_campaign: bad --shards value\n");
+        return 2;
+      }
+    } else if (arg == "--shard-index") {
+      if (!parse_int(value(), options.shard_index)) {
+        std::fprintf(stderr, "anonet_campaign: bad --shard-index value\n");
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      if (!parse_int(value(), options.threads)) {
+        std::fprintf(stderr, "anonet_campaign: bad --threads value\n");
+        return 2;
+      }
+    } else if (arg == "--timings") {
+      options.include_timings = true;
+    } else if (arg == "--fresh") {
+      options.resume = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "anonet_campaign: unknown option '%s'\n",
+                   arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (grid_name.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    const Grid grid = Grid::preset(grid_name);
+    const Runner runner(options);
+    const std::vector<CellRecord> records = runner.run(grid);
+
+    int failed = 0;
+    int skipped = 0;
+    std::vector<std::string> suites;
+    for (const CellRecord& record : records) {
+      if (record.verdict == "failed") ++failed;
+      if (record.verdict == "skipped") ++skipped;
+      bool seen = false;
+      for (const std::string& suite : suites) seen = seen || suite == record.suite;
+      if (!seen) suites.push_back(record.suite);
+    }
+    std::printf("campaign '%s': shard %d/%d ran %zu cells (%d skipped, %d "
+                "failed)\n",
+                grid_name.c_str(), options.shard_index, options.shards,
+                records.size(), skipped, failed);
+    if (!options.out_path.empty()) {
+      std::printf("records: %s\n", options.out_path.c_str());
+    }
+
+    // Aggregate any table suite present; the comparison is only meaningful
+    // on a complete (single-shard or merged) record set, so partial shards
+    // report but do not gate.
+    bool tables_ok = true;
+    bool aggregated = false;
+    for (const std::string& suite : suites) {
+      if (suite != "table1" && suite != "table2") continue;
+      const TableComparison table = compare_table(records, suite);
+      if (!quiet) std::printf("\n%s", render_table(table).c_str());
+      if (options.shards == 1) {
+        aggregated = true;
+        tables_ok = tables_ok && table.all_match;
+      }
+    }
+    if (aggregated) {
+      std::printf("\n%s\n", tables_ok
+                                ? "All non-open cells match the paper; open "
+                                  "'?' cells recorded as skipped."
+                                : "MISMATCH against the paper's tables — see "
+                                  "above.");
+      return tables_ok && failed == 0 ? 0 : 1;
+    }
+    return failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "anonet_campaign: %s\n", e.what());
+    return 2;
+  }
+}

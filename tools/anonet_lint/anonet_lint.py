@@ -92,8 +92,13 @@ ALLOW_RE = re.compile(r"anonet-lint-allow\((\w\d?)\)")
 UNORDERED_DECL_RE = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<")
 CLASS_RE = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)")
+# Out-of-line member definitions, including template specializations:
+# `Foo::send(`, `Foo<T>::send(`, `Foo<T, U>::operator()(`.
 QUALIFIED_MEMBER_RE = re.compile(
-    r"\b([A-Za-z_]\w*)::(~?[A-Za-z_]\w*)\s*\(")
+    r"\b([A-Za-z_]\w*)\s*(?:<[^<>;{}]*>)?\s*::\s*(~?[A-Za-z_]\w*)\s*\(")
+# Keywords that look like call expressions in a token scan.
+NOT_A_CALL = {"if", "for", "while", "switch", "return", "sizeof", "catch",
+              "alignof", "decltype", "noexcept", "assert"}
 CAPS_RE = re.compile(r"\bkModelCapabilities\s*=\s*([^;]+);")
 PARALLEL_SAFE_RE = re.compile(r"\bkParallelSafe\s*=\s*true\b")
 
@@ -118,8 +123,12 @@ class ClassInfo:
     # (path, body_text, body_start_offset) of the class body and of every
     # out-of-line member function definition.
     bodies: list = field(default_factory=list)
-    # (path, offset, params_text) per send() declaration/definition.
+    # (path, offset, params_text, body_text) per send() declaration or
+    # definition; body_text is "" for a declaration without a body.
     send_params: list = field(default_factory=list)
+    # True when the class body itself was never scanned (only out-of-line
+    # definitions were seen) — capabilities are then unknown, not absent.
+    declaration_missing: bool = False
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -300,15 +309,23 @@ class Linter:
                 p_close = match_delim(body, p_open, "(", ")")
                 info.send_params.append(
                     (scan, body_start + sm.start(),
-                     body[p_open + 1:p_close - 1]))
+                     body[p_open + 1:p_close - 1],
+                     self._trailing_body(body, p_close)))
 
     def _collect_out_of_line(self, scan: FileScan):
         text = scan.text
         for m in QUALIFIED_MEMBER_RE.finditer(text):
             cls, member = m.group(1), m.group(2)
             if cls not in self.classes:
-                continue
-            info = self.classes[cls]
+                # An out-of-line send() of an agent class whose declaration
+                # was not scanned (e.g. a lone .cpp): check it anyway with
+                # unknown capabilities rather than silently skipping.
+                if member != "send" or "Agent" not in cls:
+                    continue
+                info = self.class_info(cls)
+                info.declaration_missing = True
+            else:
+                info = self.classes[cls]
             p_open = text.index("(", m.end() - 1)
             p_close = match_delim(text, p_open, "(", ")")
             # Definition if a `{` follows before any top-level `;` (the
@@ -334,7 +351,26 @@ class Linter:
             info.bodies.append((scan, text[body_start:body_end], body_start))
             if member == "send":
                 info.send_params.append(
-                    (scan, m.start(), text[p_open + 1:p_close - 1]))
+                    (scan, m.start(), text[p_open + 1:p_close - 1],
+                     text[body_start:body_end]))
+
+    @staticmethod
+    def _trailing_body(text: str, offset: int) -> str:
+        """The `{...}` body following a parameter list, '' for declarations."""
+        i = offset
+        depth_paren = 0
+        while i < len(text):
+            c = text[i]
+            if c == "(":
+                depth_paren += 1
+            elif c == ")":
+                depth_paren -= 1
+            elif c == ";" and depth_paren == 0:
+                return ""
+            elif c == "{" and depth_paren == 0:
+                return text[i:match_delim(text, i, "{", "}")]
+            i += 1
+        return ""
 
     # --- reporting ----------------------------------------------------------
 
@@ -468,7 +504,10 @@ class Linter:
                 continue
             caps = info.capabilities
             polymorphic = "kModelPolymorphic" in caps
-            for scan, offset, params in info.send_params:
+            missing = (" (the class declaration was not scanned; declare the "
+                       "capability where the class is defined)"
+                       if info.declaration_missing else "")
+            for scan, offset, params, body in info.send_params:
                 names = self._param_names(params)
                 if len(names) >= 1 and names[0] and not polymorphic and \
                         "kNeedsOutdegree" not in caps:
@@ -479,7 +518,7 @@ class Linter:
                         "ModelCapabilities::kNeedsOutdegree — either the "
                         "agent peeks at audience information its model may "
                         "hide (Table 1), or the parameter should be "
-                        "commented out")
+                        f"commented out{missing}")
                 if len(names) >= 2 and names[1] and not polymorphic and \
                         "kNeedsOutputPorts" not in caps:
                     self.report(
@@ -487,7 +526,38 @@ class Linter:
                         f"{info.name}::send names its port parameter "
                         f"'{names[1]}' but the class does not declare "
                         "ModelCapabilities::kNeedsOutputPorts — only "
-                        "kOutputPortAware addresses ports (Table 1)")
+                        f"kOutputPortAware addresses ports (Table 1){missing}")
+                if polymorphic or not body:
+                    continue
+                # Positional laundering: send() forwards the (possibly
+                # renamed) outdegree/port parameter into a helper call. The
+                # naming check above already fires on the definition; this
+                # pins the *use site* so the flow through helpers is visible
+                # even when the in-class declaration leaves params unnamed.
+                for position, cap, what in ((0, "kNeedsOutdegree",
+                                             "outdegree"),
+                                            (1, "kNeedsOutputPorts", "port")):
+                    if cap in caps or len(names) <= position or \
+                            not names[position]:
+                        continue
+                    pname = names[position]
+                    for cm in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", body):
+                        callee = cm.group(1)
+                        if callee in NOT_A_CALL or callee == "send":
+                            continue
+                        a_open = body.index("(", cm.end() - 1)
+                        a_close = match_delim(body, a_open, "(", ")")
+                        args = body[a_open + 1:a_close - 1]
+                        if re.search(rf"\b{re.escape(pname)}\b", args):
+                            self.report(
+                                scan, offset, "M1",
+                                f"{info.name}::send forwards its {what} "
+                                f"parameter '{pname}' into helper "
+                                f"'{callee}()' without declaring "
+                                f"ModelCapabilities::{cap} — renaming and "
+                                "forwarding does not change what the "
+                                "sending function observes (Table 1)"
+                                f"{missing}")
 
     @staticmethod
     def _param_names(params: str):
