@@ -4,15 +4,19 @@
 // "adversarial" grid (explicit agents pinned against the worst-case
 // schedules) through campaign::Runner, and summarizes the outcome: per
 // suite the cell counts by verdict, the paper comparison for the table
-// suites, and aggregate message/bandwidth totals from the arena. Wall
-// time is reported for the campaign as a whole, not per cell, so the
-// record-level data stays deterministic.
+// suites, and aggregate message/bandwidth totals from the arena. Cells
+// are timed individually (in memory only — no JSONL is written, so the
+// record-level determinism guarantee is untouched) to score the sharding
+// policies: the shard-imbalance block reports max/mean shard wall time
+// for the 4-way cost (LPT) and index splits over the measured costs.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "campaign/cost_model.hpp"
 #include "campaign/metrics.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
@@ -30,6 +34,7 @@ struct SuiteSummary {
   int ok = 0;
   int skipped = 0;
   int failed = 0;
+  int timeouts = 0;
   int exact = 0;
   int approximate = 0;  // success without exact stabilization
   std::int64_t rounds = 0;
@@ -53,12 +58,30 @@ void fold(const std::vector<CellRecord>& records,
     if (record.verdict == "ok") ++summary->ok;
     if (record.verdict == "skipped") ++summary->skipped;
     if (record.verdict == "failed") ++summary->failed;
+    if (record.verdict == "timeout") ++summary->timeouts;
     if (record.exact) ++summary->exact;
     if (record.success && !record.exact) ++summary->approximate;
     summary->rounds += record.rounds;
     summary->messages += record.messages;
     summary->payload += record.payload;
   }
+}
+
+// max/mean shard wall time of `assignment` over the measured costs — 1.0
+// is a perfect split, `shards` the degenerate everything-on-one-shard one.
+double imbalance(const std::vector<Cell>& cells, const CostModel& model,
+                 const std::vector<int>& assignment, int shards) {
+  std::vector<double> load(static_cast<std::size_t>(shards), 0.0);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    load[static_cast<std::size_t>(assignment[i])] += model.cost(cells[i]);
+  }
+  double total = 0.0;
+  double max_load = 0.0;
+  for (double l : load) {
+    total += l;
+    max_load = std::max(max_load, l);
+  }
+  return total > 0.0 ? max_load / (total / shards) : 1.0;
 }
 
 }  // namespace
@@ -69,6 +92,7 @@ int main() {
   RunnerOptions options;
   options.threads = ThreadPool::hardware_threads();
   options.resume = false;
+  options.include_timings = true;  // in-memory wall_ms feeds the cost model
   const Runner runner(options);
 
   std::printf("campaign bench: running 'tables' grid...\n");
@@ -90,6 +114,33 @@ int main() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
 
+  // Score the sharding policies on the measured per-cell wall times: how
+  // uneven a 4-way split of this campaign would be under each policy.
+  CostModel measured;
+  for (const CellRecord& record : tables) {
+    if (record.wall_ms >= 0.0) measured.set_measured(record.key, record.wall_ms);
+  }
+  for (const CellRecord& record : adversarial) {
+    if (record.wall_ms >= 0.0) measured.set_measured(record.key, record.wall_ms);
+  }
+  std::vector<Cell> cells = Grid::preset("tables").expand();
+  {
+    const std::vector<Cell> extra = Grid::preset("adversarial").expand();
+    cells.insert(cells.end(), extra.begin(), extra.end());
+  }
+  constexpr int kShards = 4;
+  const std::vector<int> by_cost =
+      assign_shards_by_cost(cells, measured, kShards);
+  std::vector<int> by_index(cells.size(), 0);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    by_index[i] = static_cast<int>(i % kShards);
+  }
+  const double cost_imbalance = imbalance(cells, measured, by_cost, kShards);
+  const double index_imbalance = imbalance(cells, measured, by_index, kShards);
+  std::printf("shard imbalance (max/mean over %d shards): cost %.3f, "
+              "index %.3f\n",
+              kShards, cost_imbalance, index_imbalance);
+
   FILE* out = std::fopen("BENCH_campaign.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_campaign.json\n");
@@ -102,6 +153,10 @@ int main() {
                table1.all_match ? "true" : "false");
   std::fprintf(out, "  \"table2_matches_paper\": %s,\n",
                table2.all_match ? "true" : "false");
+  std::fprintf(out, "  \"shard_imbalance\": {\"shards\": %d, "
+               "\"cost_max_over_mean\": %.4f, "
+               "\"index_max_over_mean\": %.4f},\n",
+               kShards, cost_imbalance, index_imbalance);
   std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < suites.size(); ++i) {
     const SuiteSummary& s = suites[i];
@@ -111,6 +166,7 @@ int main() {
         .field("ok", s.ok)
         .field("skipped", s.skipped)
         .field("failed", s.failed)
+        .field("timeouts", s.timeouts)
         .field("exact", s.exact)
         .field("approximate", s.approximate)
         .field("rounds", s.rounds)

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "support/jsonl.hpp"
 
@@ -27,7 +28,10 @@ void MetricsSink::append(const CellRecord& record) {
     throw std::runtime_error("MetricsSink: append after close");
   }
   out_ << line << '\n';
-  out_.flush();
+  if (++unflushed_ >= kFlushInterval) {
+    out_.flush();
+    unflushed_ = 0;
+  }
   if (!out_) {
     throw std::runtime_error("MetricsSink: write to '" + path_ + "' failed");
   }
@@ -35,7 +39,11 @@ void MetricsSink::append(const CellRecord& record) {
 
 void MetricsSink::close() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (out_.is_open()) out_.close();
+  if (out_.is_open()) {
+    out_.flush();
+    unflushed_ = 0;
+    out_.close();
+  }
 }
 
 std::string MetricsSink::to_json(const CellRecord& record,
@@ -294,16 +302,16 @@ void MetricsSink::write_canonical(const std::string& path,
                                   bool include_timings) {
   std::stable_sort(records.begin(), records.end(),
                    [](const CellRecord& a, const CellRecord& b) {
-                     return a.cell < b.cell;
+                     if (a.cell != b.cell) return a.cell < b.cell;
+                     return a.key < b.key;
                    });
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     throw std::runtime_error("MetricsSink: cannot rewrite '" + path + "'");
   }
-  int last_cell = -1;
+  std::unordered_set<std::string> written;
   for (const CellRecord& record : records) {
-    if (record.cell == last_cell) continue;  // duplicate: keep the first
-    last_cell = record.cell;
+    if (!written.insert(record.key).second) continue;  // dup: keep the first
     out << to_json(record, include_timings) << '\n';
   }
   out.flush();

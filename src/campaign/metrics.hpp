@@ -4,8 +4,8 @@
 // folds records back into Table-1/Table-2-shaped verdict grids.
 //
 // The record format is append-friendly (one self-contained line per cell,
-// flushed as each cell completes) so a killed campaign leaves a readable
-// prefix, and resume can trust every complete line. Records are rendered
+// flushed in small batches as cells complete) so a killed campaign leaves a
+// readable prefix, and resume can trust every complete line. Records are rendered
 // through support/jsonl.hpp with a fixed field order, making a record's
 // bytes a pure function of its field values — the basis of the
 // shard-invariance guarantee (--shards 1 and --shards 4 produce identical
@@ -44,6 +44,8 @@ struct CellRecord {
 
   // "ok": the simulation ran to a verdict (success or not).
   // "failed": an exception escaped the cell (reason = what()).
+  // "timeout": the cell's wall-clock deadline tripped (reason = budget and
+  //            rounds reached) — a resource verdict, distinct from "failed".
   // "skipped": inadmissible or open cell (reason = diagnosis).
   std::string verdict = "ok";
   std::string reason;
@@ -60,8 +62,10 @@ struct CellRecord {
   double wall_ms = -1.0;      // < 0 = not recorded
 };
 
-// Thread-safe JSONL writer. append() serializes under a mutex and flushes
-// per record, so concurrent shard workers interleave whole lines only.
+// Thread-safe JSONL writer. append() serializes under a mutex, so concurrent
+// shard workers interleave whole lines only; the stream is flushed every
+// kFlushInterval records and on close(), bounding how many finished cells a
+// crash can lose without paying a syscall per record.
 class MetricsSink {
  public:
   // Opens `path` for append (resume keeps finished cells) or truncation.
@@ -92,18 +96,23 @@ class MetricsSink {
   [[nodiscard]] static std::vector<CellRecord> read_file(
       const std::string& path);
 
-  // Rewrites `path` with the records sorted by cell index — the canonical
-  // form compared across shard counts. Duplicate cells keep the first
-  // occurrence. Throws std::runtime_error on I/O failure.
+  // Rewrites `path` with the records sorted by (cell index, key) — the
+  // canonical form compared across shard counts and sharding policies.
+  // Duplicate keys keep the first occurrence. Throws std::runtime_error on
+  // I/O failure.
   static void write_canonical(const std::string& path,
                               std::vector<CellRecord> records,
                               bool include_timings);
+
+  // Records buffered between explicit flushes of the underlying stream.
+  static constexpr int kFlushInterval = 32;
 
  private:
   std::mutex mutex_;
   std::ofstream out_;
   std::string path_;
   bool include_timings_;
+  int unflushed_ = 0;  // appends since the last explicit flush
 };
 
 // A measured verdict grid with the paper's grid beside it. Rows are

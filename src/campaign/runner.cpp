@@ -60,6 +60,7 @@ void run_auto(const Cell& cell, CellRecord& record) {
   attempt.rounds = cell.rounds;
   attempt.tolerance = cell.tolerance;
   attempt.seed = cell.seed;
+  attempt.deadline_ms = cell.timeout_ms;
   std::vector<std::int64_t> inputs = cell.inputs;
   const int n = cell.n();
   switch (cell.knowledge) {
@@ -109,6 +110,7 @@ void run_gossip(const Cell& cell, CellRecord& record) {
   for (std::int64_t input : cell.inputs) agents.emplace_back(input);
   Executor<SetGossipAgent> executor(make_cell_schedule(cell),
                                     std::move(agents), cell.model, cell.seed);
+  executor.set_deadline(cell.timeout_ms);
   const SymmetricFunction f = make_function(cell.function);
   const Rational truth = ground_truth(cell.inputs, f, Knowledge::kNone);
   int stabilized = -1;
@@ -150,6 +152,7 @@ void run_frequency_estimator(const Cell& cell, CellRecord& record,
   for (std::int64_t input : cell.inputs) agents.emplace_back(input);
   Executor<Agent> executor(make_cell_schedule(cell), std::move(agents),
                            cell.model, cell.seed);
+  executor.set_deadline(cell.timeout_ms);
   const SymmetricFunction f = make_function(cell.function);
   const double truth = ground_truth(cell.inputs, f, Knowledge::kNone)
                            .to_double();
@@ -229,6 +232,12 @@ CellRecord Runner::run_cell(const Cell& cell, bool record_wall_time) {
         break;
     }
     record.verdict = "ok";
+  } catch (const DeadlineExceeded& e) {
+    record.verdict = "timeout";
+    record.reason = e.what();
+    record.success = false;
+    record.exact = false;
+    record.rounds = e.rounds_run();
   } catch (const std::exception& e) {
     record.verdict = "failed";
     record.reason = e.what();
@@ -244,11 +253,35 @@ CellRecord Runner::run_cell(const Cell& cell, bool record_wall_time) {
 }
 
 std::vector<CellRecord> Runner::run(const Grid& grid) const {
-  const std::vector<Cell> cells = grid.expand();
+  std::vector<Cell> cells = grid.expand();
+  if (options_.cell_timeout_ms > 0.0) {
+    for (Cell& cell : cells) {
+      if (cell.timeout_ms <= 0.0) cell.timeout_ms = options_.cell_timeout_ms;
+    }
+  }
+
+  // Cost model: measured wall times when a timings file is given, static
+  // estimates otherwise. Both sharding (under kCost) and the in-process
+  // work order below consult it.
+  CostModel costs;
+  if (!options_.cost_path.empty()) {
+    costs = CostModel::from_timings_file(options_.cost_path);
+  }
+
   std::vector<Cell> mine;
-  for (const Cell& cell : cells) {
-    if (cell.index % options_.shards == options_.shard_index) {
-      mine.push_back(cell);
+  if (options_.shard_by == ShardBy::kCost) {
+    const std::vector<int> assignment =
+        assign_shards_by_cost(cells, costs, options_.shards);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (assignment[i] == options_.shard_index) {
+        mine.push_back(cells[i]);
+      }
+    }
+  } else {
+    for (const Cell& cell : cells) {
+      if (cell.index % options_.shards == options_.shard_index) {
+        mine.push_back(cell);
+      }
     }
   }
 
@@ -291,38 +324,44 @@ std::vector<CellRecord> Runner::run(const Grid& grid) const {
         /*append=*/options_.resume && had_output);
   }
 
+  // Work-stealing order: workers claim cells one block at a time from a
+  // cost-descending permutation, so the most expensive cell starts first
+  // and a slow cell pins at most the worker that claimed it.
+  const std::vector<std::size_t> order = cost_descending_order(pending, costs);
   std::vector<CellRecord> fresh(pending.size());
   const bool timings = options_.include_timings;
   ThreadPool pool(options_.threads);
   pool.parallel_blocks(
-      static_cast<std::int64_t>(pending.size()), 1,
+      static_cast<std::int64_t>(order.size()), 1,
       [&](std::int64_t begin, std::int64_t end, std::int64_t /*block*/) {
         for (std::int64_t i = begin; i < end; ++i) {
-          fresh[static_cast<std::size_t>(i)] =
-              run_cell(pending[static_cast<std::size_t>(i)], timings);
+          const std::size_t slot = order[static_cast<std::size_t>(i)];
+          fresh[slot] = run_cell(pending[slot], timings);
           if (sink != nullptr) {
-            sink->append(fresh[static_cast<std::size_t>(i)]);
+            sink->append(fresh[slot]);
           }
         }
       });
 
+  // Canonical order: cell index first, key as tie-break. Foreign records
+  // preserved across a grid reshape keep their *stale* indices, which can
+  // collide with current ones — without the key tie-break (and a stable
+  // sort) the merged file's order would depend on resume history.
+  const auto canonical_less = [](const CellRecord& a, const CellRecord& b) {
+    if (a.cell != b.cell) return a.cell < b.cell;
+    return a.key < b.key;
+  };
   std::vector<CellRecord> all = std::move(kept);
   all.insert(all.end(), std::make_move_iterator(fresh.begin()),
              std::make_move_iterator(fresh.end()));
-  std::sort(all.begin(), all.end(),
-            [](const CellRecord& a, const CellRecord& b) {
-              return a.cell < b.cell;
-            });
+  std::stable_sort(all.begin(), all.end(), canonical_less);
   if (sink != nullptr) {
     sink->close();
     std::vector<CellRecord> file_records = all;
     file_records.insert(file_records.end(),
                         std::make_move_iterator(foreign.begin()),
                         std::make_move_iterator(foreign.end()));
-    std::sort(file_records.begin(), file_records.end(),
-              [](const CellRecord& a, const CellRecord& b) {
-                return a.cell < b.cell;
-              });
+    std::stable_sort(file_records.begin(), file_records.end(), canonical_less);
     MetricsSink::write_canonical(options_.out_path, std::move(file_records),
                                  options_.include_timings);
   }

@@ -12,15 +12,25 @@
 // and the campaign keeps going.
 //
 // Sharding and resume compose through the cell index and key: a cell runs
-// in the shard whose index matches `cell.index % shards`, and a cell whose
+// in the shard the sharding policy assigns it (`index % shards` by default,
+// or the CostModel's LPT assignment under ShardBy::kCost), and a cell whose
 // key already appears in the output file is reused, not recomputed. After
 // a run the output file is rewritten in canonical (cell-index) order, so
 // the concatenation of all shards' files — or the same campaign resumed
-// any number of times — is byte-identical to a single-shard run.
+// any number of times — is byte-identical to a single-shard run, whichever
+// sharding policy produced it.
+//
+// Inside one process, pending cells are consumed work-stealing style: the
+// worker pool claims cells one at a time from a cost-descending order, so
+// the most expensive cell starts first and a slow cell can pin at most the
+// one worker that claimed it. With a per-cell wall-clock deadline
+// (`cell_timeout_ms`), even a hung cell ends as a "timeout" record instead
+// of blocking the campaign.
 
 #include <string>
 #include <vector>
 
+#include "campaign/cost_model.hpp"
 #include "campaign/metrics.hpp"
 #include "campaign/spec.hpp"
 
@@ -33,6 +43,17 @@ struct RunnerOptions {
   bool include_timings = false;  // emit wall_ms (breaks byte-reproducibility)
   bool resume = true;   // reuse finished cells found in out_path
   std::string out_path; // JSONL output; empty = return records only
+
+  // Sharding policy. kCost balances shards by estimated cell cost (LPT over
+  // the CostModel); the default stays index % shards for compatibility.
+  ShardBy shard_by = ShardBy::kIndex;
+  // Timings JSONL from a previous `include_timings` run, feeding measured
+  // wall_ms into the CostModel. Empty = static estimates only.
+  std::string cost_path;
+  // Wall-clock deadline applied to every cell that does not carry its own
+  // Cell::timeout_ms (<= 0: none). A tripped deadline becomes a "timeout"
+  // record, a failure class distinct from "failed".
+  double cell_timeout_ms = 0.0;
 };
 
 class Runner {

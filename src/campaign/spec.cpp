@@ -332,6 +332,7 @@ std::vector<Cell> Grid::expand() const {
                     cell.schedule = schedule;
                     cell.variant = variant;
                     cell.tolerance = spec.tolerance;
+                    cell.timeout_ms = spec.timeout_ms;
                     switch (spec.input_source) {
                       case InputSource::kPanel:
                         cell.inputs = make_static_panel(model, variant).values;

@@ -99,9 +99,14 @@ struct Cell {
   ScheduleKind schedule = ScheduleKind::kRandomStronglyConnected;
   int variant = 0;          // panel / input-set index within the suite
   std::vector<std::int64_t> inputs;  // raw inputs (leader coding applied later)
-  int rounds = 400;         // round budget (the per-cell timeout)
+  int rounds = 400;         // round budget
   double tolerance = 1e-3;  // asymptotic (δ2) acceptance threshold
   std::uint64_t seed = 1;   // schedule + executor shuffle seed
+  // Wall-clock deadline for the cell (<= 0: none). Execution policy, not a
+  // coordinate: it is excluded from key(), so resuming with a different
+  // deadline still reuses finished records. When the deadline trips, the
+  // runner records verdict "timeout" instead of pinning a worker.
+  double timeout_ms = 0.0;
 
   bool admissible = true;   // false => the runner records "skipped"
   std::string skip_reason;  // diagnosis for inadmissible cells
@@ -144,6 +149,7 @@ struct Spec {
   int variants = 1;                   // panel / input-set count
   int rounds = 400;
   double tolerance = 1e-3;
+  double timeout_ms = 0.0;  // per-cell wall deadline (<= 0: none)
   std::vector<OpenCell> open_cells;
 };
 

@@ -79,11 +79,13 @@ AttemptResult failure(std::string reason) {
 }
 
 // Runs `executor` for attempt.rounds rounds, collecting per-agent exact
-// outputs with `outputs_fn(agent)` after every round.
+// outputs with `outputs_fn(agent)` after every round. An Attempt deadline
+// is armed on the executor, so DeadlineExceeded escapes from step() here.
 template <typename Alg, typename OutputsFn>
 AttemptResult run_exact(Executor<Alg>& executor, const Attempt& attempt,
                         const Rational& truth, OutputsFn outputs_fn,
                         std::string mechanism) {
+  executor.set_deadline(attempt.deadline_ms);
   ExactnessTracker tracker(truth);
   std::vector<std::optional<Rational>> outputs(executor.agents().size());
   for (int r = 0; r < attempt.rounds; ++r) {
@@ -109,6 +111,7 @@ template <typename Alg, typename OutputsFn>
 AttemptResult run_approximate(Executor<Alg>& executor, const Attempt& attempt,
                               const Rational& truth, OutputsFn outputs_fn,
                               std::string mechanism) {
+  executor.set_deadline(attempt.deadline_ms);
   executor.run(attempt.rounds);
   double error = 0.0;
   for (const Alg& agent : executor.agents()) {

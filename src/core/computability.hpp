@@ -39,6 +39,11 @@ struct Attempt {
   int rounds = 50;             // simulation horizon
   double tolerance = 1e-4;     // δ2 acceptance for asymptotic computation
   std::uint64_t seed = 1;      // executor shuffle seed
+  // Cooperative wall-clock budget for the attempt (<= 0: unlimited). When
+  // the budget elapses, the executor throws DeadlineExceeded between rounds
+  // and the exception propagates out of attempt_* — callers that want a
+  // distinguishable timeout verdict (the campaign runner) catch it there.
+  double deadline_ms = 0.0;
 };
 
 struct AttemptResult {

@@ -33,6 +33,7 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -127,6 +128,27 @@ template <typename M>
 // same round graph is O(1).
 void validate_output_ports(const Digraph& g);
 
+// Thrown by Executor::step() when a cooperative wall-clock deadline set via
+// set_deadline() has passed. The check runs between rounds only (never
+// mid-round), so a round that started before the deadline always completes
+// and the executor is left in a consistent state: stats(), agents() and the
+// round counter reflect exactly the rounds that ran. Campaign runners catch
+// this type specifically to record a "timeout" verdict distinguishable from
+// ordinary failures.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded(std::int64_t rounds_run, double budget_ms)
+      : std::runtime_error("wall-clock deadline of " +
+                           std::to_string(budget_ms) + " ms exceeded after " +
+                           std::to_string(rounds_run) + " rounds"),
+        rounds_run_(rounds_run) {}
+
+  [[nodiscard]] std::int64_t rounds_run() const { return rounds_run_; }
+
+ private:
+  std::int64_t rounds_run_;
+};
+
 template <AnonymousAgent Alg>
 class Executor {
  public:
@@ -205,9 +227,30 @@ class Executor {
         "its sending function to ignore the port.");
   }
 
+  // Arms (or, with budget_ms <= 0, disarms) a cooperative wall-clock
+  // deadline counted from now. step() throws DeadlineExceeded at the start
+  // of the first round that begins at or after the deadline; rounds already
+  // under way are never interrupted. This is the campaign runner's per-cell
+  // timeout hook — a measurement-driven bound, orthogonal to the round
+  // budget, so a hung or pathologically slow schedule cannot pin a worker.
+  void set_deadline(double budget_ms) {
+    if (budget_ms <= 0.0) {
+      deadline_armed_ = false;
+      return;
+    }
+    deadline_budget_ms_ = budget_ms;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(budget_ms));
+    deadline_armed_ = true;
+  }
+
   // Runs one communication-closed round.
   void step() {
     using Clock = std::chrono::steady_clock;
+    if (deadline_armed_ && Clock::now() >= deadline_) {
+      throw DeadlineExceeded(stats_.rounds, deadline_budget_ms_);
+    }
     const auto t_validate = Clock::now();
 
     const int t = static_cast<int>(stats_.rounds) + 1;
@@ -444,6 +487,11 @@ class Executor {
   int threads_;
   std::unique_ptr<ThreadPool> pool_;
   ExecutorStats stats_;
+
+  // Cooperative deadline (set_deadline): checked at the top of step().
+  bool deadline_armed_ = false;
+  double deadline_budget_ms_ = 0.0;
+  std::chrono::steady_clock::time_point deadline_{};
 
   // Round-engine arena state, reused across rounds (no per-round heap
   // churn once capacities have grown to the schedule's maxima).

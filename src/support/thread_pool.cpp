@@ -73,6 +73,23 @@ struct ThreadPool::Impl {
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!first_error) first_error = std::current_exception();
+        // Fail fast: abandon the job's unclaimed blocks by exhausting the
+        // cursor, so the pooled path stops as early as the serial one.
+        // Blocks already claimed by other workers are in flight and will be
+        // counted by their claimants; the abandoned ones are counted here as
+        // finished so the caller's completion wait still terminates.
+        std::uint64_t cur2 = cursor.load(std::memory_order_relaxed);
+        while ((cur2 & ~kBlockMask) == gen_tag &&
+               static_cast<std::int64_t>(cur2 & kBlockMask) < j.total_blocks) {
+          const std::uint64_t exhausted =
+              gen_tag | static_cast<std::uint64_t>(j.total_blocks);
+          if (cursor.compare_exchange_weak(cur2, exhausted,
+                                           std::memory_order_relaxed)) {
+            finished_blocks +=
+                j.total_blocks - static_cast<std::int64_t>(cur2 & kBlockMask);
+            break;
+          }
+        }
       }
       ++ran;
       cur = cursor.load(std::memory_order_relaxed);

@@ -69,8 +69,11 @@ class ThreadPool {
 
   // Invokes fn(begin, end, block_index) for consecutive blocks of size
   // `block_size` covering [0, count). Blocks run concurrently on the pool
-  // (caller included); the call returns after every block completed. The
-  // first exception thrown by fn is captured and rethrown here. Not
+  // (caller included); the call returns after every started block completed.
+  // Exceptions fail fast on both paths: the serial path stops at the first
+  // throwing block, and the pooled path cancels all not-yet-claimed blocks
+  // of the job (blocks already in flight on other workers still finish).
+  // The first exception thrown by fn is captured and rethrown here. Not
   // reentrant: fn must not call parallel_blocks on the same pool. The job
   // may span at most 2^32 - 1 blocks (the block half of the tagged cursor).
   void parallel_blocks(std::int64_t count, std::int64_t block_size,

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/cost_model.hpp"
 #include "campaign/metrics.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
@@ -526,14 +527,326 @@ TEST(CampaignParallel, ThreadedRunMatchesSerial) {
   serial.threads = 1;
   RunnerOptions threaded;
   threaded.threads = 4;
+  // The work-stealing cost order must not leak into results either.
+  RunnerOptions threaded_cost;
+  threaded_cost.threads = 4;
+  threaded_cost.shard_by = ShardBy::kCost;
   const std::vector<CellRecord> a = Runner(serial).run(grid);
   const std::vector<CellRecord> b = Runner(threaded).run(grid);
+  const std::vector<CellRecord> c = Runner(threaded_cost).run(grid);
   ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(MetricsSink::to_json(a[i], false),
               MetricsSink::to_json(b[i], false))
         << a[i].key;
+    EXPECT_EQ(MetricsSink::to_json(a[i], false),
+              MetricsSink::to_json(c[i], false))
+        << a[i].key;
   }
+}
+
+TEST(Campaign, SinkBatchesFlushesAndFlushesOnClose) {
+  // Fewer appends than the flush interval: the records must still be on
+  // disk after close() — close is the flush of last resort.
+  const std::string path = temp_path("batched_sink.jsonl");
+  const int count = MetricsSink::kFlushInterval / 4;
+  {
+    MetricsSink sink(path, false, /*append=*/false);
+    for (int i = 0; i < count; ++i) {
+      CellRecord record;
+      record.cell = i;
+      record.key = std::to_string(i);
+      sink.append(record);
+    }
+    sink.close();
+    const std::vector<CellRecord> flushed = MetricsSink::read_file(path);
+    EXPECT_EQ(flushed.size(), static_cast<std::size_t>(count));
+  }
+  // And crossing the interval flushes without close.
+  const std::string path2 = temp_path("batched_sink2.jsonl");
+  MetricsSink sink(path2, false, /*append=*/false);
+  for (int i = 0; i < MetricsSink::kFlushInterval; ++i) {
+    CellRecord record;
+    record.cell = i;
+    record.key = std::to_string(i);
+    sink.append(record);
+  }
+  EXPECT_EQ(MetricsSink::read_file(path2).size(),
+            static_cast<std::size_t>(MetricsSink::kFlushInterval));
+  sink.close();
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(CampaignCost, ShardBySlugsRoundTrip) {
+  EXPECT_EQ(parse_shard_by(slug(ShardBy::kIndex)), ShardBy::kIndex);
+  EXPECT_EQ(parse_shard_by(slug(ShardBy::kCost)), ShardBy::kCost);
+  EXPECT_THROW((void)parse_shard_by("lpt"), std::invalid_argument);
+}
+
+TEST(CampaignCost, StaticEstimatesOrderMechanismsSensibly) {
+  Cell skipped;
+  skipped.inputs = {1, 2, 3, 4, 5, 6};
+  skipped.admissible = false;
+  Cell gossip = skipped;
+  gossip.admissible = true;
+  gossip.agent = AgentKind::kSetGossip;
+  gossip.function = FunctionKind::kMax;
+  Cell minbase = gossip;
+  minbase.agent = AgentKind::kAuto;
+  minbase.function = FunctionKind::kAverage;
+  minbase.model = CommModel::kOutdegreeAware;
+  Cell history = minbase;
+  history.model = CommModel::kSymmetricBroadcast;
+  history.knowledge = Knowledge::kNone;
+  history.schedule = ScheduleKind::kRandomSymmetric;
+  EXPECT_LT(CostModel::static_estimate(skipped),
+            CostModel::static_estimate(gossip));
+  EXPECT_LT(CostModel::static_estimate(gossip),
+            CostModel::static_estimate(minbase));
+  EXPECT_LT(CostModel::static_estimate(minbase),
+            CostModel::static_estimate(history));
+}
+
+TEST(CampaignCost, MeasuredCostsOverrideStaticEstimates) {
+  const std::string path = temp_path("timings.jsonl");
+  Cell cell;
+  cell.suite = "probe";
+  cell.inputs = {1, 2, 3, 4};
+  CellRecord record;
+  record.cell = 0;
+  record.key = cell.key();
+  record.verdict = "ok";
+  record.wall_ms = 123.5;
+  {
+    MetricsSink sink(path, /*include_timings=*/true, /*append=*/false);
+    sink.append(record);
+  }
+  const CostModel model = CostModel::from_timings_file(path);
+  EXPECT_EQ(model.measured_count(), 1u);
+  EXPECT_DOUBLE_EQ(model.cost(cell), 123.5);
+  Cell other = cell;
+  other.seed = 99;  // different key: falls back to the static estimate
+  EXPECT_DOUBLE_EQ(model.cost(other), CostModel::static_estimate(other));
+  // Missing file: empty model, static estimates throughout.
+  const CostModel cold =
+      CostModel::from_timings_file(temp_path("no_such_timings.jsonl"));
+  EXPECT_EQ(cold.measured_count(), 0u);
+  EXPECT_DOUBLE_EQ(cold.cost(cell), CostModel::static_estimate(cell));
+  std::remove(path.c_str());
+}
+
+TEST(CampaignCost, OrderIsACostDescendingPermutation) {
+  const std::vector<Cell> cells = Grid::preset("smoke").expand();
+  const CostModel model;
+  const std::vector<std::size_t> order = cost_descending_order(cells, model);
+  ASSERT_EQ(order.size(), cells.size());
+  std::set<std::size_t> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), cells.size());  // a permutation
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const double prev = model.cost(cells[order[i - 1]]);
+    const double cur = model.cost(cells[order[i]]);
+    EXPECT_GE(prev, cur);
+    if (prev == cur) {
+      EXPECT_LT(order[i - 1], order[i]);  // ties: index order
+    }
+  }
+}
+
+TEST(CampaignCost, LptBalancesASkewedGridWithinBound) {
+  // A deliberately skewed load: costs 1..40 (max item well under the mean
+  // shard load). LPT must land within the issue's max/mean <= 1.4 budget —
+  // `index % 4` on the same costs is far outside it when the heavy cells
+  // cluster. Measured costs are injected via the timings map so the test
+  // controls the skew exactly.
+  std::vector<Cell> cells(40);
+  CostModel model;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i].index = static_cast<int>(i);
+    cells[i].suite = "skew";
+    cells[i].seed = i + 1;
+    cells[i].inputs = {1, 2, 3};
+    model.set_measured(cells[i].key(), static_cast<double>(i + 1));
+  }
+  const int shards = 4;
+  const std::vector<int> assignment =
+      assign_shards_by_cost(cells, model, shards);
+  ASSERT_EQ(assignment.size(), cells.size());
+  std::vector<double> load(shards, 0.0);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ASSERT_GE(assignment[i], 0);
+    ASSERT_LT(assignment[i], shards);
+    load[static_cast<std::size_t>(assignment[i])] += model.cost(cells[i]);
+  }
+  double total = 0.0;
+  double max_load = 0.0;
+  for (double l : load) {
+    total += l;
+    max_load = std::max(max_load, l);
+  }
+  const double mean = total / shards;
+  EXPECT_LE(max_load / mean, 1.4) << "max " << max_load << " mean " << mean;
+
+  // Determinism: a second identical call agrees shard by shard.
+  EXPECT_EQ(assign_shards_by_cost(cells, model, shards), assignment);
+  EXPECT_THROW((void)assign_shards_by_cost(cells, model, 0),
+               std::invalid_argument);
+}
+
+TEST(CampaignCost, SmokeGridStaticSplitIsBalanced) {
+  // The real static estimator on a real grid: the 4-way LPT split of the
+  // smoke preset must stay within the same imbalance budget.
+  const std::vector<Cell> cells = Grid::preset("smoke").expand();
+  const CostModel model;
+  const std::vector<int> assignment = assign_shards_by_cost(cells, model, 4);
+  std::vector<double> load(4, 0.0);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    load[static_cast<std::size_t>(assignment[i])] += model.cost(cells[i]);
+  }
+  double total = 0.0;
+  double max_load = 0.0;
+  for (double l : load) {
+    total += l;
+    max_load = std::max(max_load, l);
+  }
+  EXPECT_LE(max_load / (total / 4.0), 1.4);
+}
+
+TEST(CampaignDeterminism, CostShardingProducesIdenticalCanonicalBytes) {
+  // The shard-invariance guarantee extended to the cost policy: one shard
+  // under kCost, four shards under kCost, and the index-sharded baseline
+  // all converge to the same canonical bytes.
+  const std::string base = temp_path("cost_base.jsonl");
+  const std::string cost_single = temp_path("cost_single.jsonl");
+  const std::string cost_sharded = temp_path("cost_sharded.jsonl");
+  const Grid grid = Grid::preset("smoke");
+
+  RunnerOptions index_one;
+  index_one.out_path = base;
+  index_one.resume = false;
+  Runner(index_one).run(grid);
+
+  RunnerOptions cost_one;
+  cost_one.out_path = cost_single;
+  cost_one.resume = false;
+  cost_one.shard_by = ShardBy::kCost;
+  Runner(cost_one).run(grid);
+
+  std::remove(cost_sharded.c_str());
+  for (int shard = 0; shard < 4; ++shard) {
+    RunnerOptions options;
+    options.shards = 4;
+    options.shard_index = shard;
+    options.shard_by = ShardBy::kCost;
+    options.out_path = cost_sharded;
+    Runner(options).run(grid);
+  }
+
+  const std::string expected = read_bytes(base);
+  EXPECT_FALSE(expected.empty());
+  EXPECT_EQ(read_bytes(cost_single), expected);
+  EXPECT_EQ(read_bytes(cost_sharded), expected);
+  std::remove(base.c_str());
+  std::remove(cost_single.c_str());
+  std::remove(cost_sharded.c_str());
+}
+
+TEST(CampaignDeterminism, ResumeAgainstReshapedGridKeepsAllRecordsStably) {
+  // Regression for the resume-ordering instability: records preserved from
+  // a *previous grid shape* keep their stale cell indices, which collide
+  // with re-anchored current indices. The canonical order must tie-break on
+  // the key so the merged file does not depend on resume history, and the
+  // foreign record must survive the rewrite (dedupe is by key, not index).
+  const std::string path = temp_path("reshape.jsonl");
+  Spec wide = derived_spec();
+  wide.agents = {AgentKind::kSetGossip};
+  wide.models = {CommModel::kSimpleBroadcast};
+  wide.functions = {FunctionKind::kMax};
+  wide.sizes = {4, 5};
+  RunnerOptions options;
+  options.out_path = path;
+  Runner(options).run(single_spec_grid(wide));
+  ASSERT_EQ(MetricsSink::read_file(path).size(), 2u);
+
+  // Reshape: only n=5 remains, so the n=4 record (stale index 0) becomes
+  // foreign while the n=5 record is re-anchored to index 0 — a collision.
+  Spec narrow = wide;
+  narrow.sizes = {5};
+  Runner(options).run(single_spec_grid(narrow));
+  const std::string first = read_bytes(path);
+  const std::vector<CellRecord> merged = MetricsSink::read_file(path);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].cell, merged[1].cell);  // the index collision is real
+  EXPECT_LT(merged[0].key, merged[1].key);    // resolved by the key order
+
+  // Resuming again must be a byte-level no-op, run after run.
+  Runner(options).run(single_spec_grid(narrow));
+  EXPECT_EQ(read_bytes(path), first);
+  Runner(options).run(single_spec_grid(narrow));
+  EXPECT_EQ(read_bytes(path), first);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignTimeout, DeadlineTripsAsATimeoutVerdict) {
+  // A hung-cell fixture: a huge round budget with an unreachable tolerance
+  // would spin for minutes; the wall-clock deadline must cut it short and
+  // record a "timeout" verdict (distinct from "failed").
+  Cell cell;
+  cell.index = 0;
+  cell.suite = "hang";
+  cell.agent = AgentKind::kMetropolis;
+  cell.model = CommModel::kOutdegreeAware;
+  cell.function = FunctionKind::kAverage;
+  cell.schedule = ScheduleKind::kRandomSymmetric;
+  cell.inputs = derived_inputs(48, 1);
+  cell.rounds = 50'000'000;
+  cell.tolerance = -1.0;  // sup-error can never go negative: never converges
+  cell.timeout_ms = 50.0;
+  const CellRecord record = Runner::run_cell(cell);
+  EXPECT_EQ(record.verdict, "timeout");
+  EXPECT_NE(record.reason.find("deadline"), std::string::npos)
+      << record.reason;
+  EXPECT_FALSE(record.success);
+  EXPECT_GT(record.rounds, 0);           // it made progress before the cut
+  EXPECT_LT(record.rounds, cell.rounds); // and stopped far short of budget
+
+  // With no deadline the same fixture at a tiny budget completes normally.
+  cell.timeout_ms = 0.0;
+  cell.rounds = 3;
+  EXPECT_EQ(Runner::run_cell(cell).verdict, "ok");
+}
+
+TEST(CampaignTimeout, RunnerOptionDefaultsTimeoutsAndSpecOverrides) {
+  // RunnerOptions::cell_timeout_ms reaches every cell that does not carry
+  // its own deadline, and Spec::timeout_ms survives expansion.
+  Spec spec = derived_spec();
+  spec.agents = {AgentKind::kMetropolis};
+  spec.models = {CommModel::kOutdegreeAware};
+  spec.schedules = {ScheduleKind::kRandomSymmetric};
+  spec.sizes = {48};
+  spec.rounds = 50'000'000;
+  spec.tolerance = -1.0;
+
+  const std::vector<Cell> plain = single_spec_grid(spec).expand();
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_LE(plain[0].timeout_ms, 0.0);
+
+  Spec with_deadline = spec;
+  with_deadline.timeout_ms = 40.0;
+  const std::vector<Cell> armed = single_spec_grid(with_deadline).expand();
+  ASSERT_EQ(armed.size(), 1u);
+  EXPECT_DOUBLE_EQ(armed[0].timeout_ms, 40.0);
+
+  RunnerOptions options;
+  options.cell_timeout_ms = 40.0;
+  const std::vector<CellRecord> records =
+      Runner(options).run(single_spec_grid(spec));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].verdict, "timeout");
+
+  // The deadline is execution policy, not identity: the key is unchanged.
+  EXPECT_EQ(plain[0].key(), armed[0].key());
 }
 
 TEST(CampaignParallel, ConcurrentAppendsKeepWholeLines) {

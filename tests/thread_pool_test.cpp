@@ -8,6 +8,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace anonet {
@@ -122,6 +123,53 @@ TEST(ThreadPool, PropagatesFirstException) {
                                     std::int64_t) { ran.fetch_add(1); });
     EXPECT_EQ(ran.load(), 10);
   }
+}
+
+TEST(ThreadPool, FailFastCancelsPendingBlocksOnBothPaths) {
+  // Regression: the pooled path used to run every remaining block to
+  // completion after the first throw, while the serial path stopped at the
+  // throwing block. Both must now fail fast and rethrow the first error.
+  // With every block throwing, each participating thread can complete at
+  // most one block before the cursor is exhausted by the cancellation.
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    const std::int64_t blocks = 10000;
+    std::atomic<std::int64_t> executed{0};
+    std::string caught;
+    try {
+      pool.parallel_blocks(blocks, 1,
+                           [&](std::int64_t, std::int64_t, std::int64_t) {
+                             executed.fetch_add(1);
+                             throw std::runtime_error("boom");
+                           });
+      FAIL() << "parallel_blocks swallowed the exception";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_EQ(caught, "boom");
+    EXPECT_LE(executed.load(), static_cast<std::int64_t>(threads))
+        << "fail-fast cancellation left blocks running (threads=" << threads
+        << ")";
+
+    // The pool survives a cancelled job: the next job covers every index.
+    std::atomic<int> ran{0};
+    pool.parallel_blocks(10, 1, [&](std::int64_t, std::int64_t,
+                                    std::int64_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 10);
+  }
+}
+
+TEST(ThreadPool, SerialPathStopsExactlyAtTheThrowingBlock) {
+  ThreadPool pool(1);
+  std::vector<std::int64_t> seen;
+  EXPECT_THROW(
+      pool.parallel_blocks(10, 1,
+                           [&](std::int64_t, std::int64_t, std::int64_t b) {
+                             seen.push_back(b);
+                             if (b == 3) throw std::logic_error("stop");
+                           }),
+      std::logic_error);
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{0, 1, 2, 3}));
 }
 
 TEST(ThreadPool, ZeroCountIsNoOp) {

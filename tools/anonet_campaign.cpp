@@ -36,6 +36,16 @@ void usage(const char* argv0) {
       "                      print the aggregate)\n"
       "  --shards N          total shard count (default 1)\n"
       "  --shard-index I     this process's shard in [0, N) (default 0)\n"
+      "  --shard-by POLICY   index (default: cell index mod N) or cost\n"
+      "                      (balance shards by estimated cell cost; the\n"
+      "                      merged canonical output is identical either\n"
+      "                      way)\n"
+      "  --cost-file PATH    timings JSONL from a previous --timings run;\n"
+      "                      measured wall_ms overrides the static cost\n"
+      "                      estimates\n"
+      "  --cell-timeout-ms M wall-clock deadline per cell; a tripped\n"
+      "                      deadline records verdict \"timeout\" instead\n"
+      "                      of hanging the shard (default: none)\n"
       "  --threads T         worker threads for this shard (default 1;\n"
       "                      cells always run serially inside)\n"
       "  --timings           record wall_ms per cell (breaks byte-for-byte\n"
@@ -51,6 +61,14 @@ bool parse_int(const char* text, int& out) {
   const long value = std::strtol(text, &end, 10);
   if (end == text || *end != '\0') return false;
   out = static_cast<int>(value);
+  return true;
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  out = value;
   return true;
 }
 
@@ -86,6 +104,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "anonet_campaign: bad --shard-index value\n");
         return 2;
       }
+    } else if (arg == "--shard-by") {
+      try {
+        options.shard_by = parse_shard_by(value());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "anonet_campaign: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--cost-file") {
+      options.cost_path = value();
+    } else if (arg == "--cell-timeout-ms") {
+      if (!parse_double(value(), options.cell_timeout_ms)) {
+        std::fprintf(stderr, "anonet_campaign: bad --cell-timeout-ms value\n");
+        return 2;
+      }
     } else if (arg == "--threads") {
       if (!parse_int(value(), options.threads)) {
         std::fprintf(stderr, "anonet_campaign: bad --threads value\n");
@@ -119,18 +151,20 @@ int main(int argc, char** argv) {
 
     int failed = 0;
     int skipped = 0;
+    int timeouts = 0;
     std::vector<std::string> suites;
     for (const CellRecord& record : records) {
       if (record.verdict == "failed") ++failed;
       if (record.verdict == "skipped") ++skipped;
+      if (record.verdict == "timeout") ++timeouts;
       bool seen = false;
       for (const std::string& suite : suites) seen = seen || suite == record.suite;
       if (!seen) suites.push_back(record.suite);
     }
     std::printf("campaign '%s': shard %d/%d ran %zu cells (%d skipped, %d "
-                "failed)\n",
+                "failed, %d timed out)\n",
                 grid_name.c_str(), options.shard_index, options.shards,
-                records.size(), skipped, failed);
+                records.size(), skipped, failed, timeouts);
     if (!options.out_path.empty()) {
       std::printf("records: %s\n", options.out_path.c_str());
     }
