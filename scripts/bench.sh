@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Builds the Release tree and regenerates BENCH_executor.json (repo root).
+# Builds the Release tree and regenerates BENCH_executor.json and
+# BENCH_bandwidth.json (repo root).
 #
 # Usage: scripts/bench.sh [build-dir]
 set -euo pipefail
@@ -8,8 +9,11 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-release}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" --target executor_scaling -j"$(nproc)"
+cmake --build "$build_dir" --target executor_scaling bandwidth_ablation \
+  -j"$(nproc)"
 
 cd "$repo_root"
 "$build_dir/bench/executor_scaling"
 echo "BENCH_executor.json written to $repo_root"
+"$build_dir/bench/bandwidth_ablation"
+echo "BENCH_bandwidth.json written to $repo_root"

@@ -73,6 +73,11 @@ double CostModel::static_estimate(const Cell& cell) {
     case ScheduleKind::kTokenRing:
       edges = n + 1.0;  // one ring edge per round
       break;
+    case ScheduleKind::kGrowingGap:
+      // Ring on the rare connected rounds, self-loops otherwise; the mean
+      // delivered volume is dominated by the idle rounds.
+      edges = 2.0 * n;
+      break;
   }
 
   // Mechanism multiplier: what one round *does* with a delivery. The auto
@@ -89,8 +94,12 @@ double CostModel::static_estimate(const Cell& cell) {
     multiplier = history_tree ? n * n : n;
   }
 
+  // Metering encodes (or at least sizes) every message once per out-edge —
+  // a constant-factor tax on the delivery volume, not a new asymptotic term.
+  const double channel = cell.bandwidth_bits != 0 ? 1.5 : 1.0;
+
   return static_cast<double>(std::max(cell.rounds, 1)) * edges * multiplier *
-         1e-4;
+         channel * 1e-4;
 }
 
 std::vector<std::size_t> cost_descending_order(const std::vector<Cell>& cells,

@@ -68,8 +68,13 @@ std::string MetricsSink::to_json(const CellRecord& record,
       .field("error", record.error)
       .field("rounds", record.rounds)
       .field("messages", record.messages)
-      .field("payload", record.payload)
-      .field("mechanism", record.mechanism);
+      .field("payload", record.payload);
+  // Channel-off records omit the bandwidth fields entirely, keeping their
+  // bytes identical to the pre-bandwidth format.
+  if (record.bandwidth_bits != 0) {
+    o.field("bandwidth_bits", record.bandwidth_bits).field("bits", record.bits);
+  }
+  o.field("mechanism", record.mechanism);
   if (include_timings && record.wall_ms >= 0.0) {
     o.field("wall_ms", record.wall_ms);
   }
@@ -259,6 +264,8 @@ std::optional<CellRecord> MetricsSink::parse_line(const std::string& line) {
   integer("rounds", record.rounds);
   integer("messages", record.messages);
   integer("payload", record.payload);
+  integer("bandwidth_bits", record.bandwidth_bits);
+  integer("bits", record.bits);
   const auto boolean = [&tokens](const char* key, bool& out) {
     const std::string* t = find(tokens, key);
     if (t != nullptr) out = (*t == "true");

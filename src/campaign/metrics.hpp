@@ -41,11 +41,18 @@ struct CellRecord {
   int variant = 0;
   int n = 0;
   std::uint64_t seed = 0;
+  // Channel policy coordinate (0 = off; -1 = metered; B > 0 = bounded).
+  // Only emitted (with `bits`) when non-zero, so channel-off records stay
+  // byte-identical to the pre-bandwidth format.
+  std::int64_t bandwidth_bits = 0;
 
   // "ok": the simulation ran to a verdict (success or not).
   // "failed": an exception escaped the cell (reason = what()).
   // "timeout": the cell's wall-clock deadline tripped (reason = budget and
   //            rounds reached) — a resource verdict, distinct from "failed".
+  // "bandwidth_exceeded": a bounded channel rejected a message over budget
+  //            (reason = message vs budget bits) — a model verdict: the
+  //            algorithm does not fit the channel, nothing crashed.
   // "skipped": inadmissible or open cell (reason = diagnosis).
   std::string verdict = "ok";
   std::string reason;
@@ -58,6 +65,7 @@ struct CellRecord {
   std::int64_t rounds = 0;    // rounds actually run (<= the cell's budget)
   std::int64_t messages = 0;  // arena deliveries, self-loops included
   std::int64_t payload = 0;   // bandwidth proxy (message weight units)
+  std::int64_t bits = -1;     // measured bits sent (metered cells; else -1)
   std::string mechanism;      // algorithm the cell ran (or skip reason class)
   double wall_ms = -1.0;      // < 0 = not recorded
 };

@@ -16,6 +16,8 @@
 #include "dynamics/schedules.hpp"
 #include "runtime/executor.hpp"
 #include "support/thread_pool.hpp"
+#include "wire/codecs.hpp"
+#include "wire/meter.hpp"
 
 namespace anonet::campaign {
 
@@ -46,6 +48,8 @@ DynamicGraphPtr make_cell_schedule(const Cell& cell) {
       return std::make_shared<SpoonerSchedule>(n, kSpoonerPeriod);
     case ScheduleKind::kUnionRing:
       return std::make_shared<UnionRingSchedule>(n, kUnionRingParts);
+    case ScheduleKind::kGrowingGap:
+      return std::make_shared<GrowingGapRingSchedule>(n);
   }
   throw std::invalid_argument("make_cell_schedule: unknown schedule kind");
 }
@@ -61,6 +65,7 @@ void run_auto(const Cell& cell, CellRecord& record) {
   attempt.tolerance = cell.tolerance;
   attempt.seed = cell.seed;
   attempt.deadline_ms = cell.timeout_ms;
+  attempt.bandwidth_bits = cell.bandwidth_bits;
   std::vector<std::int64_t> inputs = cell.inputs;
   const int n = cell.n();
   switch (cell.knowledge) {
@@ -93,6 +98,7 @@ void run_auto(const Cell& cell, CellRecord& record) {
   record.rounds = result.rounds_run;
   record.messages = result.messages_delivered;
   record.payload = result.payload_units;
+  record.bits = result.bits_total;
   record.mechanism = result.mechanism;
 }
 
@@ -111,6 +117,8 @@ void run_gossip(const Cell& cell, CellRecord& record) {
   Executor<SetGossipAgent> executor(make_cell_schedule(cell),
                                     std::move(agents), cell.model, cell.seed);
   executor.set_deadline(cell.timeout_ms);
+  executor.set_channel_policy(
+      wire::channel_policy_from_bits(cell.bandwidth_bits));
   const SymmetricFunction f = make_function(cell.function);
   const Rational truth = ground_truth(cell.inputs, f, Knowledge::kNone);
   int stabilized = -1;
@@ -139,6 +147,9 @@ void run_gossip(const Cell& cell, CellRecord& record) {
   record.error = error;
   record.mechanism = "set gossip (flooding)";
   finish_from_stats(executor.stats(), record);
+  if (cell.bandwidth_bits != 0) {
+    record.bits = executor.bandwidth_meter().total_bits_sent();
+  }
 }
 
 // Shared δ2 loop for the frequency estimators: step until the sup-error of
@@ -153,6 +164,8 @@ void run_frequency_estimator(const Cell& cell, CellRecord& record,
   Executor<Agent> executor(make_cell_schedule(cell), std::move(agents),
                            cell.model, cell.seed);
   executor.set_deadline(cell.timeout_ms);
+  executor.set_channel_policy(
+      wire::channel_policy_from_bits(cell.bandwidth_bits));
   const SymmetricFunction f = make_function(cell.function);
   const double truth = ground_truth(cell.inputs, f, Knowledge::kNone)
                            .to_double();
@@ -172,6 +185,9 @@ void run_frequency_estimator(const Cell& cell, CellRecord& record,
   record.error = error;
   record.mechanism = mechanism;
   finish_from_stats(executor.stats(), record);
+  if (cell.bandwidth_bits != 0) {
+    record.bits = executor.bandwidth_meter().total_bits_sent();
+  }
 }
 
 }  // namespace
@@ -199,6 +215,7 @@ CellRecord Runner::run_cell(const Cell& cell, bool record_wall_time) {
   record.variant = cell.variant;
   record.n = cell.n();
   record.seed = cell.seed;
+  record.bandwidth_bits = cell.bandwidth_bits;
 
   if (!cell.admissible) {
     record.verdict = "skipped";
@@ -238,6 +255,15 @@ CellRecord Runner::run_cell(const Cell& cell, bool record_wall_time) {
     record.success = false;
     record.exact = false;
     record.rounds = e.rounds_run();
+  } catch (const wire::BandwidthExceeded& e) {
+    // A model verdict, not a crash: the algorithm's messages do not fit
+    // the declared channel. Distinct from "failed" so aggregations can
+    // separate "impossible at this bandwidth" from "broken".
+    record.verdict = "bandwidth_exceeded";
+    record.reason = e.what();
+    record.success = false;
+    record.exact = false;
+    record.rounds = e.rounds_run();
   } catch (const std::exception& e) {
     record.verdict = "failed";
     record.reason = e.what();
@@ -257,6 +283,13 @@ std::vector<CellRecord> Runner::run(const Grid& grid) const {
   if (options_.cell_timeout_ms > 0.0) {
     for (Cell& cell : cells) {
       if (cell.timeout_ms <= 0.0) cell.timeout_ms = options_.cell_timeout_ms;
+    }
+  }
+  if (options_.bandwidth_bits != 0) {
+    for (Cell& cell : cells) {
+      if (cell.bandwidth_bits == 0) {
+        cell.bandwidth_bits = options_.bandwidth_bits;
+      }
     }
   }
 

@@ -54,6 +54,14 @@ struct RunnerOptions {
   // Cell::timeout_ms (<= 0: none). A tripped deadline becomes a "timeout"
   // record, a failure class distinct from "failed".
   double cell_timeout_ms = 0.0;
+  // Channel policy applied to every cell that does not carry its own
+  // Cell::bandwidth_bits (0 = channel off, -1 = metered, B > 0 = bounded).
+  // Unlike cell_timeout_ms this is a *coordinate* override: it changes the
+  // affected cells' keys (and so their resume identity), because a bounded
+  // run answers a different question than an unbounded one. A message over
+  // a bounded budget becomes a "bandwidth_exceeded" record, distinct from
+  // both "failed" and "timeout".
+  std::int64_t bandwidth_bits = 0;
 };
 
 class Runner {

@@ -112,6 +112,7 @@ std::string_view slug(ScheduleKind kind) {
     case ScheduleKind::kTokenRing: return "token-ring";
     case ScheduleKind::kSpooner: return "spooner";
     case ScheduleKind::kUnionRing: return "union-ring";
+    case ScheduleKind::kGrowingGap: return "growing-gap";
   }
   return "?";
 }
@@ -172,7 +173,7 @@ ScheduleKind parse_schedule(std::string_view text) {
       {ScheduleKind::kStaticPanel, ScheduleKind::kRandomStronglyConnected,
        ScheduleKind::kRandomSymmetric, ScheduleKind::kRandomMatching,
        ScheduleKind::kTokenRing, ScheduleKind::kSpooner,
-       ScheduleKind::kUnionRing},
+       ScheduleKind::kUnionRing, ScheduleKind::kGrowingGap},
       "parse_schedule");
 }
 
@@ -212,6 +213,7 @@ bool schedule_symmetric(ScheduleKind kind) {
     case ScheduleKind::kRandomMatching:
     case ScheduleKind::kSpooner:
     case ScheduleKind::kUnionRing:
+    case ScheduleKind::kGrowingGap:
       return true;
     case ScheduleKind::kStaticPanel:
     case ScheduleKind::kRandomStronglyConnected:
@@ -240,6 +242,9 @@ std::string Cell::key() const {
   out += "/n" + std::to_string(n());
   out += "/v" + std::to_string(variant);
   out += "/s" + std::to_string(seed);
+  // The default (channel off) stays out of the key so pre-bandwidth
+  // campaign outputs resume cleanly against re-expanded grids.
+  if (bandwidth_bits != 0) out += "/b" + std::to_string(bandwidth_bits);
   return out;
 }
 
@@ -302,9 +307,19 @@ std::vector<Cell> Grid::expand() const {
   for (const Spec& spec : specs_) {
     if (spec.suite.empty() || spec.agents.empty() || spec.models.empty() ||
         spec.knowledges.empty() || spec.functions.empty() ||
-        spec.schedules.empty() || spec.seeds.empty() || spec.variants < 1) {
+        spec.schedules.empty() || spec.seeds.empty() ||
+        spec.bandwidths.empty() || spec.variants < 1) {
       throw std::invalid_argument("Grid::expand: spec block '" + spec.suite +
                                   "' has an empty axis");
+    }
+    for (const std::int64_t bandwidth : spec.bandwidths) {
+      if (bandwidth < -1) {
+        throw std::invalid_argument(
+            "Grid::expand: spec block '" + spec.suite +
+            "' has bandwidth " + std::to_string(bandwidth) +
+            " (expected 0 = unbounded, -1 = metered, or a positive "
+            "per-message bit budget)");
+      }
     }
     if (spec.input_source == InputSource::kDerived && spec.sizes.empty()) {
       throw std::invalid_argument("Grid::expand: derived-input block '" +
@@ -322,39 +337,47 @@ std::vector<Cell> Grid::expand() const {
               for (int size : sizes) {
                 for (int variant = 0; variant < spec.variants; ++variant) {
                   for (std::uint64_t seed : spec.seeds) {
-                    Cell cell;
-                    cell.index = index++;
-                    cell.suite = spec.suite;
-                    cell.agent = agent;
-                    cell.model = model;
-                    cell.knowledge = knowledge;
-                    cell.function = function;
-                    cell.schedule = schedule;
-                    cell.variant = variant;
-                    cell.tolerance = spec.tolerance;
-                    cell.timeout_ms = spec.timeout_ms;
-                    switch (spec.input_source) {
-                      case InputSource::kPanel:
-                        cell.inputs = make_static_panel(model, variant).values;
-                        cell.seed = seed;
-                        break;
-                      case InputSource::kFixedSets:
-                        cell.inputs = table2_inputs(variant);
-                        // bench/table2_dynamic seeds the three input sets
-                        // consecutively from the base seed.
-                        cell.seed = seed + static_cast<std::uint64_t>(variant);
-                        break;
-                      case InputSource::kDerived:
-                        cell.inputs = derived_inputs(size, seed);
-                        cell.seed = seed;
-                        break;
+                    // Innermost by design: with the {0} default this loop
+                    // degenerates and the cell order (hence every index)
+                    // matches pre-bandwidth expansions exactly.
+                    for (std::int64_t bandwidth : spec.bandwidths) {
+                      Cell cell;
+                      cell.index = index++;
+                      cell.suite = spec.suite;
+                      cell.agent = agent;
+                      cell.model = model;
+                      cell.knowledge = knowledge;
+                      cell.function = function;
+                      cell.schedule = schedule;
+                      cell.variant = variant;
+                      cell.tolerance = spec.tolerance;
+                      cell.timeout_ms = spec.timeout_ms;
+                      cell.bandwidth_bits = bandwidth;
+                      switch (spec.input_source) {
+                        case InputSource::kPanel:
+                          cell.inputs =
+                              make_static_panel(model, variant).values;
+                          cell.seed = seed;
+                          break;
+                        case InputSource::kFixedSets:
+                          cell.inputs = table2_inputs(variant);
+                          // bench/table2_dynamic seeds the three input sets
+                          // consecutively from the base seed.
+                          cell.seed =
+                              seed + static_cast<std::uint64_t>(variant);
+                          break;
+                        case InputSource::kDerived:
+                          cell.inputs = derived_inputs(size, seed);
+                          cell.seed = seed;
+                          break;
+                      }
+                      // rounds == 0 requests the Table 1 horizon 3n + 10.
+                      cell.rounds =
+                          spec.rounds > 0 ? spec.rounds : 3 * cell.n() + 10;
+                      cell.skip_reason = diagnose(spec, cell);
+                      cell.admissible = cell.skip_reason.empty();
+                      cells.push_back(std::move(cell));
                     }
-                    // rounds == 0 requests the Table 1 horizon 3n + 10.
-                    cell.rounds =
-                        spec.rounds > 0 ? spec.rounds : 3 * cell.n() + 10;
-                    cell.skip_reason = diagnose(spec, cell);
-                    cell.admissible = cell.skip_reason.empty();
-                    cells.push_back(std::move(cell));
                   }
                 }
               }
@@ -436,7 +459,8 @@ Grid Grid::preset(const std::string& name) {
     gossip.functions = {FunctionKind::kMax};
     gossip.schedules = {ScheduleKind::kSpooner, ScheduleKind::kUnionRing,
                         ScheduleKind::kTokenRing,
-                        ScheduleKind::kRandomMatching};
+                        ScheduleKind::kRandomMatching,
+                        ScheduleKind::kGrowingGap};
     grid.add(std::move(gossip));
 
     // Push-Sum under simple broadcast is the canonical forbidden pairing:
@@ -447,7 +471,8 @@ Grid Grid::preset(const std::string& name) {
                       CommModel::kOutdegreeAware};
     pushsum.functions = {FunctionKind::kAverage};
     pushsum.schedules = {ScheduleKind::kSpooner, ScheduleKind::kUnionRing,
-                         ScheduleKind::kRandomMatching};
+                         ScheduleKind::kRandomMatching,
+                         ScheduleKind::kGrowingGap};
     grid.add(std::move(pushsum));
 
     Spec metropolis = base;
@@ -457,8 +482,39 @@ Grid Grid::preset(const std::string& name) {
     metropolis.functions = {FunctionKind::kAverage};
     metropolis.schedules = {ScheduleKind::kSpooner, ScheduleKind::kUnionRing,
                             ScheduleKind::kRandomMatching,
-                            ScheduleKind::kTokenRing};
+                            ScheduleKind::kTokenRing,
+                            ScheduleKind::kGrowingGap};
     grid.add(std::move(metropolis));
+  };
+  // Bandwidth regimes of the explicit estimators: every cell runs three
+  // times — metered (bits observed, nothing enforced), under a tight
+  // 128-bit channel (frequency Push-Sum's first map entry alone exceeds
+  // it, so those cells surface as bandwidth_exceeded), and under a loose
+  // 8192-bit channel that nothing here reaches.
+  const auto add_bandwidth = [&grid] {
+    Spec base;
+    base.suite = "bandwidth";
+    base.knowledges = {Knowledge::kNone};
+    base.input_source = InputSource::kDerived;
+    base.sizes = {6, 9};
+    base.seeds = {1};
+    base.rounds = 150;
+    base.tolerance = 1e-3;
+    base.bandwidths = {-1, 128, 8192};
+
+    Spec gossip = base;
+    gossip.agents = {AgentKind::kSetGossip};
+    gossip.models = {CommModel::kSimpleBroadcast};
+    gossip.functions = {FunctionKind::kMax};
+    gossip.schedules = {ScheduleKind::kRandomStronglyConnected};
+    grid.add(std::move(gossip));
+
+    Spec pushsum = base;
+    pushsum.agents = {AgentKind::kFrequencyPushSum};
+    pushsum.models = {CommModel::kOutdegreeAware};
+    pushsum.functions = {FunctionKind::kAverage};
+    pushsum.schedules = {ScheduleKind::kRandomStronglyConnected};
+    grid.add(std::move(pushsum));
   };
 
   if (name == "table1") {
@@ -470,6 +526,8 @@ Grid Grid::preset(const std::string& name) {
     add_table2();
   } else if (name == "adversarial") {
     add_adversarial();
+  } else if (name == "bandwidth") {
+    add_bandwidth();
   } else if (name == "smoke") {
     Spec spec;
     spec.suite = "smoke";
@@ -487,13 +545,13 @@ Grid Grid::preset(const std::string& name) {
   } else {
     throw std::invalid_argument("Grid::preset: unknown grid '" + name +
                                 "' (expected one of: table1, table2, tables, "
-                                "adversarial, smoke)");
+                                "adversarial, bandwidth, smoke)");
   }
   return grid;
 }
 
 std::vector<std::string> Grid::preset_names() {
-  return {"table1", "table2", "tables", "adversarial", "smoke"};
+  return {"table1", "table2", "tables", "adversarial", "bandwidth", "smoke"};
 }
 
 }  // namespace anonet::campaign

@@ -50,6 +50,7 @@ enum class ScheduleKind {
   kTokenRing,               // one ring edge per round
   kSpooner,                 // bounded-D information-delay adversary
   kUnionRing,               // ring split into phases; no round is connected
+  kGrowingGap,              // ring on power-of-two rounds only; unbounded D
 };
 
 // One representative function per class of Section 2.3, mirroring the
@@ -107,6 +108,13 @@ struct Cell {
   // deadline still reuses finished records. When the deadline trips, the
   // runner records verdict "timeout" instead of pinning a worker.
   double timeout_ms = 0.0;
+  // Channel policy coordinate (wire/meter.hpp): 0 = unbounded (default,
+  // the channel off), -1 = metered (bits accounted, nothing enforced),
+  // B > 0 = bounded to B bits per message. Unlike timeout_ms this IS a
+  // coordinate — a bounded cell answers a different question than an
+  // unbounded one — so non-zero values join key(); the default stays out
+  // of the key, keeping pre-bandwidth campaign outputs resumable.
+  std::int64_t bandwidth_bits = 0;
 
   bool admissible = true;   // false => the runner records "skipped"
   std::string skip_reason;  // diagnosis for inadmissible cells
@@ -115,6 +123,7 @@ struct Cell {
 
   // Stable identity used for resume:
   //   suite/agent/model/knowledge/function/schedule/n6/v0/s17
+  // with "/b<bits>" appended only when bandwidth_bits != 0.
   // A cell's key is a pure function of its coordinates (never of results),
   // so a half-written campaign can be matched against a re-expansion.
   [[nodiscard]] std::string key() const;
@@ -150,6 +159,10 @@ struct Spec {
   int rounds = 400;
   double tolerance = 1e-3;
   double timeout_ms = 0.0;  // per-cell wall deadline (<= 0: none)
+  // Bandwidth axis (Cell::bandwidth_bits semantics). The {0} default keeps
+  // the channel off and — because the bandwidth loop is innermost — leaves
+  // the cell list of every pre-bandwidth grid unchanged, index for index.
+  std::vector<std::int64_t> bandwidths = {0};
   std::vector<OpenCell> open_cells;
 };
 
@@ -181,11 +194,12 @@ class Grid {
 
   // Deterministic flattening: blocks in insertion order; within a block the
   // loop nest is knowledge (outer) > model > function > schedule > size >
-  // variant > seed (inner). Fills index, inputs, admissibility.
+  // variant > seed > bandwidth (inner). Fills index, inputs, admissibility.
   [[nodiscard]] std::vector<Cell> expand() const;
 
   // Named grids: "table1", "table2", "tables" (both), "adversarial"
-  // (explicit agents on the worst-case schedules), "smoke" (a fast
+  // (explicit agents on the worst-case schedules), "bandwidth" (explicit
+  // estimators under metered and bounded channels), "smoke" (a fast
   // sub-minute subset). Throws std::invalid_argument on unknown names.
   [[nodiscard]] static Grid preset(const std::string& name);
   [[nodiscard]] static std::vector<std::string> preset_names();

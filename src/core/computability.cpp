@@ -18,6 +18,8 @@
 #include "dynamics/schedules.hpp"
 #include "graph/analysis.hpp"
 #include "runtime/executor.hpp"
+#include "wire/codecs.hpp"
+#include "wire/meter.hpp"
 
 namespace anonet {
 
@@ -80,12 +82,15 @@ AttemptResult failure(std::string reason) {
 
 // Runs `executor` for attempt.rounds rounds, collecting per-agent exact
 // outputs with `outputs_fn(agent)` after every round. An Attempt deadline
-// is armed on the executor, so DeadlineExceeded escapes from step() here.
+// and channel policy are armed on the executor, so DeadlineExceeded and
+// wire::BandwidthExceeded escape from step() here.
 template <typename Alg, typename OutputsFn>
 AttemptResult run_exact(Executor<Alg>& executor, const Attempt& attempt,
                         const Rational& truth, OutputsFn outputs_fn,
                         std::string mechanism) {
   executor.set_deadline(attempt.deadline_ms);
+  executor.set_channel_policy(
+      wire::channel_policy_from_bits(attempt.bandwidth_bits));
   ExactnessTracker tracker(truth);
   std::vector<std::optional<Rational>> outputs(executor.agents().size());
   for (int r = 0; r < attempt.rounds; ++r) {
@@ -103,6 +108,9 @@ AttemptResult run_exact(Executor<Alg>& executor, const Attempt& attempt,
   result.rounds_run = executor.stats().rounds;
   result.messages_delivered = executor.stats().messages_delivered;
   result.payload_units = executor.stats().payload_units;
+  if (attempt.bandwidth_bits != 0) {
+    result.bits_total = executor.bandwidth_meter().total_bits_sent();
+  }
   return result;
 }
 
@@ -112,6 +120,8 @@ AttemptResult run_approximate(Executor<Alg>& executor, const Attempt& attempt,
                               const Rational& truth, OutputsFn outputs_fn,
                               std::string mechanism) {
   executor.set_deadline(attempt.deadline_ms);
+  executor.set_channel_policy(
+      wire::channel_policy_from_bits(attempt.bandwidth_bits));
   executor.run(attempt.rounds);
   double error = 0.0;
   for (const Alg& agent : executor.agents()) {
@@ -129,6 +139,9 @@ AttemptResult run_approximate(Executor<Alg>& executor, const Attempt& attempt,
   result.rounds_run = executor.stats().rounds;
   result.messages_delivered = executor.stats().messages_delivered;
   result.payload_units = executor.stats().payload_units;
+  if (attempt.bandwidth_bits != 0) {
+    result.bits_total = executor.bandwidth_meter().total_bits_sent();
+  }
   return result;
 }
 

@@ -44,6 +44,12 @@ struct Attempt {
   // and the exception propagates out of attempt_* — callers that want a
   // distinguishable timeout verdict (the campaign runner) catch it there.
   double deadline_ms = 0.0;
+  // Channel policy (wire/meter.hpp): 0 = unbounded, -1 = metered, B > 0 =
+  // bounded to B bits per message. Under a bounded channel an over-budget
+  // message makes the executor throw wire::BandwidthExceeded between the
+  // send phase and delivery; as with the deadline, the campaign runner
+  // catches it for a distinguishable "bandwidth_exceeded" verdict.
+  std::int64_t bandwidth_bits = 0;
 };
 
 struct AttemptResult {
@@ -61,6 +67,10 @@ struct AttemptResult {
   std::int64_t rounds_run = 0;
   std::int64_t messages_delivered = 0;
   std::int64_t payload_units = 0;
+  // Measured wire bits sent over the whole attempt (canonical MessageTraits
+  // sizes, each message counted once per out-edge); -1 when the channel was
+  // off (bandwidth_bits == 0) or the attempt never ran.
+  std::int64_t bits_total = -1;
 };
 
 // Static strongly connected networks (Theorem 4.1, Corollaries 4.2-4.4).

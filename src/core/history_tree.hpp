@@ -56,11 +56,16 @@ class HistoryFrequencyAgent {
   };
 
   // Degree-oblivious (simple broadcast sending function), but the whole
-  // double-count mechanism rests on bidirectional round graphs: the executor
-  // verifies symmetry every round. NOT kParallelSafe: agents intern into the
-  // shared registry.
+  // double-count mechanism rests on bidirectional round graphs — and not
+  // just as a schedule promise: the correctness argument quantifies over
+  // every round the executor accepts, so the *model* must certify symmetry
+  // at delivery time. kNeedsSymmetricModel restricts this agent to
+  // CommModel::kSymmetricBroadcast (compile error under any other model);
+  // kSymmetricOnly additionally keeps the per-round symmetry check armed.
+  // NOT kParallelSafe: agents intern into the shared registry.
   static constexpr ModelCapabilities kModelCapabilities =
-      ModelCapabilities::kSymmetricOnly;
+      ModelCapabilities::kSymmetricOnly |
+      ModelCapabilities::kNeedsSymmetricModel;
 
   // All agents of an execution share `registry` and `codec` (interning).
   HistoryFrequencyAgent(std::shared_ptr<ViewRegistry> registry,

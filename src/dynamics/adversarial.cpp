@@ -73,4 +73,37 @@ RoundGraphRef UnionRingSchedule::view(int t) const {
       &phases_[static_cast<std::size_t>(t - 1) % phases_.size()]);
 }
 
+GrowingGapRingSchedule::GrowingGapRingSchedule(Vertex n) : n_(n) {
+  if (n < 2) throw std::invalid_argument("GrowingGapRingSchedule: need n >= 2");
+  Digraph ring(n_);
+  Digraph idle(n_);
+  for (Vertex v = 0; v < n_; ++v) {
+    ring.add_edge(v, v);
+    idle.add_edge(v, v);
+  }
+  for (Vertex v = 0; v + 1 < n_; ++v) {
+    ring.add_edge(v, v + 1);
+    ring.add_edge(v + 1, v);
+  }
+  if (n_ > 2) {  // closing edge; n == 2 is already the complete ring
+    ring.add_edge(n_ - 1, 0);
+    ring.add_edge(0, n_ - 1);
+  }
+  ring_ = std::move(ring);
+  idle_ = std::move(idle);
+}
+
+bool GrowingGapRingSchedule::connected_round(int t) {
+  require_round(t);
+  return (t & (t - 1)) == 0;  // powers of two (round numbering starts at 1)
+}
+
+Digraph GrowingGapRingSchedule::at(int t) const {
+  return connected_round(t) ? ring_ : idle_;
+}
+
+RoundGraphRef GrowingGapRingSchedule::view(int t) const {
+  return RoundGraphRef(connected_round(t) ? &ring_ : &idle_);
+}
+
 }  // namespace anonet

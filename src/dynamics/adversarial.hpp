@@ -86,4 +86,45 @@ class UnionRingSchedule final : public DynamicGraph {
   std::vector<Digraph> phases_;
 };
 
+// Weak-connectivity adversary with unboundedly growing silent gaps: the
+// full bidirectional ring is served exactly on rounds that are powers of
+// two (1, 2, 4, 8, ...); every other round every vertex is isolated (its
+// self-loop only). The schedule is connected infinitely often — every
+// finite suffix still contains a connected round — so it sits inside the
+// weakest connectivity class the paper's eventual-stabilization results
+// tolerate. But the gap between consecutive connected rounds doubles
+// forever, so the dynamic diameter is *unbounded*: no function of n bounds
+// the information delay, which is exactly the regime where round-counted
+// convergence bounds (Theorem 5.2's Push-Sum rate, fixed round budgets)
+// lose their footing while stabilization-style claims survive. The
+// complement of UnionRingSchedule: there every round is disconnected but
+// delay is bounded; here single rounds are fully connected but delay is
+// not.
+//
+// Sibling of schedules.hpp's GrowingGapSchedule (bursts of a caller-chosen
+// base graph with doubling gaps): this variant is campaign-friendly — fully
+// determined by n, ring base, single-round bursts pinned to powers of two —
+// so a campaign cell can name it as a schedule axis value with no extra
+// parameters.
+//
+// Every round graph is symmetric (a ring or the empty graph plus
+// self-loops), so the schedule is admissible for every communication model
+// and for kSymmetricOnly agents. Requires n >= 2; deterministic.
+class GrowingGapRingSchedule final : public DynamicGraph {
+ public:
+  explicit GrowingGapRingSchedule(Vertex n);
+
+  [[nodiscard]] Vertex vertex_count() const override { return n_; }
+  [[nodiscard]] Digraph at(int t) const override;
+  // Borrowed: both phase graphs are precomputed members.
+  [[nodiscard]] RoundGraphRef view(int t) const override;
+  // True when round t serves the ring (t a power of two).
+  [[nodiscard]] static bool connected_round(int t);
+
+ private:
+  Vertex n_;
+  Digraph ring_;  // bidirectional ring + self-loops
+  Digraph idle_;  // self-loops only
+};
+
 }  // namespace anonet

@@ -54,6 +54,17 @@ enum class ModelCapabilities : std::uint8_t {
   // labels views accordingly, is the canonical example. Disables the
   // compile-time pairing checks.
   kModelPolymorphic = 1u << 3,
+  // Correctness relies on the *model* certifying symmetry every round —
+  // strictly stronger than kSymmetricOnly, which merely assumes the
+  // schedule is drawn from the symmetric network class. The distinction is
+  // the paper's "symmetric communications" column read as a model
+  // guarantee: only CommModel::kSymmetricBroadcast rejects an asymmetric
+  // round at delivery time, so an agent whose reasoning quantifies over
+  // "every round the executor accepts" (HistoryFrequencyAgent's
+  // double-counting argument) must run under it, not merely alongside a
+  // symmetric schedule. kSymmetricOnly stays admissible under any model;
+  // kNeedsSymmetricModel restricts the model itself.
+  kNeedsSymmetricModel = 1u << 4,
 };
 
 [[nodiscard]] constexpr ModelCapabilities operator|(ModelCapabilities a,
@@ -90,6 +101,8 @@ template <typename A>
 // Whether a model satisfies a capability set — the admissibility predicate
 // of Table 1. kSymmetricOnly is deliberately absent: it restricts the
 // network class, not the model, and is enforced per round by the executor.
+// kNeedsSymmetricModel, by contrast, restricts the model itself and is
+// checked here.
 [[nodiscard]] constexpr bool model_provides(CommModel model,
                                             ModelCapabilities caps) {
   if (has_capability(caps, ModelCapabilities::kModelPolymorphic)) return true;
@@ -99,6 +112,10 @@ template <typename A>
   }
   if (has_capability(caps, ModelCapabilities::kNeedsOutputPorts) &&
       model != CommModel::kOutputPortAware) {
+    return false;
+  }
+  if (has_capability(caps, ModelCapabilities::kNeedsSymmetricModel) &&
+      model != CommModel::kSymmetricBroadcast) {
     return false;
   }
   return true;
@@ -131,6 +148,13 @@ inline constexpr ModelTag<M> under{};
     out += " declares kNeedsOutputPorts, but ";
     out += to_string(model);
     out += " is isotropic (one message replicated to all out-neighbors)";
+  }
+  if (has_capability(caps, ModelCapabilities::kNeedsSymmetricModel) &&
+      model != CommModel::kSymmetricBroadcast) {
+    out += " declares kNeedsSymmetricModel, but only symmetric broadcast "
+           "certifies every round graph bidirectional — ";
+    out += to_string(model);
+    out += " accepts asymmetric rounds";
   }
   return out;
 }

@@ -42,6 +42,8 @@
 #include "runtime/comm_model.hpp"
 #include "support/counter_rng.hpp"
 #include "support/thread_pool.hpp"
+#include "wire/meter.hpp"
+#include "wire/wire.hpp"
 
 namespace anonet {
 
@@ -225,6 +227,17 @@ class Executor {
         "every other model is isotropic and replicates one message to all "
         "out-neighbors. Run the agent under kOutputPortAware, or rewrite "
         "its sending function to ignore the port.");
+    static_assert(
+        !(has_capability(kAgentCapabilities,
+                         ModelCapabilities::kNeedsSymmetricModel) &&
+          M != CommModel::kSymmetricBroadcast),
+        "anonet model-compliance violation: this agent declares "
+        "ModelCapabilities::kNeedsSymmetricModel — it relies on the model "
+        "certifying every round graph bidirectional, not merely on being "
+        "scheduled over a symmetric network class — and only "
+        "CommModel::kSymmetricBroadcast gives that per-round guarantee. Run "
+        "the agent under kSymmetricBroadcast, or weaken its declaration to "
+        "kSymmetricOnly if a symmetric schedule promise suffices.");
   }
 
   // Arms (or, with budget_ms <= 0, disarms) a cooperative wall-clock
@@ -243,6 +256,41 @@ class Executor {
                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                     std::chrono::duration<double, std::milli>(budget_ms));
     deadline_armed_ = true;
+  }
+
+  // Installs a wire::ChannelPolicy (unbounded | metered | bounded-B-bits).
+  // Metered and bounded channels measure every message with the canonical
+  // MessageTraits codec, so calling this with a non-unbounded policy
+  // requires wire/codecs.hpp in the including translation unit — the
+  // static_assert below names the missing specialization otherwise. The
+  // executor itself never touches the codec: step() only sees the function
+  // pointer installed here, so its instantiation is identical whether or
+  // not codecs are visible (no ODR split between metered and unmetered
+  // translation units), and with the default unbounded policy the
+  // send/deliver path is the pre-wire code byte for byte.
+  void set_channel_policy(wire::ChannelPolicy policy) {
+    static_assert(
+        wire::WireEncodable<Message>,
+        "Executor::set_channel_policy requires a canonical codec for the "
+        "agent's Message: include wire/codecs.hpp (or specialize "
+        "wire::MessageTraits<Message>) in this translation unit.");
+    if (policy.mode == wire::ChannelMode::kBounded && policy.budget_bits <= 0) {
+      throw std::invalid_argument(
+          "Executor: a bounded channel needs a positive per-message budget");
+    }
+    channel_policy_ = policy;
+    measure_ = policy.mode == wire::ChannelMode::kUnbounded
+                   ? nullptr
+                   : &measure_message;
+  }
+
+  [[nodiscard]] const wire::ChannelPolicy& channel_policy() const {
+    return channel_policy_;
+  }
+  // Per-round bit accounting; empty unless a metered/bounded policy was
+  // installed before the rounds of interest ran.
+  [[nodiscard]] const wire::BandwidthMeter& bandwidth_meter() const {
+    return meter_;
   }
 
   // Runs one communication-closed round.
@@ -266,8 +314,11 @@ class Executor {
     // under every model (Metropolis runs under kOutdegreeAware but is only
     // correct on bidirectional round graphs); the verdict is cached on the
     // graph object, so static schedules pay once.
-    constexpr bool requires_symmetric = has_capability(
-        kAgentCapabilities, ModelCapabilities::kSymmetricOnly);
+    constexpr bool requires_symmetric =
+        has_capability(kAgentCapabilities,
+                       ModelCapabilities::kSymmetricOnly) ||
+        has_capability(kAgentCapabilities,
+                       ModelCapabilities::kNeedsSymmetricModel);
     if (model_ == CommModel::kSymmetricBroadcast && !g.is_symmetric()) {
       throw std::logic_error("Executor: asymmetric round under symmetric model");
     }
@@ -293,16 +344,36 @@ class Executor {
     }
     if (arena_.size() < edge_total) arena_.resize(edge_total);
 
+    // Channel accounting is armed per run, not per round: `metering` is a
+    // loop-invariant local, so the unbounded path costs one predicted
+    // branch per block and allocates nothing.
+    const bool metering = measure_ != nullptr;
+    if (metering) {
+      if (port_aware) {
+        if (edge_outbox_bits_.size() < edge_total) {
+          edge_outbox_bits_.resize(edge_total);
+        }
+      } else {
+        if (outbox_bits_.size() < n) outbox_bits_.resize(n);
+      }
+    }
+
     const std::int64_t block =
         std::max<std::int64_t>(64, static_cast<std::int64_t>(n) /
                                        (4ll * static_cast<std::int64_t>(threads_)));
+    const std::int64_t blocks = ThreadPool::block_count(
+        static_cast<std::int64_t>(n), block);
+    if (partials_.size() < static_cast<std::size_t>(blocks)) {
+      partials_.resize(static_cast<std::size_t>(blocks));
+    }
     const auto t_send = Clock::now();
 
     // Send phase: evaluate each sender's sending function exactly once per
     // model contract. Senders only write their own outbox slots, so vertex
     // blocks are independent.
     parallel(static_cast<std::int64_t>(n), block,
-             [&](std::int64_t begin, std::int64_t end, std::int64_t) {
+             [&](std::int64_t begin, std::int64_t end, std::int64_t b) {
+               Partial local;
                for (std::int64_t i = begin; i < end; ++i) {
                  const auto v = static_cast<Vertex>(i);
                  const auto out = g.out_edges(v);
@@ -312,6 +383,15 @@ class Executor {
                    for (EdgeId id : out) {
                      edge_outbox_[static_cast<std::size_t>(id)] =
                          agent.send(d, static_cast<int>(g.edge(id).color));
+                   }
+                   if (metering) {
+                     for (EdgeId id : out) {
+                       const std::int64_t bits = measure_(
+                           edge_outbox_[static_cast<std::size_t>(id)]);
+                       edge_outbox_bits_[static_cast<std::size_t>(id)] = bits;
+                       local.sent_bits += bits;
+                       if (bits > local.max_bits) local.max_bits = bits;
+                     }
                    }
                  } else {
                    const int visible = sees_outdegree(model_) ? d : 0;
@@ -323,9 +403,42 @@ class Executor {
                      outbox_weight_[static_cast<std::size_t>(i)] =
                          message_weight(outbox_[static_cast<std::size_t>(i)]);
                    }
+                   if (metering) {
+                     // Measure once per sender; the channel carries it once
+                     // per out-edge (self-loop included), matching the
+                     // delivery count on the receive side.
+                     const std::int64_t bits =
+                         measure_(outbox_[static_cast<std::size_t>(i)]);
+                     outbox_bits_[static_cast<std::size_t>(i)] = bits;
+                     local.sent_bits += bits * d;
+                     if (bits > local.max_bits) local.max_bits = bits;
+                   }
                  }
                }
+               if (metering) partials_[static_cast<std::size_t>(b)] = local;
              });
+
+    // The channel sits between the sending functions and delivery: every
+    // round-t message now exists and is measured, none has traveled. A
+    // bounded policy rejects the round here, so BandwidthExceeded leaves
+    // agents untransitioned with exactly stats_.rounds completed rounds
+    // (the same contract as DeadlineExceeded).
+    wire::RoundBandwidth round_bits;
+    if (metering) {
+      for (std::int64_t b = 0; b < blocks; ++b) {
+        const Partial& p = partials_[static_cast<std::size_t>(b)];
+        round_bits.bits_sent += p.sent_bits;
+        if (p.max_bits > round_bits.max_message_bits) {
+          round_bits.max_message_bits = p.max_bits;
+        }
+      }
+      if (channel_policy_.mode == wire::ChannelMode::kBounded &&
+          round_bits.max_message_bits > channel_policy_.budget_bits) {
+        throw wire::BandwidthExceeded(stats_.rounds,
+                                      round_bits.max_message_bits,
+                                      channel_policy_.budget_bits);
+      }
+    }
 
     const auto t_deliver = Clock::now();
 
@@ -333,11 +446,6 @@ class Executor {
     // slice, shuffles with its own counter-keyed stream, and transitions.
     // Receivers only touch their own slice and their own agent, so vertex
     // blocks are independent and the outcome is thread-count-invariant.
-    const std::int64_t blocks = ThreadPool::block_count(
-        static_cast<std::int64_t>(n), block);
-    if (partials_.size() < static_cast<std::size_t>(blocks)) {
-      partials_.resize(static_cast<std::size_t>(blocks));
-    }
     parallel(static_cast<std::int64_t>(n), block,
              [&](std::int64_t begin, std::int64_t end, std::int64_t b) {
                Partial local;
@@ -350,9 +458,11 @@ class Executor {
                    // Slot-aligned topology arrays (prepare_topology): no
                    // indirection through the graph in the hot loop.
                    if (port_aware) {
-                     arena_[base + k] =
-                         edge_outbox_[static_cast<std::size_t>(in_edge_[base + k])];
+                     const auto slot =
+                         static_cast<std::size_t>(in_edge_[base + k]);
+                     arena_[base + k] = edge_outbox_[slot];
                      local.payload += message_weight(arena_[base + k]);
+                     if (metering) local.recv_bits += edge_outbox_bits_[slot];
                    } else {
                      const auto src =
                          static_cast<std::size_t>(in_source_[base + k]);
@@ -362,6 +472,7 @@ class Executor {
                      } else {
                        local.payload += 1;
                      }
+                     if (metering) local.recv_bits += outbox_bits_[src];
                    }
                  }
                  local.messages += static_cast<std::int64_t>(deg);
@@ -395,7 +506,9 @@ class Executor {
       const Partial& p = partials_[static_cast<std::size_t>(b)];
       stats_.messages_delivered += p.messages;
       stats_.payload_units += p.payload;
+      round_bits.bits_received += p.recv_bits;
     }
+    if (metering) meter_.record_round(round_bits);
     ++stats_.rounds;
 
     const auto t_end = Clock::now();
@@ -427,12 +540,27 @@ class Executor {
     { m.weight_units() } -> std::convertible_to<std::int64_t>;
   };
 
-  // Per-block partial statistics, reduced in block order after the deliver
-  // phase (deterministic regardless of which worker ran which block).
+  // Per-block partial statistics, reduced in block order after each phase
+  // (deterministic regardless of which worker ran which block). The same
+  // array serves both phases: the send phase fills the bit fields when a
+  // channel policy is armed and is reduced before delivery (the bounded
+  // check); the deliver phase then overwrites each slot with its own
+  // counts. Bit totals are integer sums and maxima, so the reduced values
+  // are independent of thread count and block assignment by construction.
   struct Partial {
     std::int64_t messages = 0;
     std::int64_t payload = 0;
+    std::int64_t sent_bits = 0;  // send phase: bits pushed onto out-edges
+    std::int64_t max_bits = 0;   // send phase: largest single message
+    std::int64_t recv_bits = 0;  // deliver phase: bits gathered from in-edges
   };
+
+  // The one point where the executor touches the codec. Only instantiated
+  // from set_channel_policy (taking its address), so translation units that
+  // never arm a channel policy compile without wire/codecs.hpp.
+  static std::int64_t measure_message(const Message& message) {
+    return wire::MessageTraits<Message>::encoded_bits(message);
+  }
 
   template <typename Fn>
   void parallel(std::int64_t count, std::int64_t block, Fn&& fn) {
@@ -493,6 +621,13 @@ class Executor {
   double deadline_budget_ms_ = 0.0;
   std::chrono::steady_clock::time_point deadline_{};
 
+  // Channel policy (set_channel_policy): measure_ doubles as the on/off
+  // switch — nullptr means unbounded and step() skips all accounting.
+  using MeasureFn = std::int64_t (*)(const Message&);
+  MeasureFn measure_ = nullptr;
+  wire::ChannelPolicy channel_policy_{};
+  wire::BandwidthMeter meter_;
+
   // Round-engine arena state, reused across rounds (no per-round heap
   // churn once capacities have grown to the schedule's maxima).
   const Digraph* topology_key_ = nullptr;  // borrowed graph offsets refer to
@@ -503,7 +638,9 @@ class Executor {
   std::vector<Message> outbox_;            // one message per sender (isotropic)
   std::vector<std::int64_t> outbox_weight_;  // per-sender weight (isotropic)
   std::vector<Message> edge_outbox_;       // one message per edge (port-aware)
-  std::vector<Partial> partials_;          // per-block deliver-phase stats
+  std::vector<Partial> partials_;          // per-block per-phase stats
+  std::vector<std::int64_t> outbox_bits_;  // per-sender bits (metered only)
+  std::vector<std::int64_t> edge_outbox_bits_;  // per-edge bits (metered only)
 };
 
 }  // namespace anonet

@@ -24,6 +24,11 @@ void TraceRecorder::record(int round, std::span<const double> outputs) {
   values_.emplace_back(outputs.begin(), outputs.end());
 }
 
+void TraceRecorder::record(int round, std::span<const std::int64_t> outputs) {
+  std::vector<double> widened(outputs.begin(), outputs.end());
+  record(round, std::span<const double>(widened));
+}
+
 std::string TraceRecorder::to_csv() const {
   std::ostringstream os;
   os << "round";

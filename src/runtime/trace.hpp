@@ -4,6 +4,7 @@
 // and export CSV for external plotting. Used by examples and available to
 // downstream experiment code; benches print their own tables.
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +19,10 @@ class TraceRecorder {
 
   // Appends a row; all rows must have the same width (throws otherwise).
   void record(int round, std::span<const double> outputs);
+  // Integer rows (per-round bit counters from wire::BandwidthMeter, message
+  // counts, ...) widen to double: exact up to 2^53, far beyond any per-round
+  // volume a simulation here produces.
+  void record(int round, std::span<const std::int64_t> outputs);
 
   [[nodiscard]] std::size_t rows() const { return rounds_.size(); }
   [[nodiscard]] std::string to_csv() const;

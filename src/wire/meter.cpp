@@ -1,0 +1,23 @@
+#include "wire/meter.hpp"
+
+#include "support/jsonl.hpp"
+
+namespace anonet::wire {
+
+std::string BandwidthMeter::to_jsonl() const {
+  std::string out;
+  std::int64_t round = 0;
+  for (const RoundBandwidth& r : rounds_) {
+    ++round;
+    JsonObject o;
+    o.field("round", round)
+        .field("bits_sent", r.bits_sent)
+        .field("bits_received", r.bits_received)
+        .field("max_message_bits", r.max_message_bits);
+    out += o.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace anonet::wire

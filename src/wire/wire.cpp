@@ -1,0 +1,48 @@
+#include "wire/wire.hpp"
+
+#include <algorithm>
+
+namespace anonet::wire {
+
+void BitWriter::write_bigint(const BigInt& value) {
+  write_bit(value.is_negative());
+  const std::size_t length = value.bit_length();
+  write_uvarint(length);
+  // Magnitude LSB-first, packed in 32-bit chunks to amortize the per-bit
+  // loop of write_bits.
+  for (std::size_t base = 0; base < length; base += 32) {
+    std::uint64_t chunk = 0;
+    const int count =
+        static_cast<int>(std::min<std::size_t>(32, length - base));
+    for (int i = 0; i < count; ++i) {
+      if (value.bit(base + static_cast<std::size_t>(i))) chunk |= 1ull << i;
+    }
+    write_bits(chunk, count);
+  }
+}
+
+BigInt BitReader::read_bigint() {
+  const bool negative = read_bit();
+  const std::uint64_t length = read_uvarint();
+  if (length > static_cast<std::uint64_t>(remaining())) {
+    throw std::out_of_range("BitReader: truncated bigint");
+  }
+  BigInt magnitude;
+  for (std::uint64_t base = 0; base < length; base += 32) {
+    const int count = static_cast<int>(std::min<std::uint64_t>(32, length - base));
+    const std::uint64_t chunk = read_bits(count);
+    if (chunk != 0) {
+      magnitude += BigInt(static_cast<std::int64_t>(chunk))
+                       .shifted_left(static_cast<std::size_t>(base));
+    }
+  }
+  if (magnitude.is_zero()) return magnitude;  // the sign bit of zero is 0
+  return negative ? magnitude.negate() : magnitude;
+}
+
+std::int64_t bigint_bits(const BigInt& value) {
+  const auto length = static_cast<std::int64_t>(value.bit_length());
+  return 1 + uvarint_bits(static_cast<std::uint64_t>(length)) + length;
+}
+
+}  // namespace anonet::wire

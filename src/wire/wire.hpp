@@ -1,0 +1,217 @@
+#pragma once
+
+// Wire formats: a canonical bit-level encoding for every agent Message.
+//
+// The paper's separations are statements about what a message is allowed to
+// *carry*, and its quantitative contrast — the finite-state bounded-bandwidth
+// minimum-base variant of §4.2 against Di Luna & Viglietta's exact algorithm
+// with "an infinite number of states and an infinite bandwidth" — is a claim
+// about message *size*. This layer makes that size measurable instead of
+// hand-estimated: a `MessageTraits<M>` specialization (wire/codecs.hpp) gives
+// a message type a canonical encoding with three obligations,
+//
+//     static std::int64_t encoded_bits(const M& m);   // size without buffering
+//     static void encode(const M& m, BitWriter& sink);
+//     static M decode(BitReader& src);
+//
+// where `encoded_bits(m)` must equal the bits `encode` appends (tested per
+// type in tests/wire_test.cpp) and `decode(encode(m)) == m`. The executor's
+// BandwidthMeter (wire/meter.hpp) accounts rounds in these units, and a
+// bounded ChannelPolicy enforces a per-message bit budget against them.
+//
+// Encodings are bit-granular (a budget of B bits must be meaningful for
+// small B — Blanc, Di Luna & Viglietta's one-bit model is the extreme) and
+// deterministic: the same message always renders to the same bits, which is
+// what makes metered campaigns byte-reproducible across shard counts.
+
+#include <bit>
+#include <concepts>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "support/bigint.hpp"
+#include "support/rational.hpp"
+
+namespace anonet::wire {
+
+// Append-only bit sink. Bits are packed LSB-first into bytes; bit_size() is
+// the exact number of bits written (not rounded up to a byte).
+class BitWriter {
+ public:
+  // Appends the low `count` bits of `value`, least significant first.
+  void write_bits(std::uint64_t value, int count) {
+    if (count < 0 || count > 64) {
+      throw std::invalid_argument("BitWriter: count must be in [0, 64]");
+    }
+    for (int i = 0; i < count; ++i) {
+      const std::size_t byte = static_cast<std::size_t>(bits_ >> 3);
+      if (byte == bytes_.size()) bytes_.push_back(0);
+      if ((value >> i) & 1u) {
+        bytes_[byte] |= static_cast<std::uint8_t>(1u << (bits_ & 7));
+      }
+      ++bits_;
+    }
+  }
+
+  void write_bit(bool bit) { write_bits(bit ? 1u : 0u, 1); }
+
+  // LEB128: 7 value bits per group, continuation bit ahead of each group.
+  void write_uvarint(std::uint64_t value) {
+    do {
+      const std::uint64_t group = value & 0x7fu;
+      value >>= 7;
+      write_bits(group | (value != 0 ? 0x80u : 0u), 8);
+    } while (value != 0);
+  }
+
+  // Zigzag-mapped signed varint (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...).
+  void write_svarint(std::int64_t value) {
+    write_uvarint((static_cast<std::uint64_t>(value) << 1) ^
+                  static_cast<std::uint64_t>(value >> 63));
+  }
+
+  // The 64 bits of the IEEE-754 representation: exact, NaN-preserving.
+  void write_double(double value) {
+    write_bits(std::bit_cast<std::uint64_t>(value), 64);
+  }
+
+  // Sign bit, uvarint bit length, then the magnitude bits LSB-first. Zero
+  // encodes as sign 0 + length 0.
+  void write_bigint(const BigInt& value);
+
+  // Numerator then denominator (always positive, reduced by invariant).
+  void write_rational(const Rational& value) {
+    write_bigint(value.numerator());
+    write_bigint(value.denominator());
+  }
+
+  [[nodiscard]] std::int64_t bit_size() const { return bits_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::int64_t bits_ = 0;
+};
+
+// Sequential reader over a BitWriter's output. Reading past the recorded
+// bit count throws std::out_of_range ("truncated"), never fabricates bits.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::int64_t bit_count)
+      : data_(data), bit_count_(bit_count) {}
+  explicit BitReader(const BitWriter& writer)
+      : BitReader(writer.bytes().data(), writer.bit_size()) {}
+
+  [[nodiscard]] std::uint64_t read_bits(int count) {
+    if (count < 0 || count > 64) {
+      throw std::invalid_argument("BitReader: count must be in [0, 64]");
+    }
+    if (cursor_ + count > bit_count_) {
+      throw std::out_of_range("BitReader: truncated input");
+    }
+    std::uint64_t value = 0;
+    for (int i = 0; i < count; ++i) {
+      const std::size_t byte = static_cast<std::size_t>(cursor_ >> 3);
+      if ((data_[byte] >> (cursor_ & 7)) & 1u) value |= 1ull << i;
+      ++cursor_;
+    }
+    return value;
+  }
+
+  [[nodiscard]] bool read_bit() { return read_bits(1) != 0; }
+
+  [[nodiscard]] std::uint64_t read_uvarint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      const std::uint64_t group = read_bits(8);
+      if (shift >= 64 || (shift == 63 && (group & 0x7fu) > 1)) {
+        throw std::out_of_range("BitReader: uvarint overflows 64 bits");
+      }
+      value |= (group & 0x7fu) << shift;
+      if ((group & 0x80u) == 0) return value;
+      shift += 7;
+    }
+  }
+
+  [[nodiscard]] std::int64_t read_svarint() {
+    const std::uint64_t z = read_uvarint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  [[nodiscard]] double read_double() {
+    return std::bit_cast<double>(read_bits(64));
+  }
+
+  [[nodiscard]] BigInt read_bigint();
+
+  [[nodiscard]] Rational read_rational() {
+    BigInt numerator = read_bigint();
+    BigInt denominator = read_bigint();
+    return Rational(std::move(numerator), std::move(denominator));
+  }
+
+  [[nodiscard]] std::int64_t cursor() const { return cursor_; }
+  [[nodiscard]] std::int64_t remaining() const { return bit_count_ - cursor_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::int64_t bit_count_;
+  std::int64_t cursor_ = 0;
+};
+
+// Exact bit costs of the primitives above, so encoded_bits implementations
+// can size a message without rendering it.
+[[nodiscard]] constexpr std::int64_t uvarint_bits(std::uint64_t value) {
+  std::int64_t groups = 1;
+  while (value >>= 7) ++groups;
+  return 8 * groups;
+}
+
+[[nodiscard]] constexpr std::int64_t svarint_bits(std::int64_t value) {
+  return uvarint_bits((static_cast<std::uint64_t>(value) << 1) ^
+                      static_cast<std::uint64_t>(value >> 63));
+}
+
+inline constexpr std::int64_t kDoubleBits = 64;
+
+[[nodiscard]] std::int64_t bigint_bits(const BigInt& value);
+
+[[nodiscard]] inline std::int64_t rational_bits(const Rational& value) {
+  return bigint_bits(value.numerator()) + bigint_bits(value.denominator());
+}
+
+// The customization point. Specializations live in wire/codecs.hpp, one per
+// core agent Message; the primary template is deliberately undefined so a
+// missing codec is a compile-time hole, not a silent unit weight.
+template <typename M>
+struct MessageTraits;
+
+// A message type with a complete, well-formed codec.
+template <typename M>
+concept WireEncodable = requires(const M& m, BitWriter& w, BitReader& r) {
+  { MessageTraits<M>::encoded_bits(m) } -> std::convertible_to<std::int64_t>;
+  { MessageTraits<M>::encode(m, w) };
+  { MessageTraits<M>::decode(r) } -> std::same_as<M>;
+};
+
+// Free-function spellings of the three obligations.
+template <WireEncodable M>
+[[nodiscard]] std::int64_t encoded_bits(const M& m) {
+  return MessageTraits<M>::encoded_bits(m);
+}
+
+template <WireEncodable M>
+void encode(const M& m, BitWriter& sink) {
+  MessageTraits<M>::encode(m, sink);
+}
+
+template <WireEncodable M>
+[[nodiscard]] M decode(BitReader& src) {
+  return MessageTraits<M>::decode(src);
+}
+
+}  // namespace anonet::wire

@@ -1,0 +1,219 @@
+// Tests for channel policies and the bandwidth meter (wire/meter.hpp) as
+// enforced by the Executor: metering accuracy against hand-measured
+// messages, the bounded-channel failure contract, and thread-count
+// invariance of the metered series (the "Determin" suites run under TSan in
+// scripts/check.sh).
+
+#include "wire/meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/gossip.hpp"
+#include "core/pushsum.hpp"
+#include "dynamics/schedules.hpp"
+#include "graph/generators.hpp"
+#include "runtime/executor.hpp"
+#include "wire/codecs.hpp"
+
+namespace anonet {
+namespace {
+
+TEST(Bandwidth, ChannelPolicyFromBitsConvention) {
+  EXPECT_EQ(wire::channel_policy_from_bits(0).mode,
+            wire::ChannelMode::kUnbounded);
+  EXPECT_EQ(wire::channel_policy_from_bits(-1).mode,
+            wire::ChannelMode::kMetered);
+  const wire::ChannelPolicy bounded = wire::channel_policy_from_bits(96);
+  EXPECT_EQ(bounded.mode, wire::ChannelMode::kBounded);
+  EXPECT_EQ(bounded.budget_bits, 96);
+  EXPECT_THROW((void)wire::channel_policy_from_bits(-2),
+               std::invalid_argument);
+}
+
+TEST(Bandwidth, MeterIsOffByDefault) {
+  auto net = std::make_shared<StaticSchedule>(bidirectional_ring(4));
+  std::vector<SetGossipAgent> agents;
+  for (int i = 0; i < 4; ++i) agents.emplace_back(i);
+  Executor<SetGossipAgent> exec(net, std::move(agents),
+                                CommModel::kSimpleBroadcast);
+  exec.run(3);
+  EXPECT_EQ(exec.channel_policy().mode, wire::ChannelMode::kUnbounded);
+  EXPECT_EQ(exec.bandwidth_meter().rounds(), 0);
+  EXPECT_EQ(exec.bandwidth_meter().total_bits_sent(), 0);
+}
+
+TEST(Bandwidth, MeteredBitsMatchHandMeasuredMessages) {
+  // n = 2 bidirectional ring: each sender covers two out-edges (self-loop
+  // plus the neighbor), so round-1 traffic is exactly 2x each initial
+  // known-set snapshot.
+  auto net = std::make_shared<StaticSchedule>(bidirectional_ring(2));
+  std::vector<SetGossipAgent> agents;
+  agents.emplace_back(3);
+  agents.emplace_back(-7);
+  Executor<SetGossipAgent> exec(net, std::move(agents),
+                                CommModel::kSimpleBroadcast);
+  exec.set_channel_policy(wire::ChannelPolicy::metered());
+  exec.step();
+  SetGossipAgent::Message first{{3}};
+  SetGossipAgent::Message second{{-7}};
+  const std::int64_t expected =
+      2 * wire::encoded_bits(first) + 2 * wire::encoded_bits(second);
+  const wire::RoundBandwidth& round = exec.bandwidth_meter().round(1);
+  EXPECT_EQ(round.bits_sent, expected);
+  EXPECT_EQ(round.bits_received, expected);
+  EXPECT_EQ(round.max_message_bits,
+            std::max(wire::encoded_bits(first), wire::encoded_bits(second)));
+  // Round 2: both know {-7, 3}; two values, same message from both.
+  exec.step();
+  SetGossipAgent::Message merged{{-7, 3}};
+  EXPECT_EQ(exec.bandwidth_meter().round(2).bits_sent,
+            4 * wire::encoded_bits(merged));
+  EXPECT_EQ(exec.bandwidth_meter().total_bits_sent(),
+            expected + 4 * wire::encoded_bits(merged));
+}
+
+TEST(Bandwidth, SentEqualsReceivedEveryRound) {
+  auto net = std::make_shared<RandomStronglyConnectedSchedule>(12, 8, 21);
+  std::vector<FrequencyPushSumAgent> agents;
+  for (Vertex v = 0; v < 12; ++v) agents.emplace_back(v % 4);
+  Executor<FrequencyPushSumAgent> exec(net, std::move(agents),
+                                       CommModel::kOutdegreeAware);
+  exec.set_channel_policy(wire::ChannelPolicy::metered());
+  exec.run(6);
+  const wire::BandwidthMeter& meter = exec.bandwidth_meter();
+  ASSERT_EQ(meter.rounds(), 6);
+  std::int64_t sent = 0, received = 0;
+  for (const wire::RoundBandwidth& round : meter.per_round()) {
+    EXPECT_GT(round.bits_sent, 0);
+    EXPECT_EQ(round.bits_sent, round.bits_received);
+    EXPECT_GT(round.max_message_bits, 0);
+    EXPECT_LE(round.max_message_bits, round.bits_sent);
+    sent += round.bits_sent;
+    received += round.bits_received;
+  }
+  EXPECT_EQ(meter.total_bits_sent(), sent);
+  EXPECT_EQ(meter.total_bits_received(), received);
+  EXPECT_THROW((void)meter.round(0), std::out_of_range);
+  EXPECT_THROW((void)meter.round(7), std::out_of_range);
+}
+
+TEST(Bandwidth, BoundedChannelThrowsBetweenSendAndDelivery) {
+  auto net = std::make_shared<StaticSchedule>(bidirectional_ring(3));
+  std::vector<SetGossipAgent> agents;
+  for (int i = 0; i < 3; ++i) agents.emplace_back(1000 * i);
+  Executor<SetGossipAgent> exec(net, std::move(agents),
+                                CommModel::kSimpleBroadcast);
+  // Every round-1 message carries one value: count + first key. Budget one
+  // bit under the largest message, so round 1 itself trips the channel.
+  SetGossipAgent::Message largest{{2000}};
+  const std::int64_t budget = wire::encoded_bits(largest) - 1;
+  exec.set_channel_policy(wire::ChannelPolicy::bounded(budget));
+  try {
+    exec.step();
+    FAIL() << "expected wire::BandwidthExceeded";
+  } catch (const wire::BandwidthExceeded& e) {
+    EXPECT_EQ(e.rounds_run(), 0);
+    EXPECT_EQ(e.budget_bits(), budget);
+    EXPECT_EQ(e.message_bits(), wire::encoded_bits(largest));
+  }
+  // The round did not happen: no transition, no meter entry, and the
+  // agents' known sets are still their singletons.
+  EXPECT_EQ(exec.round(), 0);
+  EXPECT_EQ(exec.stats().messages_delivered, 0);
+  EXPECT_EQ(exec.bandwidth_meter().rounds(), 0);
+  EXPECT_EQ(exec.agent(0).known().size(), 1u);
+}
+
+TEST(Bandwidth, BoundedChannelAdmitsFittingMessages) {
+  auto net = std::make_shared<StaticSchedule>(bidirectional_ring(3));
+  std::vector<SetGossipAgent> agents;
+  for (int i = 0; i < 3; ++i) agents.emplace_back(i);
+  Executor<SetGossipAgent> exec(net, std::move(agents),
+                                CommModel::kSimpleBroadcast);
+  // Generous budget: the channel behaves as a meter that also checks.
+  exec.set_channel_policy(wire::ChannelPolicy::bounded(1 << 16));
+  EXPECT_NO_THROW(exec.run(4));
+  EXPECT_EQ(exec.bandwidth_meter().rounds(), 4);
+  EXPECT_EQ(exec.channel_policy().mode, wire::ChannelMode::kBounded);
+}
+
+TEST(Bandwidth, BoundedPolicyValidatesItsBudget) {
+  auto net = std::make_shared<StaticSchedule>(bidirectional_ring(3));
+  std::vector<SetGossipAgent> agents;
+  for (int i = 0; i < 3; ++i) agents.emplace_back(i);
+  Executor<SetGossipAgent> exec(net, std::move(agents),
+                                CommModel::kSimpleBroadcast);
+  EXPECT_THROW(exec.set_channel_policy(wire::ChannelPolicy::bounded(0)),
+               std::invalid_argument);
+  EXPECT_THROW(exec.set_channel_policy(wire::ChannelPolicy::bounded(-4)),
+               std::invalid_argument);
+}
+
+TEST(Bandwidth, MeterJsonlEmitsOneRecordPerRound) {
+  wire::BandwidthMeter meter;
+  meter.record_round({100, 100, 24});
+  meter.record_round({160, 160, 32});
+  const std::string jsonl = meter.to_jsonl();
+  EXPECT_NE(jsonl.find("\"round\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"round\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"bits_sent\":160"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"max_message_bits\":32"), std::string::npos);
+}
+
+// --- thread-count invariance (runs under TSan via scripts/check.sh) ----------
+
+TEST(BandwidthDeterminism, MeteredSeriesIdenticalAcrossThreadCounts) {
+  auto run = [](int threads) {
+    auto net = std::make_shared<RandomStronglyConnectedSchedule>(23, 14, 5);
+    std::vector<FrequencyPushSumAgent> agents;
+    for (Vertex v = 0; v < 23; ++v) agents.emplace_back(v % 5);
+    Executor<FrequencyPushSumAgent> exec(net, std::move(agents),
+                                         CommModel::kOutdegreeAware, 0x5eedull,
+                                         threads);
+    exec.set_channel_policy(wire::ChannelPolicy::metered());
+    exec.run(8);
+    return exec;
+  };
+  const auto reference = run(1);
+  for (int threads : {2, 4}) {
+    const auto parallel = run(threads);
+    ASSERT_EQ(parallel.bandwidth_meter().rounds(),
+              reference.bandwidth_meter().rounds());
+    for (std::int64_t t = 1; t <= reference.bandwidth_meter().rounds(); ++t) {
+      const wire::RoundBandwidth& a = reference.bandwidth_meter().round(t);
+      const wire::RoundBandwidth& b = parallel.bandwidth_meter().round(t);
+      EXPECT_EQ(a.bits_sent, b.bits_sent) << "round " << t;
+      EXPECT_EQ(a.bits_received, b.bits_received) << "round " << t;
+      EXPECT_EQ(a.max_message_bits, b.max_message_bits) << "round " << t;
+    }
+    EXPECT_EQ(parallel.bandwidth_meter().total_bits_sent(),
+              reference.bandwidth_meter().total_bits_sent());
+    EXPECT_EQ(parallel.bandwidth_meter().max_message_bits(),
+              reference.bandwidth_meter().max_message_bits());
+  }
+}
+
+TEST(BandwidthDeterminism, BoundedOverflowDetectedAtAnyThreadCount) {
+  for (int threads : {1, 3}) {
+    auto net = std::make_shared<StaticSchedule>(complete_graph(6));
+    std::vector<SetGossipAgent> agents;
+    for (int i = 0; i < 6; ++i) agents.emplace_back(i * 77);
+    Executor<SetGossipAgent> exec(net, std::move(agents),
+                                  CommModel::kSimpleBroadcast, 0x5eedull,
+                                  threads);
+    // Round 1 fits (singleton sets); round 2's merged sets do not.
+    exec.set_channel_policy(wire::ChannelPolicy::bounded(40));
+    EXPECT_NO_THROW(exec.step()) << threads;
+    EXPECT_THROW(exec.step(), wire::BandwidthExceeded) << threads;
+    EXPECT_EQ(exec.round(), 1) << threads;
+    EXPECT_EQ(exec.bandwidth_meter().rounds(), 1) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace anonet

@@ -95,7 +95,7 @@ TEST(Campaign, SlugParseRoundTrip) {
        {ScheduleKind::kStaticPanel, ScheduleKind::kRandomStronglyConnected,
         ScheduleKind::kRandomSymmetric, ScheduleKind::kRandomMatching,
         ScheduleKind::kTokenRing, ScheduleKind::kSpooner,
-        ScheduleKind::kUnionRing}) {
+        ScheduleKind::kUnionRing, ScheduleKind::kGrowingGap}) {
     EXPECT_EQ(parse_schedule(slug(kind)), kind);
   }
   for (FunctionKind kind :
@@ -847,6 +847,159 @@ TEST(CampaignTimeout, RunnerOptionDefaultsTimeoutsAndSpecOverrides) {
 
   // The deadline is execution policy, not identity: the key is unchanged.
   EXPECT_EQ(plain[0].key(), armed[0].key());
+}
+
+TEST(Campaign, BandwidthAxisExpandsInnermostAndSuffixesKeys) {
+  Spec spec = derived_spec();
+  spec.agents = {AgentKind::kSetGossip};
+  spec.models = {CommModel::kSimpleBroadcast};
+  spec.functions = {FunctionKind::kMax};
+  spec.seeds = {1, 2};
+  spec.bandwidths = {0, -1, 128};
+  const std::vector<Cell> cells = single_spec_grid(spec).expand();
+  ASSERT_EQ(cells.size(), 6u);
+  // Innermost axis: bandwidth varies fastest, inside the seed loop.
+  EXPECT_EQ(cells[0].bandwidth_bits, 0);
+  EXPECT_EQ(cells[1].bandwidth_bits, -1);
+  EXPECT_EQ(cells[2].bandwidth_bits, 128);
+  EXPECT_EQ(cells[0].seed, cells[2].seed);
+  EXPECT_NE(cells[0].seed, cells[3].seed);
+  // Channel-off cells keep their pre-bandwidth key bytes; armed cells get
+  // the "/b<bits>" coordinate suffix.
+  EXPECT_EQ(cells[0].key().find("/b"), std::string::npos);
+  EXPECT_NE(cells[1].key().find("/b-1"), std::string::npos);
+  EXPECT_NE(cells[2].key().find("/b128"), std::string::npos);
+}
+
+TEST(Campaign, DefaultGridsCarryNoBandwidthCoordinate) {
+  for (const std::string& name : {std::string("smoke"), std::string("tables")}) {
+    for (const Cell& cell : Grid::preset(name).expand()) {
+      EXPECT_EQ(cell.bandwidth_bits, 0) << cell.key();
+      EXPECT_EQ(cell.key().find("/b"), std::string::npos) << cell.key();
+    }
+  }
+}
+
+TEST(Campaign, ExpandValidatesTheBandwidthAxis) {
+  Spec no_axis = derived_spec();
+  no_axis.agents = {AgentKind::kSetGossip};
+  no_axis.models = {CommModel::kSimpleBroadcast};
+  no_axis.bandwidths.clear();
+  EXPECT_THROW(single_spec_grid(no_axis).expand(), std::invalid_argument);
+  Spec bad_axis = derived_spec();
+  bad_axis.agents = {AgentKind::kSetGossip};
+  bad_axis.models = {CommModel::kSimpleBroadcast};
+  bad_axis.bandwidths = {-2};
+  EXPECT_THROW(single_spec_grid(bad_axis).expand(), std::invalid_argument);
+}
+
+TEST(Campaign, BoundedCellRecordsBandwidthExceededVerdict) {
+  // The first frequency Push-Sum message (one entry + outdegree) needs more
+  // than 128 bits, so the bounded channel trips in round 1 — a *model*
+  // verdict distinct from "failed": the algorithm does not fit the channel.
+  Cell cell;
+  cell.index = 0;
+  cell.suite = "bw";
+  cell.agent = AgentKind::kFrequencyPushSum;
+  cell.model = CommModel::kOutdegreeAware;
+  cell.function = FunctionKind::kAverage;
+  cell.schedule = ScheduleKind::kRandomStronglyConnected;
+  cell.inputs = derived_inputs(6, 1);
+  cell.rounds = 30;
+  cell.bandwidth_bits = 128;
+  const CellRecord record = Runner::run_cell(cell);
+  EXPECT_EQ(record.verdict, "bandwidth_exceeded");
+  EXPECT_NE(record.reason.find("channel budget"), std::string::npos)
+      << record.reason;
+  EXPECT_FALSE(record.success);
+  EXPECT_EQ(record.rounds, 0);
+  EXPECT_EQ(record.bandwidth_bits, 128);
+  EXPECT_EQ(record.bits, -1);
+
+  // The same cell metered instead of bounded completes and measures.
+  cell.bandwidth_bits = -1;
+  const CellRecord metered = Runner::run_cell(cell);
+  EXPECT_EQ(metered.verdict, "ok");
+  EXPECT_EQ(metered.bandwidth_bits, -1);
+  EXPECT_GT(metered.bits, 0);
+
+  // And a budget above every message admits the run.
+  cell.bandwidth_bits = 1 << 20;
+  const CellRecord roomy = Runner::run_cell(cell);
+  EXPECT_EQ(roomy.verdict, "ok");
+  EXPECT_GT(roomy.bits, 0);
+  EXPECT_EQ(roomy.bits, metered.bits);
+}
+
+TEST(Campaign, RecordJsonRoundTripsBandwidthFields) {
+  CellRecord record;
+  record.cell = 7;
+  record.key = "bw/freq-pushsum/outdegree-aware/none/average/random-strong/"
+               "n6/v0/s1/b128";
+  record.suite = "bw";
+  record.verdict = "bandwidth_exceeded";
+  record.bandwidth_bits = 128;
+  record.bits = 4096;
+  const std::string line = MetricsSink::to_json(record, false);
+  EXPECT_NE(line.find("\"bandwidth_bits\":128"), std::string::npos);
+  EXPECT_NE(line.find("\"bits\":4096"), std::string::npos);
+  const auto parsed = MetricsSink::parse_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->bandwidth_bits, 128);
+  EXPECT_EQ(parsed->bits, 4096);
+  EXPECT_EQ(MetricsSink::to_json(*parsed, false), line);
+
+  // Channel off: the fields stay out of the line entirely, so meter-off
+  // campaigns render byte-identically to pre-wire-layer output.
+  CellRecord off;
+  off.cell = 7;
+  off.key = "bw/cell";
+  EXPECT_EQ(MetricsSink::to_json(off, false).find("bandwidth_bits"),
+            std::string::npos);
+  EXPECT_EQ(MetricsSink::to_json(off, false).find("\"bits\""),
+            std::string::npos);
+}
+
+TEST(Campaign, RunnerOptionBandwidthIsACoordinateOverride) {
+  // Unlike cell_timeout_ms (execution policy), the bandwidth default
+  // rewrites the cells' identity: keys gain the /b coordinate and the
+  // records carry measured bits.
+  Spec spec = derived_spec();
+  spec.agents = {AgentKind::kSetGossip};
+  spec.models = {CommModel::kSimpleBroadcast};
+  spec.functions = {FunctionKind::kMax};
+  RunnerOptions options;
+  options.bandwidth_bits = -1;
+  const std::vector<CellRecord> records =
+      Runner(options).run(single_spec_grid(spec));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(records[0].key.find("/b-1"), std::string::npos);
+  EXPECT_EQ(records[0].bandwidth_bits, -1);
+  EXPECT_GT(records[0].bits, 0);
+}
+
+TEST(CampaignDeterminism, BandwidthGridShardsToIdenticalCanonicalBytes) {
+  // Metered bit totals are integer sums, so the bandwidth suite keeps the
+  // byte-reproducibility contract across shard counts.
+  const std::string single = temp_path("bw_single.jsonl");
+  const std::string sharded = temp_path("bw_sharded.jsonl");
+  const Grid grid = Grid::preset("bandwidth");
+  RunnerOptions one;
+  one.out_path = single;
+  one.resume = false;
+  const std::vector<CellRecord> records = Runner(one).run(grid);
+  ASSERT_FALSE(records.empty());
+  std::remove(sharded.c_str());
+  for (int shard = 0; shard < 3; ++shard) {
+    RunnerOptions options;
+    options.shards = 3;
+    options.shard_index = shard;
+    options.out_path = sharded;
+    Runner(options).run(grid);
+  }
+  EXPECT_EQ(read_bytes(single), read_bytes(sharded));
+  std::remove(single.c_str());
+  std::remove(sharded.c_str());
 }
 
 TEST(CampaignParallel, ConcurrentAppendsKeepWholeLines) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/gossip.hpp"
+#include "core/history_tree.hpp"
 #include "core/metropolis.hpp"
 #include "core/pushsum.hpp"
 #include "core/uniform_consensus.hpp"
@@ -53,6 +54,25 @@ TEST(Capabilities, ModelProvidesFollowsTableOne) {
   EXPECT_TRUE(model_provides(
       CommModel::kSimpleBroadcast,
       out | ports | ModelCapabilities::kModelPolymorphic));
+}
+
+TEST(Capabilities, NeedsSymmetricModelAdmitsOnlySymmetricBroadcast) {
+  constexpr auto needs = ModelCapabilities::kNeedsSymmetricModel;
+  // Unlike kSymmetricOnly (a network-class restriction every model can
+  // carry), kNeedsSymmetricModel restricts the model itself: only
+  // kSymmetricBroadcast certifies symmetry at delivery time.
+  EXPECT_TRUE(model_provides(CommModel::kSymmetricBroadcast, needs));
+  EXPECT_FALSE(model_provides(CommModel::kSimpleBroadcast, needs));
+  EXPECT_FALSE(model_provides(CommModel::kOutdegreeAware, needs));
+  EXPECT_FALSE(model_provides(CommModel::kOutputPortAware, needs));
+  // The combination the history tree declares.
+  constexpr auto both = ModelCapabilities::kSymmetricOnly | needs;
+  EXPECT_TRUE(model_provides(CommModel::kSymmetricBroadcast, both));
+  EXPECT_FALSE(model_provides(CommModel::kOutdegreeAware, both));
+  // Polymorphic still overrides, as for every other bit.
+  EXPECT_TRUE(model_provides(
+      CommModel::kOutdegreeAware,
+      needs | ModelCapabilities::kModelPolymorphic));
 }
 
 TEST(Capabilities, CoreAgentDeclarationsMatchTheirTableCells) {
@@ -163,6 +183,22 @@ TEST(Capabilities, MismatchDescriptionNamesCapabilityAndModel) {
   const std::string port_msg = describe_model_mismatch(
       CommModel::kOutdegreeAware, ModelCapabilities::kNeedsOutputPorts);
   EXPECT_NE(port_msg.find("kNeedsOutputPorts"), std::string::npos);
+  const std::string sym_msg = describe_model_mismatch(
+      CommModel::kOutdegreeAware, ModelCapabilities::kNeedsSymmetricModel);
+  EXPECT_NE(sym_msg.find("kNeedsSymmetricModel"), std::string::npos);
+  EXPECT_NE(sym_msg.find("symmetric broadcast"), std::string::npos);
+}
+
+TEST(Capabilities, HistoryTreeAgentDeclaresSymmetricModelRequirement) {
+  // HistoryFrequencyAgent is the one agent whose correctness argument needs
+  // the model (not just the schedule) to certify symmetry; see
+  // core/history_tree.hpp. The forbidden pairing is the
+  // compile_fail.symmetric_model_agent_under_outdegree_aware CTest entry.
+  static_assert(has_capability(agent_capabilities<HistoryFrequencyAgent>(),
+                               ModelCapabilities::kNeedsSymmetricModel));
+  static_assert(has_capability(agent_capabilities<HistoryFrequencyAgent>(),
+                               ModelCapabilities::kSymmetricOnly));
+  SUCCEED();
 }
 
 }  // namespace

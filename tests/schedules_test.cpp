@@ -225,6 +225,60 @@ TEST(Schedules, UnionRingValidates) {
   EXPECT_THROW(UnionRingSchedule(4, 0), std::invalid_argument);
 }
 
+TEST(Schedules, GrowingGapRingServesTheRingExactlyOnPowersOfTwo) {
+  const Vertex n = 6;
+  GrowingGapRingSchedule schedule(n);
+  EXPECT_EQ(schedule.vertex_count(), n);
+  for (int t = 1; t <= 64; ++t) {
+    const bool power_of_two = (t & (t - 1)) == 0;
+    EXPECT_EQ(GrowingGapRingSchedule::connected_round(t), power_of_two) << t;
+    const Digraph g = schedule.at(t);
+    EXPECT_TRUE(g.is_symmetric()) << t;
+    EXPECT_TRUE(g.has_all_self_loops()) << t;
+    if (power_of_two) {
+      EXPECT_TRUE(is_strongly_connected(g)) << t;
+      // Bidirectional ring + self-loops: 3n directed edges.
+      EXPECT_EQ(g.edge_count(), 3 * n) << t;
+    } else {
+      // Self-loops only: every vertex isolated.
+      EXPECT_EQ(g.edge_count(), n) << t;
+    }
+  }
+}
+
+TEST(Schedules, GrowingGapRingHasUnboundedDelayButConnectsInfinitelyOften) {
+  GrowingGapRingSchedule schedule(5);
+  // The gap between consecutive connected rounds doubles forever, so no
+  // window bound certifies the dynamic diameter: measuring inside a long
+  // silent stretch finds no path within the window.
+  EXPECT_EQ(dynamic_diameter(schedule, 5, 10), -1);
+  // Yet connectivity recurs: the next power of two always arrives.
+  int connected = 0;
+  for (int t = 1; t <= 1024; ++t) {
+    if (GrowingGapRingSchedule::connected_round(t)) ++connected;
+  }
+  EXPECT_EQ(connected, 11);  // 1, 2, 4, ..., 1024
+}
+
+TEST(Schedules, GrowingGapRingServesBorrowedPhaseViews) {
+  GrowingGapRingSchedule schedule(4);
+  EXPECT_TRUE(schedule.view(3).is_borrowed());
+  // Both phase graphs are stable members.
+  EXPECT_EQ(&schedule.view(1).get(), &schedule.view(4).get());
+  EXPECT_EQ(&schedule.view(3).get(), &schedule.view(5).get());
+  EXPECT_NE(&schedule.view(3).get(), &schedule.view(4).get());
+}
+
+TEST(Schedules, GrowingGapRingValidates) {
+  EXPECT_THROW(GrowingGapRingSchedule(1), std::invalid_argument);
+  EXPECT_THROW(GrowingGapRingSchedule(0), std::invalid_argument);
+  // n == 2 is the degenerate complete ring: no duplicate parallel edges.
+  GrowingGapRingSchedule two(2);
+  const Digraph g = two.at(1);
+  EXPECT_EQ(g.edge_count(), 4);  // two self-loops + one bidirectional pair
+  EXPECT_TRUE(g.is_symmetric());
+}
+
 TEST(Schedules, AdversarialSchedulesServeBorrowedPhaseViews) {
   SpoonerSchedule spooner(5, 4);
   EXPECT_TRUE(spooner.view(4).is_borrowed());

@@ -1,0 +1,318 @@
+// Tests for the wire layer (wire/wire.hpp, wire/codecs.hpp): primitive
+// round trips, exact bit accounting, truncation behavior, and the
+// per-message-type property `decode(encode(m)) == m` with
+// `encoded_bits(m) == bits actually written` for every core agent Message.
+
+#include "wire/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "wire/codecs.hpp"
+
+namespace anonet {
+namespace {
+
+// --- primitives --------------------------------------------------------------
+
+TEST(Wire, BitsRoundTripLsbFirst) {
+  wire::BitWriter w;
+  w.write_bits(0b1011u, 4);
+  w.write_bit(true);
+  w.write_bits(0x5au, 8);
+  EXPECT_EQ(w.bit_size(), 13);
+  wire::BitReader r(w);
+  EXPECT_EQ(r.read_bits(4), 0b1011u);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_EQ(r.read_bits(8), 0x5au);
+  EXPECT_EQ(r.remaining(), 0);
+  EXPECT_THROW(w.write_bits(0, 65), std::invalid_argument);
+  EXPECT_THROW(w.write_bits(0, -1), std::invalid_argument);
+}
+
+TEST(Wire, UvarintRoundTripMatchesSizeFormula) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ull << 32) - 1,
+                                 1ull << 32,
+                                 (1ull << 63) - 1,
+                                 1ull << 63,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    wire::BitWriter w;
+    w.write_uvarint(v);
+    EXPECT_EQ(w.bit_size(), wire::uvarint_bits(v)) << v;
+    wire::BitReader r(w);
+    EXPECT_EQ(r.read_uvarint(), v);
+    EXPECT_EQ(r.remaining(), 0) << v;
+  }
+}
+
+TEST(Wire, SvarintRoundTripMatchesSizeFormula) {
+  const std::int64_t cases[] = {0,
+                                -1,
+                                1,
+                                -64,
+                                64,
+                                -12345678,
+                                12345678,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  for (std::int64_t v : cases) {
+    wire::BitWriter w;
+    w.write_svarint(v);
+    EXPECT_EQ(w.bit_size(), wire::svarint_bits(v)) << v;
+    wire::BitReader r(w);
+    EXPECT_EQ(r.read_svarint(), v);
+  }
+}
+
+TEST(Wire, DoubleRoundTripIsBitExact) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.5,
+                          -1.0 / 3.0,
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::quiet_NaN()};
+  for (double v : cases) {
+    wire::BitWriter w;
+    w.write_double(v);
+    EXPECT_EQ(w.bit_size(), wire::kDoubleBits);
+    wire::BitReader r(w);
+    // Bit-level comparison: distinguishes -0.0 from 0.0, preserves NaN.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.read_double()),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(Wire, TruncatedInputThrowsInsteadOfFabricatingBits) {
+  wire::BitWriter w;
+  w.write_bits(0x3u, 2);
+  wire::BitReader r(w);
+  EXPECT_THROW((void)r.read_bits(3), std::out_of_range);
+  // The failed read consumes nothing usable; a fitting read still works.
+  wire::BitReader r2(w);
+  EXPECT_EQ(r2.read_bits(2), 0x3u);
+  EXPECT_THROW((void)r2.read_bit(), std::out_of_range);
+}
+
+TEST(Wire, UvarintOverflowingSixtyFourBitsThrows) {
+  // Ten full continuation groups put the 11th shift past bit 63.
+  wire::BitWriter w;
+  for (int i = 0; i < 10; ++i) w.write_bits(0xffu, 8);
+  w.write_bits(0x01u, 8);
+  wire::BitReader r(w);
+  EXPECT_THROW((void)r.read_uvarint(), std::out_of_range);
+}
+
+TEST(Wire, BigIntRoundTripMatchesSizeFormula) {
+  std::mt19937_64 rng(2024);
+  std::vector<BigInt> cases = {BigInt(0), BigInt(1), BigInt(-1), BigInt(255),
+                               BigInt(-256)};
+  // Wide magnitudes: random 64-bit chunks stacked by shifting.
+  for (int width = 1; width <= 6; ++width) {
+    BigInt big(0);
+    for (int c = 0; c < width; ++c) {
+      big = big.shifted_left(61) + BigInt(static_cast<std::int64_t>(
+                                       rng() >> 3));
+    }
+    cases.push_back(big);
+    cases.push_back(BigInt(0) - big);
+  }
+  for (const BigInt& v : cases) {
+    wire::BitWriter w;
+    w.write_bigint(v);
+    EXPECT_EQ(w.bit_size(), wire::bigint_bits(v));
+    wire::BitReader r(w);
+    EXPECT_EQ(r.read_bigint(), v);
+    EXPECT_EQ(r.remaining(), 0);
+  }
+}
+
+TEST(Wire, TruncatedBigIntThrows) {
+  wire::BitWriter w;
+  w.write_bigint(BigInt(1).shifted_left(100));
+  wire::BitReader r(w.bytes().data(), w.bit_size() - 8);
+  EXPECT_THROW((void)r.read_bigint(), std::out_of_range);
+}
+
+TEST(Wire, RationalRoundTrip) {
+  const Rational cases[] = {Rational(0), Rational(1), Rational(-7, 3),
+                            Rational(BigInt(1).shifted_left(200), BigInt(3).shifted_left(100) + BigInt(1))};
+  for (const Rational& v : cases) {
+    wire::BitWriter w;
+    w.write_rational(v);
+    EXPECT_EQ(w.bit_size(), wire::rational_bits(v));
+    wire::BitReader r(w);
+    EXPECT_EQ(r.read_rational(), v);
+  }
+}
+
+// --- message codecs ----------------------------------------------------------
+
+// Encodes m, checks the size formula against the bits actually written,
+// decodes from exactly those bits, and checks full consumption.
+template <typename M>
+M round_trip_checked(const M& m) {
+  wire::BitWriter w;
+  wire::encode(m, w);
+  EXPECT_EQ(wire::encoded_bits(m), w.bit_size());
+  wire::BitReader r(w);
+  M out = wire::decode<M>(r);
+  EXPECT_EQ(r.remaining(), 0);
+  return out;
+}
+
+TEST(Wire, SetGossipMessageRoundTrip) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    SetGossipAgent::Message m;
+    std::int64_t v = static_cast<std::int64_t>(rng() % 2000) - 1000;
+    const int count = static_cast<int>(rng() % 8);
+    for (int i = 0; i < count; ++i) {
+      m.values.push_back(v);  // strictly increasing by construction
+      v += 1 + static_cast<std::int64_t>(rng() % 1000);
+    }
+    EXPECT_EQ(round_trip_checked(m).values, m.values);
+  }
+}
+
+TEST(Wire, SetGossipDecodeRejectsNonIncreasingKeys) {
+  // A zero delta is not a representable message: the codec reserves it as a
+  // decode error instead of silently collapsing duplicate values.
+  wire::BitWriter w;
+  w.write_uvarint(2);  // count
+  w.write_svarint(5);  // first value
+  w.write_uvarint(0);  // forged zero gap
+  wire::BitReader r(w);
+  EXPECT_THROW((void)wire::decode<SetGossipAgent::Message>(r),
+               std::invalid_argument);
+}
+
+TEST(Wire, PushSumMessageRoundTrip) {
+  std::mt19937_64 rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    PushSumAgent::Message m;
+    m.y_share = std::bit_cast<double>(rng() | 0x10ull);
+    m.z_share = 1.0 / static_cast<double>(1 + rng() % 97);
+    if (std::isnan(m.y_share)) m.y_share = -0.25;
+    const auto out = round_trip_checked(m);
+    EXPECT_EQ(out.y_share, m.y_share);
+    EXPECT_EQ(out.z_share, m.z_share);
+  }
+}
+
+TEST(Wire, FrequencyPushSumMessageRoundTrip) {
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    FrequencyPushSumAgent::Message m;
+    const int count = static_cast<int>(rng() % 6);
+    for (int i = 0; i < count; ++i) {
+      FrequencyPushSumAgent::Entry e;
+      e.y = static_cast<double>(rng() % 1000) / 8.0;
+      e.z = static_cast<double>(rng() % 1000) / 16.0;
+      m.entries.emplace(static_cast<std::int64_t>(rng() % 5000) - 2500, e);
+    }
+    m.outdegree = static_cast<int>(rng() % 7) + 1;
+    const auto out = round_trip_checked(m);
+    EXPECT_EQ(out.outdegree, m.outdegree);
+    ASSERT_EQ(out.entries.size(), m.entries.size());
+    for (const auto& [key, entry] : m.entries) {
+      const auto it = out.entries.find(key);
+      ASSERT_NE(it, out.entries.end()) << key;
+      EXPECT_EQ(it->second.y, entry.y);
+      EXPECT_EQ(it->second.z, entry.z);
+    }
+  }
+}
+
+TEST(Wire, ExactPushSumMessageRoundTripAndGrowth) {
+  ExactPushSumAgent::Message m;
+  m.y_share = Rational(7, 48);
+  m.z_share = Rational(1, 3);
+  auto out = round_trip_checked(m);
+  EXPECT_EQ(out.y_share, m.y_share);
+  EXPECT_EQ(out.z_share, m.z_share);
+  // The denominators of exact shares grow with the round; the measured
+  // bits must grow along (the "infinite bandwidth" regime, wire/codecs.hpp).
+  ExactPushSumAgent::Message deep;
+  deep.y_share = Rational(BigInt(1), BigInt(3).shifted_left(512));
+  deep.z_share = Rational(BigInt(1), BigInt(5).shifted_left(512));
+  EXPECT_GT(wire::encoded_bits(deep), wire::encoded_bits(m) + 1024);
+  out = round_trip_checked(deep);
+  EXPECT_EQ(out.y_share, deep.y_share);
+}
+
+TEST(Wire, MetropolisMessagesRoundTrip) {
+  MetropolisAgent::Message m;
+  m.x = -3.75;
+  m.degree = 4;
+  const auto out = round_trip_checked(m);
+  EXPECT_EQ(out.x, m.x);
+  EXPECT_EQ(out.degree, m.degree);
+
+  std::mt19937_64 rng(14);
+  for (int trial = 0; trial < 30; ++trial) {
+    FrequencyMetropolisAgent::Message f;
+    const int count = static_cast<int>(rng() % 6);
+    for (int i = 0; i < count; ++i) {
+      f.x.emplace(static_cast<std::int64_t>(rng() % 4000) - 2000,
+                  static_cast<double>(rng() % 512) / 32.0);
+    }
+    f.degree = static_cast<int>(rng() % 9) + 1;
+    const auto fout = round_trip_checked(f);
+    EXPECT_EQ(fout.degree, f.degree);
+    EXPECT_EQ(fout.x, f.x);
+  }
+}
+
+TEST(Wire, UniformConsensusMessagesRoundTrip) {
+  UniformWeightAgent::Message m;
+  m.x = 0.125;
+  EXPECT_EQ(round_trip_checked(m).x, m.x);
+
+  std::mt19937_64 rng(15);
+  for (int trial = 0; trial < 30; ++trial) {
+    FrequencyUniformAgent::Message f;
+    const int count = static_cast<int>(rng() % 6);
+    for (int i = 0; i < count; ++i) {
+      f.x.emplace(static_cast<std::int64_t>(rng() % 4000) - 2000,
+                  static_cast<double>(rng() % 512) / 64.0);
+    }
+    EXPECT_EQ(round_trip_checked(f).x, f.x);
+  }
+}
+
+TEST(Wire, ViewReferenceMessagesRoundTrip) {
+  // Interned references (codecs.hpp header comment): the wire carries a
+  // registry slot, not a serialized subtree, so the bits stay logarithmic
+  // in the registry size however large the mathematical view grows.
+  for (ViewId view : {kInvalidView, ViewId{0}, ViewId{1}, ViewId{4096}}) {
+    HistoryFrequencyAgent::Message h;
+    h.view = view;
+    EXPECT_EQ(round_trip_checked(h).view, view);
+
+    MinBaseAgent::Message b;
+    b.view = view;
+    b.port = 3;
+    const auto out = round_trip_checked(b);
+    EXPECT_EQ(out.view, view);
+    EXPECT_EQ(out.port, b.port);
+    EXPECT_LE(wire::encoded_bits(b), 48);
+  }
+}
+
+}  // namespace
+}  // namespace anonet

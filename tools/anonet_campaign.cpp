@@ -14,6 +14,7 @@
 // canonical output of N shards concatenated equals the 1-shard output.
 // --timings opts into wall_ms per cell and gives up that guarantee.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -31,7 +32,7 @@ void usage(const char* argv0) {
       "\n"
       "options:\n"
       "  --grid NAME         grid preset: table1, table2, tables,\n"
-      "                      adversarial, smoke (required)\n"
+      "                      adversarial, bandwidth, smoke (required)\n"
       "  --out PATH          JSONL output file (resumable; omit to only\n"
       "                      print the aggregate)\n"
       "  --shards N          total shard count (default 1)\n"
@@ -46,6 +47,13 @@ void usage(const char* argv0) {
       "  --cell-timeout-ms M wall-clock deadline per cell; a tripped\n"
       "                      deadline records verdict \"timeout\" instead\n"
       "                      of hanging the shard (default: none)\n"
+      "  --bandwidth-bits B  channel policy for cells that do not set their\n"
+      "                      own: -1 meters wire bits, B > 0 bounds every\n"
+      "                      message to B bits (an over-budget message\n"
+      "                      records verdict \"bandwidth_exceeded\"). This\n"
+      "                      changes the affected cells' keys, so metered\n"
+      "                      and unmetered runs resume separately\n"
+      "                      (default: 0, channel off)\n"
       "  --threads T         worker threads for this shard (default 1;\n"
       "                      cells always run serially inside)\n"
       "  --timings           record wall_ms per cell (breaks byte-for-byte\n"
@@ -61,6 +69,14 @@ bool parse_int(const char* text, int& out) {
   const long value = std::strtol(text, &end, 10);
   if (end == text || *end != '\0') return false;
   out = static_cast<int>(value);
+  return true;
+}
+
+bool parse_int64(const char* text, std::int64_t& out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::int64_t>(value);
   return true;
 }
 
@@ -118,6 +134,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "anonet_campaign: bad --cell-timeout-ms value\n");
         return 2;
       }
+    } else if (arg == "--bandwidth-bits") {
+      if (!parse_int64(value(), options.bandwidth_bits)) {
+        std::fprintf(stderr, "anonet_campaign: bad --bandwidth-bits value\n");
+        return 2;
+      }
     } else if (arg == "--threads") {
       if (!parse_int(value(), options.threads)) {
         std::fprintf(stderr, "anonet_campaign: bad --threads value\n");
@@ -152,19 +173,21 @@ int main(int argc, char** argv) {
     int failed = 0;
     int skipped = 0;
     int timeouts = 0;
+    int over_budget = 0;
     std::vector<std::string> suites;
     for (const CellRecord& record : records) {
       if (record.verdict == "failed") ++failed;
       if (record.verdict == "skipped") ++skipped;
       if (record.verdict == "timeout") ++timeouts;
+      if (record.verdict == "bandwidth_exceeded") ++over_budget;
       bool seen = false;
       for (const std::string& suite : suites) seen = seen || suite == record.suite;
       if (!seen) suites.push_back(record.suite);
     }
     std::printf("campaign '%s': shard %d/%d ran %zu cells (%d skipped, %d "
-                "failed, %d timed out)\n",
+                "failed, %d timed out, %d over bandwidth)\n",
                 grid_name.c_str(), options.shard_index, options.shards,
-                records.size(), skipped, failed, timeouts);
+                records.size(), skipped, failed, timeouts, over_budget);
     if (!options.out_path.empty()) {
       std::printf("records: %s\n", options.out_path.c_str());
     }
