@@ -6,7 +6,9 @@
 //       comparing the flat-arena engine against `legacy`, a faithful copy of
 //       the seed executor (per-round nested inbox allocation, per-round
 //       graph copy via at(t), per-round re-validation, shared mt19937_64);
-//   (b) thread scaling 1/2/4/8 at fixed n.
+//   (b) serial vs pooled thread scaling 1/2/4/8 at n in {1e3, 1e4, 1e5};
+//   (c) block-grain sweep at n = 1e4 (set_block_grain override vs the
+//       adaptive policy), sizing the claim-amortization sweet spot.
 //
 // Regenerate with scripts/bench.sh (Release build); interpretation notes in
 // docs/round_engine.md.
@@ -111,6 +113,7 @@ struct Row {
   double seconds = 0.0;
   std::int64_t messages = 0;
   double checksum = 0.0;  // Σ agent outputs — guards against dead-code elim
+  std::int64_t grain = 0;  // forced block grain; 0 = adaptive policy
 };
 
 // Best-of-3: each repetition is deterministic (same checksum), so the
@@ -174,18 +177,18 @@ int main() {
     print_row(rows.back());
   }
 
-  // Sweep (b): thread scaling at fixed n (outdegree-aware Push-Sum).
-  const Vertex n_threads_sweep = 10000;
-  std::printf("executor_scaling (b) — thread scaling at n=%d (host has %d hardware threads)\n",
-              n_threads_sweep, ThreadPool::hardware_threads());
-  {
-    auto net =
-        std::make_shared<StaticSchedule>(bidirectional_ring(n_threads_sweep));
-    const int rounds = rounds_for(n_threads_sweep);
+  // Sweep (b): serial vs pooled across n. `serial` is the executor with no
+  // pool (threads = 1); `pooled` rows share the identical engine with a
+  // persistent worker pool, so the delta is pure pool overhead or speedup.
+  std::printf("executor_scaling (b) — serial vs pooled (host has %d hardware threads)\n",
+              ThreadPool::hardware_threads());
+  for (Vertex n : {1000, 10000, 100000}) {
+    auto net = std::make_shared<StaticSchedule>(bidirectional_ring(n));
+    const int rounds = rounds_for(n);
     for (int threads : {1, 2, 4, 8}) {
-      rows.push_back(timed("ring", "arena", n_threads_sweep, threads, rounds,
-                           [&](Row& row) {
-        Executor<PushSumAgent> exec(net, make_agents(n_threads_sweep),
+      const char* engine = threads == 1 ? "serial" : "pooled";
+      rows.push_back(timed("ring", engine, n, threads, rounds, [&](Row& row) {
+        Executor<PushSumAgent> exec(net, make_agents(n),
                                     CommModel::kOutdegreeAware, 0x5eedull,
                                     threads);
         exec.run(rounds);
@@ -194,6 +197,38 @@ int main() {
         for (const auto& a : exec.agents()) sum += a.output();
         return sum;
       }));
+      print_row(rows.back());
+    }
+  }
+
+  // Sweep (c): block-grain sensitivity at n = 1e4. grain = 0 is the adaptive
+  // policy (per-phase EWMA targeting ~128us per claim); forced grains map the
+  // claim-amortization curve that policy navigates.
+  const Vertex n_grain_sweep = 10000;
+  const int grain_threads = std::min(4, ThreadPool::hardware_threads());
+  std::printf("executor_scaling (c) — grain sweep at n=%d, threads=%d\n",
+              n_grain_sweep, grain_threads);
+  {
+    auto net =
+        std::make_shared<StaticSchedule>(bidirectional_ring(n_grain_sweep));
+    const int rounds = rounds_for(n_grain_sweep);
+    for (std::int64_t grain : {std::int64_t{64}, std::int64_t{256},
+                               std::int64_t{1024}, std::int64_t{4096},
+                               std::int64_t{0}}) {
+      rows.push_back(timed("ring", "pooled", n_grain_sweep, grain_threads,
+                           rounds, [&](Row& row) {
+        row.grain = grain;
+        Executor<PushSumAgent> exec(net, make_agents(n_grain_sweep),
+                                    CommModel::kOutdegreeAware, 0x5eedull,
+                                    grain_threads);
+        exec.set_block_grain(grain);
+        exec.run(rounds);
+        row.messages = exec.stats().messages_delivered;
+        double sum = 0.0;
+        for (const auto& a : exec.agents()) sum += a.output();
+        return sum;
+      }));
+      std::printf("  grain=%-5lld", static_cast<long long>(grain));
       print_row(rows.back());
     }
   }
@@ -221,11 +256,12 @@ int main() {
     const Row& row = rows[i];
     std::fprintf(out,
                  "    {\"workload\": \"%s\", \"engine\": \"%s\", \"n\": %d, "
-                 "\"threads\": %d, \"rounds\": %d, \"seconds\": %.6f, "
-                 "\"rounds_per_sec\": %.2f, \"messages_per_sec\": %.2f, "
-                 "\"checksum\": %.6f}%s\n",
+                 "\"threads\": %d, \"grain\": %lld, \"rounds\": %d, "
+                 "\"seconds\": %.6f, \"rounds_per_sec\": %.2f, "
+                 "\"messages_per_sec\": %.2f, \"checksum\": %.6f}%s\n",
                  row.workload.c_str(), row.engine.c_str(), row.n, row.threads,
-                 row.rounds, row.seconds, row.rounds / row.seconds,
+                 static_cast<long long>(row.grain), row.rounds, row.seconds,
+                 row.rounds / row.seconds,
                  static_cast<double>(row.messages) / row.seconds, row.checksum,
                  i + 1 == rows.size() ? "" : ",");
   }

@@ -62,6 +62,13 @@ fi
 
 if want tidy; then
   banner "clang-tidy (src/)"
+  if ! command -v clang-tidy >/dev/null 2>&1 && command -v apt-get >/dev/null 2>&1; then
+    # Best effort on hosts without the binary; CI installs it explicitly.
+    maybe_sudo=""
+    command -v sudo >/dev/null 2>&1 && maybe_sudo="sudo"
+    $maybe_sudo apt-get install -y --no-install-recommends clang-tidy \
+      >/dev/null 2>&1 || true
+  fi
   if command -v clang-tidy >/dev/null 2>&1; then
     compile_db="$repo_root/build-check"
     if [ ! -f "$compile_db/compile_commands.json" ]; then

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""CI perf smoke gate over BENCH_executor.json.
+
+Fails (exit 1) when the pooled round engine at n = 10^4 is slower than the
+serial engine by more than the tolerance — i.e. the persistent-worker pool
+must never cost throughput on a multi-core host. Intended to run against a
+freshly generated BENCH_executor.json (scripts/bench.sh), not the committed
+snapshot, so the gate measures the checkout under test.
+
+Skips (exit 0) when the host reports a single hardware thread: with no
+parallelism available the pooled path degenerates to the serial one plus
+pool bookkeeping, and a throughput comparison measures the host, not the
+code.
+
+Usage: scripts/perf_smoke.py [path/to/BENCH_executor.json]
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.10  # pooled may trail serial by at most 10%
+N_GATE = 10000
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_executor.json"
+    with open(path, encoding="utf-8") as fh:
+        bench = json.load(fh)
+
+    hardware_threads = bench.get("hardware_threads", 1)
+    if hardware_threads <= 1:
+        print(
+            f"perf_smoke: host has {hardware_threads} hardware thread(s); "
+            "pooled-vs-serial comparison is meaningless here — skipping"
+        )
+        return 0
+
+    serial = [
+        row
+        for row in bench["results"]
+        if row["engine"] == "serial" and row["n"] == N_GATE
+    ]
+    pooled = [
+        row
+        for row in bench["results"]
+        if row["engine"] == "pooled"
+        and row["n"] == N_GATE
+        and row.get("grain", 0) == 0
+        and row["threads"] <= hardware_threads
+    ]
+    if not serial or not pooled:
+        print(
+            f"perf_smoke: no serial/pooled rows at n={N_GATE} in {path}; "
+            "regenerate with scripts/bench.sh"
+        )
+        return 1
+
+    serial_rps = max(row["rounds_per_sec"] for row in serial)
+    best = max(pooled, key=lambda row: row["rounds_per_sec"])
+    floor = serial_rps * (1.0 - TOLERANCE)
+
+    print(
+        f"perf_smoke: n={N_GATE} serial {serial_rps:.0f} rounds/s, best "
+        f"pooled {best['rounds_per_sec']:.0f} rounds/s at "
+        f"{best['threads']} threads (floor {floor:.0f})"
+    )
+    if best["rounds_per_sec"] < floor:
+        print(
+            "perf_smoke: FAIL — pooled engine regressed below "
+            f"{(1.0 - TOLERANCE):.0%} of serial throughput"
+        )
+        return 1
+    print("perf_smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

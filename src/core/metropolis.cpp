@@ -35,7 +35,8 @@ void MetropolisAgent::receive(std::span<const Message> messages) {
 
 FrequencyMetropolisAgent::FrequencyMetropolisAgent(std::int64_t input)
     : input_(input) {
-  x_[input_] = 1.0;
+  keys_.push_back(input_);
+  xs_.push_back(1.0);
 }
 
 FrequencyMetropolisAgent::Message FrequencyMetropolisAgent::send(
@@ -45,40 +46,92 @@ FrequencyMetropolisAgent::Message FrequencyMetropolisAgent::send(
         "FrequencyMetropolisAgent: requires outdegree awareness");
   }
   degree_ = outdegree;
-  return Message{x_, outdegree};
+  return Message{keys_, xs_, outdegree};
 }
 
 void FrequencyMetropolisAgent::receive(std::span<const Message> messages) {
   // Materialize every value any sender knows: a missing entry is an exact 0
   // (indicator average), so processing it keeps the pairwise update
   // symmetric — the neighbor treats our missing entry as 0 too, and the two
-  // corrections cancel, preserving the global sum per value.
-  std::map<std::int64_t, double> next = x_;
+  // corrections cancel, preserving the global sum per value. Per-value
+  // floating-point order is message order in both the map-based original and
+  // this SoA merge, so outputs are bit-identical.
+  merged_.clear();
+  bool uniform = true;
   for (const Message& m : messages) {
-    for (const auto& [value, x] : m.x) next.try_emplace(value, 0.0);
-  }
-  for (auto& [value, x_own] : next) {
-    const double before = x_own;
-    double delta = 0.0;
-    for (const Message& m : messages) {
-      auto it = m.x.find(value);
-      const double x_sender = it == m.x.end() ? 0.0 : it->second;
-      delta += metropolis_weight(degree_, m.degree) * (x_sender - before);
+    if (m.keys != keys_) {
+      uniform = false;
+      break;
     }
-    x_own = before + delta;
   }
-  x_ = std::move(next);
+  if (uniform) {
+    merged_ = keys_;
+  } else {
+    merged_ = keys_;
+    for (const Message& m : messages) {
+      merged_.insert(merged_.end(), m.keys.begin(), m.keys.end());
+    }
+    std::sort(merged_.begin(), merged_.end());
+    merged_.erase(std::unique(merged_.begin(), merged_.end()), merged_.end());
+  }
+
+  // Pre-round values aligned to the union; values this agent does not hold
+  // yet enter as exact zeros.
+  if (merged_.size() == keys_.size()) {
+    before_ = xs_;
+  } else {
+    before_.assign(merged_.size(), 0.0);
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      while (merged_[j] < keys_[i]) ++j;
+      before_[j] = xs_[i];
+    }
+  }
+
+  delta_.assign(merged_.size(), 0.0);
+  for (const Message& m : messages) {
+    const double w = metropolis_weight(degree_, m.degree);
+    if (m.keys.size() == merged_.size()) {
+      // Key sets equal (sorted-unique subset of the union, same size): the
+      // dense multiply-add lane.
+      for (std::size_t j = 0; j < merged_.size(); ++j) {
+        delta_[j] += w * (m.xs[j] - before_[j]);
+      }
+    } else {
+      // A sender without a value contributes w * (0 - before): walk the
+      // whole union, consuming the message's keys in lockstep.
+      std::size_t i = 0;
+      for (std::size_t j = 0; j < merged_.size(); ++j) {
+        double x_sender = 0.0;
+        if (i < m.keys.size() && m.keys[i] == merged_[j]) {
+          x_sender = m.xs[i];
+          ++i;
+        }
+        delta_[j] += w * (x_sender - before_[j]);
+      }
+    }
+  }
+  for (std::size_t j = 0; j < merged_.size(); ++j) before_[j] += delta_[j];
+  keys_.swap(merged_);
+  xs_.swap(before_);
+}
+
+std::map<std::int64_t, double> FrequencyMetropolisAgent::estimates() const {
+  std::map<std::int64_t, double> result;
+  for (std::size_t i = 0; i < keys_.size(); ++i) result[keys_[i]] = xs_[i];
+  return result;
 }
 
 std::optional<Frequency> FrequencyMetropolisAgent::rounded_frequency(
     std::uint32_t bound_on_n) const {
   std::map<std::int64_t, Rational> entries;
   Rational total;
-  for (const auto& [value, x] : x_) {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    const double x = xs_[i];
     if (!std::isfinite(x)) return std::nullopt;
     const Rational rounded = nearest_rational(x, bound_on_n);
     if (rounded.signum() < 0) return std::nullopt;
-    if (rounded.signum() > 0) entries.emplace(value, rounded);
+    if (rounded.signum() > 0) entries.emplace(keys_[i], rounded);
     total += rounded;
   }
   if (total != Rational(1) || entries.empty()) return std::nullopt;

@@ -65,11 +65,16 @@ class MetropolisAgent {
 class FrequencyMetropolisAgent {
  public:
   struct Message {
-    std::map<std::int64_t, double> x;
+    // Structure-of-arrays snapshot: parallel vectors sorted by key (keys
+    // strictly increasing) plus the announced round degree. Once every agent
+    // knows every value the receive update degenerates to one dense
+    // multiply-add loop per message.
+    std::vector<std::int64_t> keys;
+    std::vector<double> xs;
     int degree = 1;
 
     [[nodiscard]] std::int64_t weight_units() const {
-      return 2 * static_cast<std::int64_t>(x.size()) + 1;
+      return 2 * static_cast<std::int64_t>(keys.size()) + 1;
     }
   };
 
@@ -85,9 +90,8 @@ class FrequencyMetropolisAgent {
   void receive(std::span<const Message> messages);
 
   [[nodiscard]] std::int64_t input() const { return input_; }
-  [[nodiscard]] const std::map<std::int64_t, double>& estimates() const {
-    return x_;
-  }
+  // Materialized from the internal parallel vectors.
+  [[nodiscard]] std::map<std::int64_t, double> estimates() const;
 
   // Corollary-5.3-style exact rounding under a known bound N >= n; the same
   // Farey argument applies to any convergent frequency estimate.
@@ -96,7 +100,14 @@ class FrequencyMetropolisAgent {
 
  private:
   std::int64_t input_;
-  std::map<std::int64_t, double> x_;
+  // Per-value state as sorted parallel vectors (same layout as Message).
+  std::vector<std::int64_t> keys_;
+  std::vector<double> xs_;
+  // Receive-phase scratch, reused across rounds: merged key union, the
+  // pre-round values aligned to it, and the per-value weighted deltas.
+  std::vector<std::int64_t> merged_;
+  std::vector<double> before_;
+  std::vector<double> delta_;
   mutable int degree_ = 1;
 };
 

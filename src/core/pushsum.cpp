@@ -1,5 +1,6 @@
 #include "core/pushsum.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -37,7 +38,9 @@ FrequencyPushSumAgent::FrequencyPushSumAgent(std::int64_t input,
     : input_(input),
       z_default_(is_leader.has_value() && !*is_leader ? 0.0 : 1.0) {
   // Algorithm 1, line 3: y[v_i] <- 1, z[v_i] <- z-default.
-  state_[input_] = Entry{1.0, z_default_};
+  keys_.push_back(input_);
+  ys_.push_back(1.0);
+  zs_.push_back(z_default_);
 }
 
 FrequencyPushSumAgent::Message FrequencyPushSumAgent::send(
@@ -46,7 +49,7 @@ FrequencyPushSumAgent::Message FrequencyPushSumAgent::send(
     throw std::logic_error(
         "FrequencyPushSumAgent: requires outdegree awareness");
   }
-  return Message{state_, outdegree};
+  return Message{keys_, ys_, zs_, outdegree};
 }
 
 void FrequencyPushSumAgent::receive(std::span<const Message> messages) {
@@ -62,32 +65,66 @@ void FrequencyPushSumAgent::receive(std::span<const Message> messages) {
   // re-deposited at the sender and measurably inflates Σz on directed
   // topologies (see pushsum_test.cpp, ConservativeJoiningIsExact); the
   // deviation is documented in DESIGN.md.
-  std::map<std::int64_t, Entry> next;
+  //
+  // Per-accumulator floating-point order is message order (each message
+  // contributes at most one add per value), identical whether the outer loop
+  // runs value-major over a map or message-major over vectors — so this SoA
+  // merge is bit-for-bit the same as the original map-based update.
+  merged_.clear();
+  bool uniform = !messages.empty();
   for (const Message& m : messages) {
-    for (const auto& [value, entry] : m.entries) {
-      next.try_emplace(value, Entry{0.0, 0.0});
+    if (m.keys != messages.front().keys) {
+      uniform = false;
+      break;
     }
   }
-  for (auto& [value, accumulator] : next) {
+  if (uniform) {
+    merged_ = messages.front().keys;
+  } else {
     for (const Message& m : messages) {
-      auto it = m.entries.find(value);
-      if (it != m.entries.end()) {
-        const double d = static_cast<double>(m.outdegree);
-        accumulator.y += it->second.y / d;
-        accumulator.z += it->second.z / d;
+      merged_.insert(merged_.end(), m.keys.begin(), m.keys.end());
+    }
+    std::sort(merged_.begin(), merged_.end());
+    merged_.erase(std::unique(merged_.begin(), merged_.end()), merged_.end());
+  }
+
+  acc_y_.assign(merged_.size(), 0.0);
+  acc_z_.assign(merged_.size(), 0.0);
+  for (const Message& m : messages) {
+    const double d = static_cast<double>(m.outdegree);
+    if (m.keys.size() == merged_.size()) {
+      // Equal sizes of sorted-unique subset and union mean equal key sets:
+      // the dense lane the SoA layout exists for (vectorizable, no search).
+      for (std::size_t i = 0; i < m.keys.size(); ++i) {
+        acc_y_[i] += m.ys[i] / d;
+        acc_z_[i] += m.zs[i] / d;
+      }
+    } else {
+      std::size_t j = 0;
+      for (std::size_t i = 0; i < m.keys.size(); ++i) {
+        while (merged_[j] < m.keys[i]) ++j;
+        acc_y_[j] += m.ys[i] / d;
+        acc_z_[j] += m.zs[i] / d;
       }
     }
-    if (!state_.contains(value)) accumulator.z += z_default_;
   }
-  state_ = std::move(next);
+  // Banked z-defaults for values this agent materializes just now.
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < merged_.size(); ++j) {
+    while (i < keys_.size() && keys_[i] < merged_[j]) ++i;
+    if (i >= keys_.size() || keys_[i] != merged_[j]) acc_z_[j] += z_default_;
+  }
+  keys_.swap(merged_);
+  ys_.swap(acc_y_);
+  zs_.swap(acc_z_);
 }
 
 std::map<std::int64_t, double> FrequencyPushSumAgent::estimates() const {
   std::map<std::int64_t, double> result;
-  for (const auto& [value, entry] : state_) {
-    result[value] = entry.z > 0.0
-                        ? entry.y / entry.z
-                        : std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    result[keys_[i]] = zs_[i] > 0.0
+                           ? ys_[i] / zs_[i]
+                           : std::numeric_limits<double>::infinity();
   }
   return result;
 }

@@ -70,18 +70,20 @@ class PushSumAgent {
 
 class FrequencyPushSumAgent {
  public:
-  struct Entry {
-    double y = 0.0;
-    double z = 0.0;
-  };
   struct Message {
-    // Full (y, z) maps plus the sender's outdegree (receivers divide).
-    std::map<std::int64_t, Entry> entries;
+    // Structure-of-arrays snapshot of the sender's per-value state: parallel
+    // vectors sorted by key (keys strictly increasing), plus the sender's
+    // outdegree (receivers divide). The SoA layout keeps the receive-side
+    // accumulation a dense double loop once dissemination completes and every
+    // agent carries the same key set.
+    std::vector<std::int64_t> keys;
+    std::vector<double> ys;
+    std::vector<double> zs;
     int outdegree = 1;
 
     // Bandwidth: (value, y, z) per entry plus the outdegree field.
     [[nodiscard]] std::int64_t weight_units() const {
-      return 3 * static_cast<std::int64_t>(entries.size()) + 1;
+      return 3 * static_cast<std::int64_t>(keys.size()) + 1;
     }
   };
 
@@ -123,7 +125,16 @@ class FrequencyPushSumAgent {
  private:
   std::int64_t input_;
   double z_default_;  // 1.0, or 0.0 for non-leaders in the leader variant
-  std::map<std::int64_t, Entry> state_;
+  // Per-value state as sorted parallel vectors (same layout as Message).
+  std::vector<std::int64_t> keys_;
+  std::vector<double> ys_;
+  std::vector<double> zs_;
+  // Receive-phase scratch, kept across rounds so steady state allocates
+  // nothing: the merged key union and its (y, z) accumulators, swapped into
+  // the state vectors at the end of every receive.
+  std::vector<std::int64_t> merged_;
+  std::vector<double> acc_y_;
+  std::vector<double> acc_z_;
 };
 
 }  // namespace anonet

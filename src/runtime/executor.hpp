@@ -287,6 +287,16 @@ class Executor {
   [[nodiscard]] const wire::ChannelPolicy& channel_policy() const {
     return channel_policy_;
   }
+
+  // Overrides the adaptive block grain (see grain_for below) with a fixed
+  // item count per block for both phases; 0 restores adaptive sizing. Grain
+  // choices never change results — block boundaries affect only which worker
+  // runs what and how partial statistics are chunked before their
+  // block-order reduction — so this is a measurement knob (the bench's grain
+  // sweep), not a semantic one.
+  void set_block_grain(std::int64_t grain) {
+    forced_grain_ = grain < 0 ? 0 : grain;
+  }
   // Per-round bit accounting; empty unless a metered/bounded policy was
   // installed before the rounds of interest ran.
   [[nodiscard]] const wire::BandwidthMeter& bandwidth_meter() const {
@@ -358,20 +368,22 @@ class Executor {
       }
     }
 
-    const std::int64_t block =
-        std::max<std::int64_t>(64, static_cast<std::int64_t>(n) /
-                                       (4ll * static_cast<std::int64_t>(threads_)));
-    const std::int64_t blocks = ThreadPool::block_count(
-        static_cast<std::int64_t>(n), block);
-    if (partials_.size() < static_cast<std::size_t>(blocks)) {
-      partials_.resize(static_cast<std::size_t>(blocks));
+    const auto n64 = static_cast<std::int64_t>(n);
+    const std::int64_t send_grain = grain_for(send_ns_per_item_, n64);
+    const std::int64_t send_blocks = ThreadPool::block_count(n64, send_grain);
+    const std::int64_t deliver_grain = grain_for(deliver_ns_per_item_, n64);
+    const std::int64_t deliver_blocks =
+        ThreadPool::block_count(n64, deliver_grain);
+    const std::int64_t max_blocks = std::max(send_blocks, deliver_blocks);
+    if (partials_.size() < static_cast<std::size_t>(max_blocks)) {
+      partials_.resize(static_cast<std::size_t>(max_blocks));
     }
     const auto t_send = Clock::now();
 
     // Send phase: evaluate each sender's sending function exactly once per
     // model contract. Senders only write their own outbox slots, so vertex
     // blocks are independent.
-    parallel(static_cast<std::int64_t>(n), block,
+    parallel(n64, send_grain,
              [&](std::int64_t begin, std::int64_t end, std::int64_t b) {
                Partial local;
                for (std::int64_t i = begin; i < end; ++i) {
@@ -425,7 +437,7 @@ class Executor {
     // (the same contract as DeadlineExceeded).
     wire::RoundBandwidth round_bits;
     if (metering) {
-      for (std::int64_t b = 0; b < blocks; ++b) {
+      for (std::int64_t b = 0; b < send_blocks; ++b) {
         const Partial& p = partials_[static_cast<std::size_t>(b)];
         round_bits.bits_sent += p.sent_bits;
         if (p.max_bits > round_bits.max_message_bits) {
@@ -446,7 +458,7 @@ class Executor {
     // slice, shuffles with its own counter-keyed stream, and transitions.
     // Receivers only touch their own slice and their own agent, so vertex
     // blocks are independent and the outcome is thread-count-invariant.
-    parallel(static_cast<std::int64_t>(n), block,
+    parallel(n64, deliver_grain,
              [&](std::int64_t begin, std::int64_t end, std::int64_t b) {
                Partial local;
                for (std::int64_t i = begin; i < end; ++i) {
@@ -502,7 +514,7 @@ class Executor {
                }
                partials_[static_cast<std::size_t>(b)] = local;
              });
-    for (std::int64_t b = 0; b < blocks; ++b) {
+    for (std::int64_t b = 0; b < deliver_blocks; ++b) {
       const Partial& p = partials_[static_cast<std::size_t>(b)];
       stats_.messages_delivered += p.messages;
       stats_.payload_units += p.payload;
@@ -518,6 +530,8 @@ class Executor {
     stats_.timings.validate_seconds += seconds(t_validate, t_send);
     stats_.timings.send_seconds += seconds(t_send, t_deliver);
     stats_.timings.deliver_seconds += seconds(t_deliver, t_end);
+    update_phase_cost(send_ns_per_item_, seconds(t_send, t_deliver), n);
+    update_phase_cost(deliver_ns_per_item_, seconds(t_deliver, t_end), n);
   }
 
   void run(int rounds) {
@@ -547,13 +561,47 @@ class Executor {
   // check); the deliver phase then overwrites each slot with its own
   // counts. Bit totals are integer sums and maxima, so the reduced values
   // are independent of thread count and block assignment by construction.
-  struct Partial {
+  // Padded to a cache line: adjacent blocks usually run on different
+  // workers, and the five counters would otherwise share lines and bounce
+  // between cores on every delivery.
+  struct alignas(64) Partial {
     std::int64_t messages = 0;
     std::int64_t payload = 0;
     std::int64_t sent_bits = 0;  // send phase: bits pushed onto out-edges
     std::int64_t max_bits = 0;   // send phase: largest single message
     std::int64_t recv_bits = 0;  // deliver phase: bits gathered from in-edges
   };
+
+  // Items per block for a phase. The grain is a throughput knob only: block
+  // boundaries decide worker assignment and partial-statistics chunking,
+  // both invisible after the block-order reduction, so any grain yields
+  // bitwise-identical results. Policy: a phase cheaper than ~2 futex wakes
+  // runs as a single block (the pool's serial fast path — dispatch must
+  // never dominate); otherwise aim for ~kGrainTargetNs of measured work per
+  // cursor claim, clamped so every worker still sees a few blocks. The cost
+  // estimate is the phase's own EWMA from previous rounds; round 1 falls
+  // back to the pure load-balance grain.
+  [[nodiscard]] std::int64_t grain_for(double ns_per_item,
+                                       std::int64_t n) const {
+    if (forced_grain_ > 0) return forced_grain_;
+    if (pool_ == nullptr) return n;  // serial: one block, no claim traffic
+    const std::int64_t balance = std::max<std::int64_t>(
+        64, n / (4ll * static_cast<std::int64_t>(threads_)));
+    if (ns_per_item <= 0.0) return balance;
+    if (ns_per_item * static_cast<double>(n) < kSerialCutoffNs) return n;
+    const auto target = static_cast<std::int64_t>(kGrainTargetNs / ns_per_item);
+    return std::clamp<std::int64_t>(target, 64, balance);
+  }
+
+  static void update_phase_cost(double& ewma, double phase_seconds,
+                                std::size_t n) {
+    if (n == 0) return;
+    const double ns = phase_seconds * 1e9 / static_cast<double>(n);
+    ewma = ewma <= 0.0 ? ns : 0.75 * ewma + 0.25 * ns;
+  }
+
+  static constexpr double kGrainTargetNs = 128.0 * 1000.0;  // ~128 µs/claim
+  static constexpr double kSerialCutoffNs = 30.0 * 1000.0;
 
   // The one point where the executor touches the codec. Only instantiated
   // from set_channel_policy (taking its address), so translation units that
@@ -639,6 +687,11 @@ class Executor {
   std::vector<std::int64_t> outbox_weight_;  // per-sender weight (isotropic)
   std::vector<Message> edge_outbox_;       // one message per edge (port-aware)
   std::vector<Partial> partials_;          // per-block per-phase stats
+  // Adaptive-grain state (grain_for): measured per-item phase cost EWMAs
+  // and the bench's fixed-grain override (0 = adaptive).
+  double send_ns_per_item_ = 0.0;
+  double deliver_ns_per_item_ = 0.0;
+  std::int64_t forced_grain_ = 0;
   std::vector<std::int64_t> outbox_bits_;  // per-sender bits (metered only)
   std::vector<std::int64_t> edge_outbox_bits_;  // per-edge bits (metered only)
 };

@@ -2,28 +2,97 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 namespace anonet {
 
 namespace {
-constexpr std::uint64_t kLimbBase = std::uint64_t{1} << 32;
-}  // namespace
 
-BigInt::BigInt(std::int64_t value) {
-  negative_ = value < 0;
-  // Avoid UB on INT64_MIN: negate in the unsigned domain.
-  std::uint64_t magnitude =
-      negative_ ? ~static_cast<std::uint64_t>(value) + 1
-                : static_cast<std::uint64_t>(value);
-  while (magnitude != 0) {
-    limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
-    magnitude >>= 32;
+constexpr std::uint64_t kLimbBase = std::uint64_t{1} << 32;
+constexpr std::uint64_t kInt64MinMagnitude = std::uint64_t{1} << 63;
+
+using Limbs = std::vector<std::uint32_t>;
+
+// Magnitude comparison ignoring sign: -1, 0, +1.
+int compare_magnitude(const Limbs& a, const Limbs& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
   }
-  normalize();
+  return 0;
 }
+
+Limbs add_magnitude(const Limbs& a, const Limbs& b) {
+  Limbs result;
+  result.reserve(std::max(a.size(), b.size()) + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    result.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) result.push_back(static_cast<std::uint32_t>(carry));
+  return result;
+}
+
+// Requires |a| >= |b|.
+Limbs sub_magnitude(const Limbs& a, const Limbs& b) {
+  Limbs result;
+  result.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= b[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<std::uint32_t>(diff));
+  }
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+Limbs mul_magnitude(const Limbs& a, const Limbs& b) {
+  if (a.empty() || b.empty()) return {};
+  Limbs result(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t current = result[i + j] +
+                              std::uint64_t{a[i]} * std::uint64_t{b[j]} + carry;
+      result[i + j] = static_cast<std::uint32_t>(current & 0xffffffffu);
+      carry = current >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t current = result[k] + carry;
+      result[k] = static_cast<std::uint32_t>(current & 0xffffffffu);
+      carry = current >> 32;
+      ++k;
+    }
+  }
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+// Magnitude of a value whose bit length is at most 64, either representation.
+std::uint64_t magnitude_as_u64(const Limbs& limbs) {
+  std::uint64_t magnitude = 0;
+  if (!limbs.empty()) magnitude = limbs[0];
+  if (limbs.size() >= 2) magnitude |= std::uint64_t{limbs[1]} << 32;
+  return magnitude;
+}
+
+}  // namespace
 
 BigInt BigInt::from_string(std::string_view text) {
   if (text.empty()) throw std::invalid_argument("BigInt: empty string");
@@ -44,59 +113,114 @@ BigInt BigInt::from_string(std::string_view text) {
   return result;
 }
 
-void BigInt::normalize() {
+BigInt BigInt::from_sign_magnitude(bool negative, std::uint64_t magnitude) {
+  if (magnitude <= static_cast<std::uint64_t>(
+                       std::numeric_limits<std::int64_t>::max())) {
+    const auto value = static_cast<std::int64_t>(magnitude);
+    return BigInt(negative ? -value : value);
+  }
+  if (negative && magnitude == kInt64MinMagnitude) {
+    return BigInt(std::numeric_limits<std::int64_t>::min());
+  }
+  BigInt result;
+  result.small_ = false;
+  result.negative_ = negative;
+  result.limbs_ = {static_cast<std::uint32_t>(magnitude & 0xffffffffu),
+                   static_cast<std::uint32_t>(magnitude >> 32)};
+  return result;
+}
+
+BigInt BigInt::from_limbs(bool negative, std::vector<std::uint32_t> limbs) {
+  BigInt result;
+  result.small_ = false;
+  result.negative_ = negative;
+  result.limbs_ = std::move(limbs);
+  result.canonicalize();
+  return result;
+}
+
+void BigInt::canonicalize() {
+  if (small_) return;
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
-  if (limbs_.empty()) negative_ = false;
+  if (limbs_.size() > 2) return;
+  const std::uint64_t magnitude = magnitude_as_u64(limbs_);
+  if (magnitude <= static_cast<std::uint64_t>(
+                       std::numeric_limits<std::int64_t>::max())) {
+    const auto value = static_cast<std::int64_t>(magnitude);
+    value_ = negative_ ? -value : value;
+  } else if (negative_ && magnitude == kInt64MinMagnitude) {
+    value_ = std::numeric_limits<std::int64_t>::min();
+  } else {
+    return;  // genuinely wider than int64: stays spilled
+  }
+  small_ = true;
+  negative_ = false;
+  limbs_.clear();
+  limbs_.shrink_to_fit();
+}
+
+std::vector<std::uint32_t> BigInt::magnitude_limbs() const {
+  if (!small_) return limbs_;
+  Limbs limbs;
+  std::uint64_t magnitude = small_magnitude();
+  while (magnitude != 0) {
+    limbs.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+  return limbs;
 }
 
 std::size_t BigInt::bit_length() const {
-  if (limbs_.empty()) return 0;
+  if (small_) return static_cast<std::size_t>(std::bit_width(small_magnitude()));
   std::uint32_t top = limbs_.back();
   std::size_t bits = (limbs_.size() - 1) * 32;
-  while (top != 0) {
-    ++bits;
-    top >>= 1;
-  }
-  return bits;
+  return bits + static_cast<std::size_t>(std::bit_width(top));
 }
 
 bool BigInt::bit(std::size_t index) const {
+  if (small_) {
+    if (index >= 64) return false;
+    return (small_magnitude() >> index) & 1u;
+  }
   std::size_t limb = index / 32;
   if (limb >= limbs_.size()) return false;
   return (limbs_[limb] >> (index % 32)) & 1u;
 }
 
 BigInt BigInt::abs() const {
+  if (small_) {
+    if (value_ == std::numeric_limits<std::int64_t>::min()) {
+      return from_sign_magnitude(false, kInt64MinMagnitude);
+    }
+    return BigInt(value_ < 0 ? -value_ : value_);
+  }
   BigInt result = *this;
   result.negative_ = false;
+  result.canonicalize();
   return result;
 }
 
 BigInt BigInt::negate() const {
+  if (small_) {
+    if (value_ == std::numeric_limits<std::int64_t>::min()) {
+      return from_sign_magnitude(false, kInt64MinMagnitude);
+    }
+    return BigInt(-value_);
+  }
   BigInt result = *this;
-  if (!result.is_zero()) result.negative_ = !result.negative_;
+  result.negative_ = !result.negative_;
+  result.canonicalize();  // +2^63 negated collapses to inline INT64_MIN
   return result;
 }
 
 std::int64_t BigInt::to_int64() const {
-  if (limbs_.size() > 2) throw std::overflow_error("BigInt::to_int64");
-  std::uint64_t magnitude = 0;
-  if (limbs_.size() >= 1) magnitude = limbs_[0];
-  if (limbs_.size() == 2) magnitude |= std::uint64_t{limbs_[1]} << 32;
-  if (negative_) {
-    if (magnitude > std::uint64_t{1} << 63) {
-      throw std::overflow_error("BigInt::to_int64");
-    }
-    return static_cast<std::int64_t>(~magnitude + 1);
-  }
-  if (magnitude > static_cast<std::uint64_t>(
-                      std::numeric_limits<std::int64_t>::max())) {
-    throw std::overflow_error("BigInt::to_int64");
-  }
-  return static_cast<std::int64_t>(magnitude);
+  // Canonical representation: every value that fits int64 is stored inline.
+  if (!small_) throw std::overflow_error("BigInt::to_int64");
+  return value_;
 }
 
 double BigInt::to_double() const {
+  if (small_) return static_cast<double>(value_);
   double result = 0.0;
   for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
     result = result * static_cast<double>(kLimbBase) + static_cast<double>(*it);
@@ -105,7 +229,7 @@ double BigInt::to_double() const {
 }
 
 std::string BigInt::to_string() const {
-  if (is_zero()) return "0";
+  if (small_) return std::to_string(value_);
   // Repeated division of the magnitude by 10^9, collecting digit blocks.
   std::vector<std::uint32_t> magnitude = limbs_;
   std::string digits;
@@ -129,133 +253,171 @@ std::string BigInt::to_string() const {
   return digits;
 }
 
-int BigInt::compare_magnitude(const std::vector<std::uint32_t>& a,
-                              const std::vector<std::uint32_t>& b) {
-  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
-  for (std::size_t i = a.size(); i-- > 0;) {
-    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+std::size_t BigInt::hash() const {
+  if (small_) return std::hash<std::int64_t>{}(value_);
+  // FNV-1a over the limbs; spilled values never collide with inline ones on
+  // representation because canonicality keeps the two domains disjoint.
+  std::uint64_t h = negative_ ? 0xcbf29ce484222325ull : 0x84222325cbf29ce4ull;
+  for (const std::uint32_t limb : limbs_) {
+    h = (h ^ limb) * 0x100000001b3ull;
   }
-  return 0;
+  return static_cast<std::size_t>(h);
 }
 
-std::vector<std::uint32_t> BigInt::add_magnitude(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
-  std::vector<std::uint32_t> result;
-  result.reserve(std::max(a.size(), b.size()) + 1);
-  std::uint64_t carry = 0;
-  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
-    std::uint64_t sum = carry;
-    if (i < a.size()) sum += a[i];
-    if (i < b.size()) sum += b[i];
-    result.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
-    carry = sum >> 32;
+int BigInt::compare_abs(const BigInt& a, const BigInt& b) {
+  const std::size_t a_bits = a.bit_length();
+  const std::size_t b_bits = b.bit_length();
+  if (a_bits != b_bits) return a_bits < b_bits ? -1 : 1;
+  if (a_bits <= 64) {
+    const std::uint64_t am =
+        a.small_ ? a.small_magnitude() : magnitude_as_u64(a.limbs_);
+    const std::uint64_t bm =
+        b.small_ ? b.small_magnitude() : magnitude_as_u64(b.limbs_);
+    if (am != bm) return am < bm ? -1 : 1;
+    return 0;
   }
-  if (carry != 0) result.push_back(static_cast<std::uint32_t>(carry));
-  return result;
-}
-
-std::vector<std::uint32_t> BigInt::sub_magnitude(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
-  std::vector<std::uint32_t> result;
-  result.reserve(a.size());
-  std::int64_t borrow = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
-    if (i < b.size()) diff -= b[i];
-    if (diff < 0) {
-      diff += static_cast<std::int64_t>(kLimbBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    result.push_back(static_cast<std::uint32_t>(diff));
-  }
-  while (!result.empty() && result.back() == 0) result.pop_back();
-  return result;
-}
-
-std::vector<std::uint32_t> BigInt::mul_magnitude(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
-  if (a.empty() || b.empty()) return {};
-  std::vector<std::uint32_t> result(a.size() + b.size(), 0);
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    std::uint64_t carry = 0;
-    for (std::size_t j = 0; j < b.size(); ++j) {
-      std::uint64_t current = result[i + j] +
-                              std::uint64_t{a[i]} * std::uint64_t{b[j]} + carry;
-      result[i + j] = static_cast<std::uint32_t>(current & 0xffffffffu);
-      carry = current >> 32;
-    }
-    std::size_t k = i + b.size();
-    while (carry != 0) {
-      std::uint64_t current = result[k] + carry;
-      result[k] = static_cast<std::uint32_t>(current & 0xffffffffu);
-      carry = current >> 32;
-      ++k;
-    }
-  }
-  while (!result.empty() && result.back() == 0) result.pop_back();
-  return result;
+  return compare_magnitude(a.limbs_, b.limbs_);
 }
 
 BigInt operator+(const BigInt& a, const BigInt& b) {
-  BigInt result;
-  if (a.negative_ == b.negative_) {
-    result.limbs_ = BigInt::add_magnitude(a.limbs_, b.limbs_);
-    result.negative_ = a.negative_;
-  } else {
-    int cmp = BigInt::compare_magnitude(a.limbs_, b.limbs_);
-    if (cmp == 0) return BigInt{};
-    if (cmp > 0) {
-      result.limbs_ = BigInt::sub_magnitude(a.limbs_, b.limbs_);
-      result.negative_ = a.negative_;
-    } else {
-      result.limbs_ = BigInt::sub_magnitude(b.limbs_, a.limbs_);
-      result.negative_ = b.negative_;
+  if (a.small_ && b.small_) {
+    std::int64_t sum = 0;
+    if (!__builtin_add_overflow(a.value_, b.value_, &sum)) return BigInt(sum);
+    // int64 overflow means the signs agree; the 65-bit magnitude sum needs at
+    // most one extra limb pair.
+    const unsigned __int128 magnitude =
+        static_cast<unsigned __int128>(a.small_magnitude()) +
+        b.small_magnitude();
+    const auto low = static_cast<std::uint64_t>(magnitude);
+    const auto high = static_cast<std::uint64_t>(magnitude >> 64);
+    BigInt result = BigInt::from_sign_magnitude(false, low);
+    if (high != 0) {
+      result = result + BigInt::from_sign_magnitude(false, high).shifted_left(64);
     }
+    return a.value_ < 0 ? result.negate() : result;
   }
-  result.normalize();
-  return result;
+  const bool a_neg = a.is_negative();
+  const bool b_neg = b.is_negative();
+  const Limbs a_mag = a.magnitude_limbs();
+  const Limbs b_mag = b.magnitude_limbs();
+  if (a_neg == b_neg) {
+    return BigInt::from_limbs(a_neg, add_magnitude(a_mag, b_mag));
+  }
+  const int cmp = compare_magnitude(a_mag, b_mag);
+  if (cmp == 0) return BigInt{};
+  if (cmp > 0) return BigInt::from_limbs(a_neg, sub_magnitude(a_mag, b_mag));
+  return BigInt::from_limbs(b_neg, sub_magnitude(b_mag, a_mag));
 }
 
-BigInt operator-(const BigInt& a, const BigInt& b) { return a + b.negate(); }
+BigInt operator-(const BigInt& a, const BigInt& b) {
+  if (a.small_ && b.small_) {
+    std::int64_t diff = 0;
+    if (!__builtin_sub_overflow(a.value_, b.value_, &diff)) return BigInt(diff);
+    // int64 overflow means the signs differ: |a - b| = |a| + |b| with a's sign.
+    const unsigned __int128 magnitude =
+        static_cast<unsigned __int128>(a.small_magnitude()) +
+        b.small_magnitude();
+    const auto low = static_cast<std::uint64_t>(magnitude);
+    const auto high = static_cast<std::uint64_t>(magnitude >> 64);
+    BigInt result = BigInt::from_sign_magnitude(false, low);
+    if (high != 0) {
+      result = result + BigInt::from_sign_magnitude(false, high).shifted_left(64);
+    }
+    return a.value_ < 0 ? result.negate() : result;
+  }
+  return a + b.negate();
+}
 
 BigInt operator*(const BigInt& a, const BigInt& b) {
-  BigInt result;
-  result.limbs_ = BigInt::mul_magnitude(a.limbs_, b.limbs_);
-  result.negative_ = !result.limbs_.empty() && (a.negative_ != b.negative_);
-  result.normalize();
-  return result;
+  if (a.small_ && b.small_) {
+    std::int64_t product = 0;
+    if (!__builtin_mul_overflow(a.value_, b.value_, &product)) {
+      return BigInt(product);
+    }
+    const bool negative = (a.value_ < 0) != (b.value_ < 0);
+    const unsigned __int128 magnitude =
+        static_cast<unsigned __int128>(a.small_magnitude()) *
+        b.small_magnitude();
+    const auto low = static_cast<std::uint64_t>(magnitude);
+    const auto high = static_cast<std::uint64_t>(magnitude >> 64);
+    BigInt result = BigInt::from_sign_magnitude(false, low);
+    if (high != 0) {
+      result = result + BigInt::from_sign_magnitude(false, high).shifted_left(64);
+    }
+    return negative ? result.negate() : result;
+  }
+  if (a.is_zero() || b.is_zero()) return BigInt{};
+  return BigInt::from_limbs(a.is_negative() != b.is_negative(),
+                            mul_magnitude(a.magnitude_limbs(),
+                                          b.magnitude_limbs()));
 }
 
 void BigInt::div_mod(const BigInt& dividend, const BigInt& divisor,
                      BigInt& quotient, BigInt& remainder) {
   if (divisor.is_zero()) throw std::domain_error("BigInt: division by zero");
-  // Binary long division on magnitudes; O(bits^2 / 32) limb work, plenty for
-  // the matrix sizes this library solves.
-  BigInt abs_dividend = dividend.abs();
-  BigInt abs_divisor = divisor.abs();
-  if (compare_magnitude(abs_dividend.limbs_, abs_divisor.limbs_) < 0) {
+  if (dividend.small_ && divisor.small_) {
+    // Unsigned magnitudes sidestep the INT64_MIN / -1 overflow case.
+    const std::uint64_t d_mag = dividend.small_magnitude();
+    const std::uint64_t v_mag = divisor.small_magnitude();
+    const bool q_neg = (dividend.value_ < 0) != (divisor.value_ < 0);
+    quotient = from_sign_magnitude(q_neg, d_mag / v_mag);
+    remainder = from_sign_magnitude(dividend.value_ < 0, d_mag % v_mag);
+    return;
+  }
+  if (divisor.small_ || divisor.limbs_.size() <= 2) {
+    // Schoolbook division of the limb string by a 64-bit magnitude: O(limbs)
+    // instead of the O(bits^2) binary loop. This is the lane the gcd chain
+    // drops into as soon as one operand shrinks below 64 bits.
+    const std::uint64_t d = divisor.small_ ? divisor.small_magnitude()
+                                           : magnitude_as_u64(divisor.limbs_);
+    const Limbs dividend_mag = dividend.magnitude_limbs();
+    Limbs q(dividend_mag.size(), 0);
+    std::uint64_t small_rem = 0;
+    if (d <= 0xffffffffu) {
+      for (std::size_t i = dividend_mag.size(); i-- > 0;) {
+        const std::uint64_t current = (small_rem << 32) | dividend_mag[i];
+        q[i] = static_cast<std::uint32_t>(current / d);
+        small_rem = current % d;
+      }
+    } else {
+      unsigned __int128 rem = 0;
+      for (std::size_t i = dividend_mag.size(); i-- > 0;) {
+        const unsigned __int128 current = (rem << 32) | dividend_mag[i];
+        q[i] = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(current / d));
+        rem = current % d;
+      }
+      small_rem = static_cast<std::uint64_t>(rem);
+    }
+    const bool q_neg = dividend.is_negative() != divisor.is_negative();
+    quotient = from_limbs(q_neg, std::move(q));
+    remainder = from_sign_magnitude(dividend.is_negative(), small_rem);
+    return;
+  }
+  // Binary long division on magnitudes; O(bits^2 / 32) limb work, reached
+  // only when the divisor itself is wider than 64 bits.
+  const BigInt abs_dividend = dividend.abs();
+  const BigInt abs_divisor = divisor.abs();
+  if (compare_abs(abs_dividend, abs_divisor) < 0) {
     quotient = BigInt{};
     remainder = dividend;
     return;
   }
-  std::size_t shift = abs_dividend.bit_length() - abs_divisor.bit_length();
+  const std::size_t shift =
+      abs_dividend.bit_length() - abs_divisor.bit_length();
   BigInt shifted = abs_divisor.shifted_left(shift);
   BigInt q;
   BigInt r = abs_dividend;
   for (std::size_t step = 0; step <= shift; ++step) {
     q = q.shifted_left(1);
-    if (compare_magnitude(r.limbs_, shifted.limbs_) >= 0) {
+    if (compare_abs(r, shifted) >= 0) {
       r = r - shifted;
       q = q + BigInt(1);
     }
     shifted = shifted.shifted_right(1);
   }
-  q.negative_ = !q.is_zero() && (dividend.negative_ != divisor.negative_);
-  r.negative_ = !r.is_zero() && dividend.negative_;
-  q.normalize();
-  r.normalize();
+  if (dividend.is_negative() != divisor.is_negative()) q = q.negate();
+  if (dividend.is_negative()) r = r.negate();
   quotient = std::move(q);
   remainder = std::move(r);
 }
@@ -274,48 +436,54 @@ BigInt operator%(const BigInt& a, const BigInt& b) {
 
 BigInt BigInt::shifted_left(std::size_t bits) const {
   if (is_zero() || bits == 0) return *this;
-  std::size_t limb_shift = bits / 32;
-  std::size_t bit_shift = bits % 32;
-  BigInt result;
-  result.negative_ = negative_;
-  result.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::uint64_t value = std::uint64_t{limbs_[i]} << bit_shift;
-    result.limbs_[i + limb_shift] |=
-        static_cast<std::uint32_t>(value & 0xffffffffu);
-    result.limbs_[i + limb_shift + 1] |=
-        static_cast<std::uint32_t>(value >> 32);
+  if (small_) {
+    const std::uint64_t magnitude = small_magnitude();
+    const auto width = static_cast<std::size_t>(std::bit_width(magnitude));
+    if (width + bits <= 64) {
+      return from_sign_magnitude(value_ < 0, magnitude << bits);
+    }
   }
-  result.normalize();
-  return result;
+  const Limbs source = magnitude_limbs();
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  Limbs shifted(source.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const std::uint64_t value = std::uint64_t{source[i]} << bit_shift;
+    shifted[i + limb_shift] |= static_cast<std::uint32_t>(value & 0xffffffffu);
+    shifted[i + limb_shift + 1] |= static_cast<std::uint32_t>(value >> 32);
+  }
+  return from_limbs(is_negative(), std::move(shifted));
 }
 
 BigInt BigInt::shifted_right(std::size_t bits) const {
-  if (is_zero()) return *this;
-  std::size_t limb_shift = bits / 32;
-  std::size_t bit_shift = bits % 32;
+  if (is_zero() || bits == 0) return *this;
+  if (small_) {
+    if (bits >= 64) return BigInt{};
+    return from_sign_magnitude(value_ < 0, small_magnitude() >> bits);
+  }
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
   if (limb_shift >= limbs_.size()) return BigInt{};
-  BigInt result;
-  result.negative_ = negative_;
-  result.limbs_.assign(limbs_.size() - limb_shift, 0);
-  for (std::size_t i = 0; i < result.limbs_.size(); ++i) {
+  Limbs shifted(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < shifted.size(); ++i) {
     std::uint64_t value = limbs_[i + limb_shift] >> bit_shift;
     if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
       value |= std::uint64_t{limbs_[i + limb_shift + 1]} << (32 - bit_shift);
     }
-    result.limbs_[i] = static_cast<std::uint32_t>(value & 0xffffffffu);
+    shifted[i] = static_cast<std::uint32_t>(value & 0xffffffffu);
   }
-  result.normalize();
-  return result;
+  return from_limbs(negative_, std::move(shifted));
 }
 
 std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
-  if (a.negative_ != b.negative_) {
-    return a.negative_ ? std::strong_ordering::less
-                       : std::strong_ordering::greater;
+  if (a.small_ && b.small_) return a.value_ <=> b.value_;
+  const bool a_neg = a.is_negative();
+  const bool b_neg = b.is_negative();
+  if (a_neg != b_neg) {
+    return a_neg ? std::strong_ordering::less : std::strong_ordering::greater;
   }
-  int cmp = BigInt::compare_magnitude(a.limbs_, b.limbs_);
-  if (a.negative_) cmp = -cmp;
+  int cmp = BigInt::compare_abs(a, b);
+  if (a_neg) cmp = -cmp;
   if (cmp < 0) return std::strong_ordering::less;
   if (cmp > 0) return std::strong_ordering::greater;
   return std::strong_ordering::equal;
@@ -329,6 +497,16 @@ BigInt gcd(BigInt a, BigInt b) {
   a = a.abs();
   b = b.abs();
   while (!b.is_zero()) {
+    if (a.small_ && b.small_) {
+      std::uint64_t x = a.small_magnitude();
+      std::uint64_t y = b.small_magnitude();
+      while (y != 0) {
+        const std::uint64_t t = x % y;
+        x = y;
+        y = t;
+      }
+      return BigInt::from_sign_magnitude(false, x);
+    }
     BigInt r = a % b;
     a = std::move(b);
     b = std::move(r);

@@ -9,10 +9,17 @@
 // modest bases, so the library carries its own small bignum rather than
 // silently overflowing.
 //
-// Representation: sign + little-endian magnitude in 32-bit limbs, normalized
-// so the most significant limb is non-zero and zero has an empty magnitude
-// and positive sign. All operations are value-semantic and exact.
+// Representation: a value that fits std::int64_t is stored inline (no heap
+// allocation); anything wider spills to sign + little-endian magnitude in
+// 32-bit limbs, normalized so the most significant limb is non-zero. The
+// representation is canonical — a value is stored inline exactly when it fits
+// int64 — so structural (defaulted) equality remains value equality. Exact
+// push-sum shares start as small integers and only grow past 64 bits after
+// tens of rounds, so the inline path is the hot path; arithmetic takes
+// overflow-checked int64 fast lanes and falls back to limb routines on spill.
+// All operations are value-semantic and exact.
 
+#include <bit>
 #include <compare>
 #include <cstdint>
 #include <iosfwd>
@@ -25,17 +32,29 @@ namespace anonet {
 class BigInt {
  public:
   BigInt() = default;
-  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor): numeric literal convenience
+  constexpr BigInt(std::int64_t value) : value_(value) {}  // NOLINT(google-explicit-constructor): numeric literal convenience
 
   // Parses an optional leading '-' followed by decimal digits.
   // Throws std::invalid_argument on malformed input.
   static BigInt from_string(std::string_view text);
 
-  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
-  [[nodiscard]] bool is_negative() const { return negative_; }
-  [[nodiscard]] int signum() const {
-    return is_zero() ? 0 : (negative_ ? -1 : 1);
+  // Builds a value from an explicit sign and 64-bit magnitude; the result is
+  // inline when it fits int64 (including INT64_MIN) and spills otherwise.
+  // Used by the wire decoder's short-magnitude fast path.
+  [[nodiscard]] static BigInt from_sign_magnitude(bool negative,
+                                                  std::uint64_t magnitude);
+
+  [[nodiscard]] bool is_zero() const { return small_ && value_ == 0; }
+  [[nodiscard]] bool is_negative() const {
+    return small_ ? value_ < 0 : negative_;
   }
+  [[nodiscard]] int signum() const {
+    if (small_) return value_ == 0 ? 0 : (value_ < 0 ? -1 : 1);
+    return negative_ ? -1 : 1;
+  }
+  // True when the value is held in the inline int64 slot; by canonicality
+  // this is exactly "fits std::int64_t", so to_int64() cannot throw.
+  [[nodiscard]] bool fits_int64() const { return small_; }
 
   // Number of bits in the magnitude (0 for zero).
   [[nodiscard]] std::size_t bit_length() const;
@@ -49,6 +68,7 @@ class BigInt {
   // Lossy conversion for metrics/output; exact when the value fits a double.
   [[nodiscard]] double to_double() const;
   [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t hash() const;
 
   friend BigInt operator+(const BigInt& a, const BigInt& b);
   friend BigInt operator-(const BigInt& a, const BigInt& b);
@@ -69,6 +89,7 @@ class BigInt {
   [[nodiscard]] BigInt shifted_left(std::size_t bits) const;
   [[nodiscard]] BigInt shifted_right(std::size_t bits) const;
 
+  // Canonical representation makes structural equality value equality.
   friend bool operator==(const BigInt& a, const BigInt& b) = default;
   friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
 
@@ -78,22 +99,27 @@ class BigInt {
   static void div_mod(const BigInt& dividend, const BigInt& divisor,
                       BigInt& quotient, BigInt& remainder);
 
+  friend BigInt gcd(BigInt a, BigInt b);
+
  private:
-  // Magnitude comparison ignoring sign: -1, 0, +1.
-  static int compare_magnitude(const std::vector<std::uint32_t>& a,
-                               const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> add_magnitude(
-      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
-  // Requires |a| >= |b|.
-  static std::vector<std::uint32_t> sub_magnitude(
-      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> mul_magnitude(
-      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Magnitude of an inline value as a uint64 (valid only when small_).
+  [[nodiscard]] std::uint64_t small_magnitude() const {
+    // Negate in the unsigned domain to avoid UB on INT64_MIN.
+    return value_ < 0 ? ~static_cast<std::uint64_t>(value_) + 1
+                      : static_cast<std::uint64_t>(value_);
+  }
+  // Adopts a limb magnitude + sign, then canonicalizes (drops leading zero
+  // limbs, collapses to the inline slot when the value fits int64).
+  [[nodiscard]] static BigInt from_limbs(bool negative,
+                                         std::vector<std::uint32_t> limbs);
+  [[nodiscard]] std::vector<std::uint32_t> magnitude_limbs() const;
+  static int compare_abs(const BigInt& a, const BigInt& b);
+  void canonicalize();
 
-  void normalize();
-
-  bool negative_ = false;
-  std::vector<std::uint32_t> limbs_;  // little-endian, no leading zero limb
+  std::vector<std::uint32_t> limbs_;  // spilled: little-endian magnitude
+  std::int64_t value_ = 0;            // inline: the value (small_ only)
+  bool small_ = true;
+  bool negative_ = false;             // spilled: sign (small_ keeps it false)
 };
 
 // Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
@@ -102,3 +128,10 @@ class BigInt {
 [[nodiscard]] BigInt lcm(const BigInt& a, const BigInt& b);
 
 }  // namespace anonet
+
+template <>
+struct std::hash<anonet::BigInt> {
+  std::size_t operator()(const anonet::BigInt& value) const noexcept {
+    return value.hash();
+  }
+};

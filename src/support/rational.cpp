@@ -1,20 +1,49 @@
 #include "support/rational.hpp"
 
+#include <numeric>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
 
 namespace anonet {
 
+namespace {
+
+// |value| in the unsigned domain; safe for INT64_MIN.
+std::uint64_t magnitude_u64(std::int64_t value) {
+  return value < 0 ? ~static_cast<std::uint64_t>(value) + 1
+                   : static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
 Rational::Rational(BigInt numerator, BigInt denominator)
     : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
   if (denominator_.is_zero()) {
     throw std::domain_error("Rational: zero denominator");
   }
-  reduce();
+  reduce_now();
 }
 
-void Rational::reduce() {
+Rational::Rational(Unreduced, BigInt numerator, BigInt denominator,
+                   std::uint8_t pending)
+    : numerator_(std::move(numerator)),
+      denominator_(std::move(denominator)),
+      pending_(pending) {
+  if (denominator_.is_negative()) {
+    numerator_ = numerator_.negate();
+    denominator_ = denominator_.negate();
+  }
+  if (pending_ >= kMaxPending) reduce_now();
+}
+
+void Rational::normalize() const {
+  if (pending_ == 0) return;
+  reduce_now();
+}
+
+void Rational::reduce_now() const {
+  pending_ = 0;
   if (denominator_.is_negative()) {
     numerator_ = numerator_.negate();
     denominator_ = denominator_.negate();
@@ -23,11 +52,48 @@ void Rational::reduce() {
     denominator_ = BigInt(1);
     return;
   }
+  if (numerator_.fits_int64() && denominator_.fits_int64()) {
+    const std::int64_t num = numerator_.to_int64();
+    const std::uint64_t num_mag = magnitude_u64(num);
+    const auto den_mag = static_cast<std::uint64_t>(denominator_.to_int64());
+    const std::uint64_t divisor = std::gcd(num_mag, den_mag);
+    if (divisor > 1) {
+      numerator_ = BigInt::from_sign_magnitude(num < 0, num_mag / divisor);
+      denominator_ = BigInt::from_sign_magnitude(false, den_mag / divisor);
+    }
+    return;
+  }
   BigInt divisor = gcd(numerator_, denominator_);
   if (divisor != BigInt(1)) {
     numerator_ = numerator_ / divisor;
     denominator_ = denominator_ / divisor;
   }
+}
+
+Rational Rational::from_int64_fraction(std::int64_t num, std::int64_t den) {
+  Rational result;
+  if (num == 0) return result;  // 0/1
+  const bool negative = (num < 0) != (den < 0);
+  const std::uint64_t num_mag = magnitude_u64(num);
+  const std::uint64_t den_mag = magnitude_u64(den);
+  const std::uint64_t divisor = std::gcd(num_mag, den_mag);
+  result.numerator_ = BigInt::from_sign_magnitude(negative, num_mag / divisor);
+  result.denominator_ = BigInt::from_sign_magnitude(false, den_mag / divisor);
+  return result;
+}
+
+bool Rational::int64_parts(const Rational& r, std::int64_t& num,
+                           std::int64_t& den) {
+  if (!r.numerator_.fits_int64() || !r.denominator_.fits_int64()) return false;
+  num = r.numerator_.to_int64();
+  den = r.denominator_.to_int64();
+  return true;
+}
+
+std::uint8_t Rational::next_pending(const Rational& a, const Rational& b) {
+  const int depth = std::max(a.pending_, b.pending_) + 1;
+  return static_cast<std::uint8_t>(
+      depth > kMaxPending ? kMaxPending : depth);
 }
 
 Rational Rational::abs() const {
@@ -40,10 +106,19 @@ Rational Rational::abs() const {
 
 Rational Rational::reciprocal() const {
   if (is_zero()) throw std::domain_error("Rational: reciprocal of zero");
-  return Rational(denominator_, numerator_);
+  Rational result;
+  result.numerator_ = denominator_;
+  result.denominator_ = numerator_;
+  result.pending_ = pending_;  // swapping preserves the gcd
+  if (result.denominator_.is_negative()) {
+    result.numerator_ = result.numerator_.negate();
+    result.denominator_ = result.denominator_.negate();
+  }
+  return result;
 }
 
 double Rational::to_double() const {
+  normalize();
   // Scale down both parts together to stay inside double range for big values.
   return numerator_.to_double() / denominator_.to_double();
 }
@@ -53,29 +128,87 @@ std::string Rational::to_string() const {
   return numerator_.to_string() + "/" + denominator_.to_string();
 }
 
+std::size_t Rational::hash() const {
+  normalize();
+  const std::size_t h1 = numerator_.hash();
+  const std::size_t h2 = denominator_.hash();
+  return h1 ^ (h2 + 0x9e3779b97f4a7c15ull + (h1 << 6) + (h1 >> 2));
+}
+
 Rational operator+(const Rational& a, const Rational& b) {
-  return Rational(a.numerator_ * b.denominator_ + b.numerator_ * a.denominator_,
-                  a.denominator_ * b.denominator_);
+  std::int64_t an = 0, ad = 0, bn = 0, bd = 0;
+  if (Rational::int64_parts(a, an, ad) && Rational::int64_parts(b, bn, bd)) {
+    std::int64_t t1 = 0, t2 = 0, num = 0, den = 0;
+    if (!__builtin_mul_overflow(an, bd, &t1) &&
+        !__builtin_mul_overflow(bn, ad, &t2) &&
+        !__builtin_add_overflow(t1, t2, &num) &&
+        !__builtin_mul_overflow(ad, bd, &den)) {
+      return Rational::from_int64_fraction(num, den);
+    }
+  }
+  return Rational(
+      Rational::Unreduced{},
+      a.numerator_ * b.denominator_ + b.numerator_ * a.denominator_,
+      a.denominator_ * b.denominator_, Rational::next_pending(a, b));
 }
 
 Rational operator-(const Rational& a, const Rational& b) {
-  return Rational(a.numerator_ * b.denominator_ - b.numerator_ * a.denominator_,
-                  a.denominator_ * b.denominator_);
+  std::int64_t an = 0, ad = 0, bn = 0, bd = 0;
+  if (Rational::int64_parts(a, an, ad) && Rational::int64_parts(b, bn, bd)) {
+    std::int64_t t1 = 0, t2 = 0, num = 0, den = 0;
+    if (!__builtin_mul_overflow(an, bd, &t1) &&
+        !__builtin_mul_overflow(bn, ad, &t2) &&
+        !__builtin_sub_overflow(t1, t2, &num) &&
+        !__builtin_mul_overflow(ad, bd, &den)) {
+      return Rational::from_int64_fraction(num, den);
+    }
+  }
+  return Rational(
+      Rational::Unreduced{},
+      a.numerator_ * b.denominator_ - b.numerator_ * a.denominator_,
+      a.denominator_ * b.denominator_, Rational::next_pending(a, b));
 }
 
 Rational operator*(const Rational& a, const Rational& b) {
-  return Rational(a.numerator_ * b.numerator_, a.denominator_ * b.denominator_);
+  std::int64_t an = 0, ad = 0, bn = 0, bd = 0;
+  if (Rational::int64_parts(a, an, ad) && Rational::int64_parts(b, bn, bd)) {
+    std::int64_t num = 0, den = 0;
+    if (!__builtin_mul_overflow(an, bn, &num) &&
+        !__builtin_mul_overflow(ad, bd, &den)) {
+      return Rational::from_int64_fraction(num, den);
+    }
+  }
+  return Rational(Rational::Unreduced{}, a.numerator_ * b.numerator_,
+                  a.denominator_ * b.denominator_,
+                  Rational::next_pending(a, b));
 }
 
 Rational operator/(const Rational& a, const Rational& b) {
   if (b.is_zero()) throw std::domain_error("Rational: division by zero");
-  return Rational(a.numerator_ * b.denominator_, a.denominator_ * b.numerator_);
+  std::int64_t an = 0, ad = 0, bn = 0, bd = 0;
+  if (Rational::int64_parts(a, an, ad) && Rational::int64_parts(b, bn, bd)) {
+    std::int64_t num = 0, den = 0;
+    if (!__builtin_mul_overflow(an, bd, &num) &&
+        !__builtin_mul_overflow(ad, bn, &den)) {
+      return Rational::from_int64_fraction(num, den);
+    }
+  }
+  return Rational(Rational::Unreduced{}, a.numerator_ * b.denominator_,
+                  a.denominator_ * b.numerator_,
+                  Rational::next_pending(a, b));
 }
 
 Rational Rational::operator-() const {
   Rational result = *this;
   result.numerator_ = result.numerator_.negate();
   return result;
+}
+
+bool operator==(const Rational& a, const Rational& b) {
+  if (a.pending_ == 0 && b.pending_ == 0) {
+    return a.numerator_ == b.numerator_ && a.denominator_ == b.denominator_;
+  }
+  return a.numerator_ * b.denominator_ == b.numerator_ * a.denominator_;
 }
 
 std::strong_ordering operator<=>(const Rational& a, const Rational& b) {

@@ -2,11 +2,27 @@
 
 // Exact rational numbers over BigInt.
 //
-// Invariant: denominator > 0 and gcd(|numerator|, denominator) == 1; zero is
-// represented as 0/1. All arithmetic preserves the invariant, so equality is
-// structural.
+// Invariants: the denominator is always positive (maintained eagerly — it is
+// a cheap sign flip), so sign queries never need the gcd; gcd reduction is
+// *lazy*. Arithmetic results carry a small `pending_` counter of deferred
+// reductions and are brought to lowest terms only when an observer needs the
+// canonical form (numerator(), denominator(), is_integer(), to_string(),
+// to_double(), hash()) or when the deferral bound kMaxPending is hit, which
+// keeps deferred operands from ballooning. Equality and ordering are exact
+// without normalizing: both compare by cross-multiplication when either side
+// is unreduced. Before the gcd, arithmetic takes an overflow-checked
+// int64×int64 fast lane — exact push-sum shares stay within int64 for tens of
+// rounds, and the fast lane reduces with a 64-bit Euclid instead of BigInt
+// division.
+//
+// Thread-safety: lazy reduction mutates `mutable` members under const, so a
+// Rational shared across threads needs external synchronization even for
+// concurrent reads. The round engine satisfies this by construction: each
+// agent observes only its own state and its own arena copies of messages,
+// and every phase gives a vertex block to exactly one worker.
 
 #include <compare>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -19,15 +35,29 @@ class Rational {
   Rational() : numerator_(0), denominator_(1) {}
   Rational(std::int64_t value) : numerator_(value), denominator_(1) {}  // NOLINT
   Rational(BigInt value) : numerator_(std::move(value)), denominator_(1) {}  // NOLINT
-  // Throws std::domain_error if denominator is zero.
+  // Throws std::domain_error if denominator is zero. Reduces eagerly, so a
+  // freshly constructed value is in lowest terms.
   Rational(BigInt numerator, BigInt denominator);
 
-  [[nodiscard]] const BigInt& numerator() const { return numerator_; }
-  [[nodiscard]] const BigInt& denominator() const { return denominator_; }
+  // Observers of the canonical (lowest-terms) form; both normalize first.
+  [[nodiscard]] const BigInt& numerator() const {
+    normalize();
+    return numerator_;
+  }
+  [[nodiscard]] const BigInt& denominator() const {
+    normalize();
+    return denominator_;
+  }
 
+  // Exact without normalizing: the positive-denominator invariant makes the
+  // numerator carry the sign, reduced or not.
   [[nodiscard]] bool is_zero() const { return numerator_.is_zero(); }
-  [[nodiscard]] bool is_integer() const { return denominator_ == BigInt(1); }
   [[nodiscard]] int signum() const { return numerator_.signum(); }
+
+  [[nodiscard]] bool is_integer() const {
+    normalize();
+    return denominator_ == BigInt(1);
+  }
 
   [[nodiscard]] Rational abs() const;
   // Multiplicative inverse; throws std::domain_error on zero.
@@ -35,6 +65,9 @@ class Rational {
 
   [[nodiscard]] double to_double() const;
   [[nodiscard]] std::string to_string() const;  // "p/q" or "p" when integral
+  // Hash of the canonical form: equal values hash equal regardless of how
+  // they were produced (normalizes first).
+  [[nodiscard]] std::size_t hash() const;
 
   friend Rational operator+(const Rational& a, const Rational& b);
   friend Rational operator-(const Rational& a, const Rational& b);
@@ -48,16 +81,42 @@ class Rational {
 
   Rational operator-() const;
 
-  friend bool operator==(const Rational& a, const Rational& b) = default;
+  // Value equality: structural when both sides are already reduced,
+  // cross-multiplication (no mutation) otherwise.
+  friend bool operator==(const Rational& a, const Rational& b);
   friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
 
   friend std::ostream& operator<<(std::ostream& os, const Rational& value);
 
  private:
-  void reduce();
+  struct Unreduced {};  // tag: trusted internal construction, defers the gcd
+  Rational(Unreduced, BigInt numerator, BigInt denominator,
+           std::uint8_t pending);
 
-  BigInt numerator_;
-  BigInt denominator_;
+  void normalize() const;    // no-op when pending_ == 0
+  void reduce_now() const;   // unconditional gcd reduction
+  // Reduced rational from an int64 fraction (den != 0); sign via magnitudes,
+  // so INT64_MIN in either slot is fine.
+  [[nodiscard]] static Rational from_int64_fraction(std::int64_t num,
+                                                    std::int64_t den);
+  [[nodiscard]] static bool int64_parts(const Rational& r, std::int64_t& num,
+                                        std::int64_t& den);
+  [[nodiscard]] static std::uint8_t next_pending(const Rational& a,
+                                                 const Rational& b);
+
+  static constexpr std::uint8_t kMaxPending = 8;
+
+  mutable BigInt numerator_;
+  mutable BigInt denominator_;
+  // Deferred-reduction depth: 0 means lowest terms. See header comment.
+  mutable std::uint8_t pending_ = 0;
 };
 
 }  // namespace anonet
+
+template <>
+struct std::hash<anonet::Rational> {
+  std::size_t operator()(const anonet::Rational& value) const {
+    return value.hash();
+  }
+};

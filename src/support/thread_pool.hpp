@@ -4,12 +4,16 @@
 //
 // The executor's send and receive phases are embarrassingly parallel over
 // vertices, but rounds are short (microseconds at small n), so spawning
-// threads per phase would dominate. The pool keeps its workers parked on a
-// condition variable between jobs; a job is a half-open index range that
-// workers consume in fixed-size blocks through an atomic cursor. Block
-// boundaries are deterministic (only the block->worker assignment varies),
-// so callers can accumulate per-block partial results and reduce them in
-// block order for bit-reproducible statistics.
+// threads per phase would dominate. Workers are spawned once, in the
+// constructor, and parked between jobs: first a bounded spin (a back-to-back
+// phase release costs no syscall), then a futex wait via C++20
+// std::atomic::wait. A job release is a single epoch-counter publish — no
+// mutex or condition variable is taken anywhere on the submit/complete path —
+// and workers consume the job's half-open index range in fixed-size blocks
+// through a generation-tagged atomic cursor. Block boundaries are
+// deterministic (only the block->worker assignment varies), so callers can
+// accumulate per-block partial results and reduce them in block order for
+// bit-reproducible statistics.
 //
 // The calling thread participates as a worker, so `ThreadPool(1)` spawns no
 // threads at all and parallel_blocks degenerates to a plain loop.
@@ -54,28 +58,42 @@ class BlockFn {
 
 class ThreadPool {
  public:
-  // Total workers including the calling thread; spawns `threads - 1`.
-  // threads < 1 is clamped to 1.
+  // Total workers including the calling thread; spawns `threads - 1`
+  // persistent workers that park until destruction. threads < 1 is clamped
+  // to 1.
   explicit ThreadPool(int threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  // Worker count for a job: the calling thread plus thread_count() - 1
+  // parked workers all claim blocks concurrently.
   [[nodiscard]] int thread_count() const { return threads_; }
 
   // Hardware concurrency with a sane floor of 1.
   [[nodiscard]] static int hardware_threads();
 
   // Invokes fn(begin, end, block_index) for consecutive blocks of size
-  // `block_size` covering [0, count). Blocks run concurrently on the pool
+  // `block_size` covering [0, count), on up to thread_count() workers
   // (caller included); the call returns after every started block completed.
+  //
+  // `block_size` is the work grain: every claim of the job's cursor hands a
+  // worker one block of that many indices (the last block may be short).
+  // Larger grains amortize claim traffic, smaller grains balance load; the
+  // boundaries are a pure function of (count, block_size), never of the
+  // worker count, which is what keeps block-order reductions deterministic.
+  // The executor chooses the grain adaptively (see runtime/executor.hpp).
+  //
   // Exceptions fail fast on both paths: the serial path stops at the first
   // throwing block, and the pooled path cancels all not-yet-claimed blocks
   // of the job (blocks already in flight on other workers still finish).
-  // The first exception thrown by fn is captured and rethrown here. Not
-  // reentrant: fn must not call parallel_blocks on the same pool. The job
-  // may span at most 2^32 - 1 blocks (the block half of the tagged cursor).
+  // The first exception thrown by fn is captured and rethrown here.
+  //
+  // Not reentrant: fn must not call parallel_blocks on the same pool, from
+  // any thread (asserted in debug builds). The job may span at most
+  // 2^32 - 2 blocks (the block half of the tagged cursor, minus the idle
+  // sentinel).
   void parallel_blocks(std::int64_t count, std::int64_t block_size,
                        BlockFn fn);
 
@@ -86,7 +104,7 @@ class ThreadPool {
 
  private:
   struct Impl;
-  Impl* impl_;  // pimpl keeps <thread>/<mutex> out of the public header
+  Impl* impl_;  // pimpl keeps <atomic>/<thread> out of the public header
   int threads_;
 };
 

@@ -135,10 +135,10 @@ struct MessageTraits<FrequencyPushSumAgent::Message> {
   using M = FrequencyPushSumAgent::Message;
 
   static std::int64_t encoded_bits(const M& m) {
-    std::int64_t bits = uvarint_bits(m.entries.size());
+    std::int64_t bits = uvarint_bits(m.keys.size());
     std::int64_t prev = 0;
     bool first = true;
-    for (const auto& [value, entry] : m.entries) {
+    for (const std::int64_t value : m.keys) {
       bits += detail::key_bits(value, first, prev) + 2 * kDoubleBits;
       prev = value;
       first = false;
@@ -147,15 +147,13 @@ struct MessageTraits<FrequencyPushSumAgent::Message> {
   }
 
   static void encode(const M& m, BitWriter& sink) {
-    sink.write_uvarint(m.entries.size());
+    sink.write_uvarint(m.keys.size());
     std::int64_t prev = 0;
-    bool first = true;
-    for (const auto& [value, entry] : m.entries) {
-      detail::write_key(sink, value, first, prev);
-      sink.write_double(entry.y);
-      sink.write_double(entry.z);
-      prev = value;
-      first = false;
+    for (std::size_t i = 0; i < m.keys.size(); ++i) {
+      detail::write_key(sink, m.keys[i], i == 0, prev);
+      sink.write_double(m.ys[i]);
+      sink.write_double(m.zs[i]);
+      prev = m.keys[i];
     }
     sink.write_svarint(m.outdegree);
   }
@@ -163,13 +161,15 @@ struct MessageTraits<FrequencyPushSumAgent::Message> {
   static M decode(BitReader& src) {
     const std::uint64_t count = src.read_uvarint();
     M m;
+    m.keys.reserve(count);
+    m.ys.reserve(count);
+    m.zs.reserve(count);
     std::int64_t prev = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
       prev = detail::read_key(src, i == 0, prev);
-      FrequencyPushSumAgent::Entry entry;
-      entry.y = src.read_double();
-      entry.z = src.read_double();
-      m.entries.emplace(prev, entry);
+      m.keys.push_back(prev);
+      m.ys.push_back(src.read_double());
+      m.zs.push_back(src.read_double());
     }
     m.outdegree = static_cast<int>(src.read_svarint());
     return m;
@@ -227,10 +227,10 @@ struct MessageTraits<FrequencyMetropolisAgent::Message> {
   using M = FrequencyMetropolisAgent::Message;
 
   static std::int64_t encoded_bits(const M& m) {
-    std::int64_t bits = uvarint_bits(m.x.size());
+    std::int64_t bits = uvarint_bits(m.keys.size());
     std::int64_t prev = 0;
     bool first = true;
-    for (const auto& [value, x] : m.x) {
+    for (const std::int64_t value : m.keys) {
       bits += detail::key_bits(value, first, prev) + kDoubleBits;
       prev = value;
       first = false;
@@ -239,14 +239,12 @@ struct MessageTraits<FrequencyMetropolisAgent::Message> {
   }
 
   static void encode(const M& m, BitWriter& sink) {
-    sink.write_uvarint(m.x.size());
+    sink.write_uvarint(m.keys.size());
     std::int64_t prev = 0;
-    bool first = true;
-    for (const auto& [value, x] : m.x) {
-      detail::write_key(sink, value, first, prev);
-      sink.write_double(x);
-      prev = value;
-      first = false;
+    for (std::size_t i = 0; i < m.keys.size(); ++i) {
+      detail::write_key(sink, m.keys[i], i == 0, prev);
+      sink.write_double(m.xs[i]);
+      prev = m.keys[i];
     }
     sink.write_svarint(m.degree);
   }
@@ -254,10 +252,13 @@ struct MessageTraits<FrequencyMetropolisAgent::Message> {
   static M decode(BitReader& src) {
     const std::uint64_t count = src.read_uvarint();
     M m;
+    m.keys.reserve(count);
+    m.xs.reserve(count);
     std::int64_t prev = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
       prev = detail::read_key(src, i == 0, prev);
-      m.x.emplace(prev, src.read_double());
+      m.keys.push_back(prev);
+      m.xs.push_back(src.read_double());
     }
     m.degree = static_cast<int>(src.read_svarint());
     return m;

@@ -27,6 +27,18 @@ BigInt BitReader::read_bigint() {
   if (length > static_cast<std::uint64_t>(remaining())) {
     throw std::out_of_range("BitReader: truncated bigint");
   }
+  if (length <= 64) {
+    // Small-magnitude fast lane: one or two chunk reads land directly in
+    // BigInt's inline representation, no shifted-left/add chain.
+    std::uint64_t magnitude_bits = 0;
+    for (std::uint64_t base = 0; base < length; base += 32) {
+      const int count =
+          static_cast<int>(std::min<std::uint64_t>(32, length - base));
+      magnitude_bits |= read_bits(count) << base;
+    }
+    return BigInt::from_sign_magnitude(negative && magnitude_bits != 0,
+                                       magnitude_bits);
+  }
   BigInt magnitude;
   for (std::uint64_t base = 0; base < length; base += 32) {
     const int count = static_cast<int>(std::min<std::uint64_t>(32, length - base));

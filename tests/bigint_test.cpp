@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <limits>
 #include <random>
+#include <string>
+#include <vector>
 
 namespace anonet {
 namespace {
@@ -161,6 +163,126 @@ TEST(BigInt, DivModReconstruction) {
     EXPECT_EQ(q * b + r, a);
     EXPECT_LT(r.abs(), b.abs());
   }
+}
+
+// --- inline/limb spill boundary ---------------------------------------------
+// BigInt stores values fitting int64 inline and spills to limbs beyond; the
+// representation must be canonical (spill exactly when the value leaves
+// [-2^63, 2^63 - 1]) for defaulted equality and hashing to be sound. These
+// tests walk every power-of-two frontier near the boundary in both signs.
+
+namespace {
+
+std::string int128_to_string(__int128 value) {
+  if (value == 0) return "0";
+  const bool negative = value < 0;
+  unsigned __int128 magnitude =
+      negative ? -static_cast<unsigned __int128>(value)
+               : static_cast<unsigned __int128>(value);
+  std::string digits;
+  while (magnitude != 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(magnitude % 10)));
+    magnitude /= 10;
+  }
+  if (negative) digits.push_back('-');
+  return {digits.rbegin(), digits.rend()};
+}
+
+}  // namespace
+
+TEST(BigInt, SpillBoundaryFitsInt64IsExact) {
+  const BigInt two63 = BigInt(1).shifted_left(63);
+  EXPECT_TRUE((two63 - BigInt(1)).fits_int64());
+  EXPECT_EQ((two63 - BigInt(1)).to_int64(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_FALSE(two63.fits_int64());
+  EXPECT_TRUE((BigInt(0) - two63).fits_int64());
+  EXPECT_EQ((BigInt(0) - two63).to_int64(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE((BigInt(0) - two63 - BigInt(1)).fits_int64());
+}
+
+TEST(BigInt, SpillBoundaryAddSubCrossings) {
+  for (int bits : {62, 63, 64}) {
+    const BigInt base = BigInt(1).shifted_left(static_cast<std::size_t>(bits));
+    for (int sign : {1, -1}) {
+      const BigInt anchor = sign < 0 ? BigInt(0) - base : base;
+      for (std::int64_t d = -3; d <= 3; ++d) {
+        const BigInt v = anchor + BigInt(d);
+        // String round trip is representation-independent.
+        EXPECT_EQ(BigInt::from_string(v.to_string()), v) << bits << " " << d;
+        // Crossing back and forth over the boundary is lossless.
+        EXPECT_EQ(v + BigInt(9) - BigInt(9), v);
+        EXPECT_EQ(v - BigInt(9) + BigInt(9), v);
+        EXPECT_EQ(v - anchor, BigInt(d));
+        EXPECT_EQ((v + v) - v, v);
+        EXPECT_EQ(v.negate().negate(), v);
+      }
+    }
+  }
+}
+
+TEST(BigInt, SpillBoundaryEqualityAndHashAcrossRoutes) {
+  // Equal values must compare and hash equal no matter which arithmetic
+  // route produced them (this is what representation canonicality buys).
+  const BigInt two63 = BigInt(1).shifted_left(63);
+  const BigInt max_inline = BigInt(std::numeric_limits<std::int64_t>::max());
+  const BigInt min_inline = BigInt(std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(two63 - BigInt(1), max_inline);
+  EXPECT_EQ((two63 - BigInt(1)).hash(), max_inline.hash());
+  EXPECT_EQ(BigInt(0) - two63, min_inline);
+  EXPECT_EQ((BigInt(0) - two63).hash(), min_inline.hash());
+  EXPECT_EQ(min_inline.negate(), two63);
+  EXPECT_EQ(min_inline.negate().hash(), two63.hash());
+  EXPECT_EQ(min_inline * BigInt(-1), two63);
+  EXPECT_EQ(BigInt(-(std::int64_t{1} << 32)) * BigInt(std::int64_t{1} << 31),
+            min_inline);
+}
+
+TEST(BigInt, SpillBoundaryMulMatchesInt128) {
+  std::mt19937_64 rng(23);
+  std::uniform_int_distribution<std::int64_t> near(-5, 5);
+  const std::int64_t quarter = std::int64_t{1} << 31;
+  for (int i = 0; i < 400; ++i) {
+    // Factors straddling 2^31: products land on both sides of the int64
+    // spill boundary.
+    const std::int64_t a = (rng() % 2 ? quarter : -quarter) + near(rng);
+    const std::int64_t b = (rng() % 2 ? quarter : -quarter) + near(rng);
+    const __int128 product = static_cast<__int128>(a) * b;
+    EXPECT_EQ((BigInt(a) * BigInt(b)).to_string(), int128_to_string(product))
+        << a << " * " << b;
+  }
+}
+
+TEST(BigInt, SpillBoundaryDivModReconstruction) {
+  const BigInt two64 = BigInt(1).shifted_left(64);
+  std::vector<BigInt> dividends;
+  for (int bits : {62, 63, 64}) {
+    const BigInt base = BigInt(1).shifted_left(static_cast<std::size_t>(bits));
+    for (std::int64_t d = -2; d <= 2; ++d) {
+      dividends.push_back(base + BigInt(d));
+      dividends.push_back(BigInt(0) - base + BigInt(d));
+    }
+  }
+  std::vector<BigInt> divisors = {BigInt(1),    BigInt(-1),  BigInt(3),
+                                  BigInt(-7),   BigInt(913), two64 - BigInt(5),
+                                  BigInt(0) - two64 + BigInt(3)};
+  for (const BigInt& a : dividends) {
+    for (const BigInt& b : divisors) {
+      BigInt q, r;
+      BigInt::div_mod(a, b, q, r);
+      EXPECT_EQ(q * b + r, a) << a.to_string() << " / " << b.to_string();
+      EXPECT_LT(r.abs(), b.abs());
+      // Truncated semantics: remainder carries the dividend's sign.
+      if (!r.is_zero()) {
+        EXPECT_EQ(r.signum(), a.signum());
+      }
+    }
+  }
+  // INT64_MIN / -1 is the one small/small case whose quotient spills.
+  const BigInt min_inline = BigInt(std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(min_inline / BigInt(-1), BigInt(1).shifted_left(63));
+  EXPECT_EQ(min_inline % BigInt(-1), BigInt(0));
 }
 
 TEST(BigInt, ToDouble) {

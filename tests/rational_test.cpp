@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <string>
+#include <vector>
+
+#include "support/thread_pool.hpp"
 
 namespace anonet {
 namespace {
@@ -69,6 +73,98 @@ TEST(Rational, AbsAndSignum) {
   EXPECT_EQ(Rational(-5).signum(), -1);
   EXPECT_EQ(Rational(0).signum(), 0);
   EXPECT_EQ(Rational(BigInt(1), BigInt(9)).signum(), 1);
+}
+
+// --- lazy normalization -----------------------------------------------------
+// Arithmetic defers the gcd; every observable must behave as if results were
+// reduced eagerly: equality and ordering exact on unreduced values, canonical
+// observers in lowest terms, equal values hashing equal regardless of the
+// arithmetic route that produced them.
+
+namespace {
+
+// Arithmetic chains over large coprime-ish denominators overflow the int64
+// fast lane, forcing the deferred-gcd BigInt path.
+Rational big_fraction(std::mt19937_64& rng) {
+  const auto num = static_cast<std::int64_t>(rng() % 2000) - 1000;
+  const auto den = (std::int64_t{1} << 60) + 1 +
+                   static_cast<std::int64_t>(rng() % 1000) * 2;
+  return Rational(BigInt(num), BigInt(den));
+}
+
+}  // namespace
+
+TEST(Rational, LazyResultsMatchEagerObservably) {
+  std::mt19937_64 rng(41);
+  for (int i = 0; i < 200; ++i) {
+    const Rational a = big_fraction(rng);
+    const Rational b = big_fraction(rng);
+    const Rational sum = a + b;  // unreduced internally
+    // Equality is exact without normalizing either side.
+    EXPECT_EQ(sum, b + a);
+    EXPECT_EQ(sum - b, a);
+    // Canonical observers agree with an eagerly reduced reconstruction.
+    const Rational eager(a.numerator() * b.denominator() +
+                             b.numerator() * a.denominator(),
+                         a.denominator() * b.denominator());
+    EXPECT_EQ(sum.numerator(), eager.numerator());
+    EXPECT_EQ(sum.denominator(), eager.denominator());
+    EXPECT_EQ(gcd(sum.numerator(), sum.denominator()), BigInt(1));
+    EXPECT_GT(sum.denominator().signum(), 0);
+    // Equal values hash equal however they were produced.
+    EXPECT_EQ(sum.hash(), eager.hash());
+    EXPECT_EQ(std::hash<Rational>{}(sum), std::hash<Rational>{}(eager));
+  }
+}
+
+TEST(Rational, LazySignAndOrderingAreExactUnreduced) {
+  std::mt19937_64 rng(43);
+  for (int i = 0; i < 200; ++i) {
+    const Rational a = big_fraction(rng);
+    const Rational b = big_fraction(rng);
+    const Rational diff = a - b;  // sign must be exact before any reduction
+    EXPECT_EQ(diff.signum() > 0, a > b);
+    EXPECT_EQ(diff.signum() < 0, a < b);
+    EXPECT_EQ(diff.signum() == 0, a == b);
+    EXPECT_EQ((-diff).signum(), -diff.signum());
+    EXPECT_EQ(diff.abs().signum(), diff.is_zero() ? 0 : 1);
+  }
+}
+
+TEST(Rational, ParallelLazyNormalizationPerAgentIsSafe) {
+  // The thread-safety contract in rational.hpp: lazy reduction mutates under
+  // const, which is safe when each value is observed by exactly one worker —
+  // the executor's per-vertex-block access pattern, reproduced here so TSan
+  // checks the claim.
+  std::mt19937_64 rng(47);
+  constexpr std::int64_t kCount = 512;
+  std::vector<Rational> values;
+  std::vector<std::string> expected;
+  values.reserve(kCount);
+  expected.reserve(kCount);
+  for (std::int64_t i = 0; i < kCount; ++i) {
+    const Rational a = big_fraction(rng);
+    const Rational b = big_fraction(rng);
+    values.push_back(a * b + a - b);  // unreduced chain
+    const Rational clone = a * b + a - b;
+    expected.push_back(clone.to_string());  // normalizes the clone only
+  }
+  ThreadPool pool(4);
+  std::vector<std::size_t> hashes(static_cast<std::size_t>(kCount), 0);
+  pool.parallel_blocks(kCount, 16,
+                       [&](std::int64_t begin, std::int64_t end,
+                           std::int64_t /*block*/) {
+                         for (std::int64_t i = begin; i < end; ++i) {
+                           const auto u = static_cast<std::size_t>(i);
+                           // Observers trigger the deferred reduction.
+                           hashes[u] = values[u].hash();
+                         }
+                       });
+  for (std::int64_t i = 0; i < kCount; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    EXPECT_EQ(values[u].to_string(), expected[u]) << i;
+    EXPECT_EQ(hashes[u], values[u].hash());
+  }
 }
 
 TEST(Rational, RandomizedFieldAxioms) {

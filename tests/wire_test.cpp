@@ -11,7 +11,9 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <random>
+#include <utility>
 #include <vector>
 
 #include "wire/codecs.hpp"
@@ -131,6 +133,16 @@ TEST(Wire, BigIntRoundTripMatchesSizeFormula) {
     cases.push_back(big);
     cases.push_back(BigInt(0) - big);
   }
+  // Inline/limb spill frontier: every value within 2 of ±2^62, ±2^63, ±2^64
+  // exercises both the small-magnitude decode lane (length <= 64) and the
+  // general shift-accumulate lane right where the representation changes.
+  for (int bits : {62, 63, 64}) {
+    const BigInt base = BigInt(1).shifted_left(static_cast<std::size_t>(bits));
+    for (std::int64_t d = -2; d <= 2; ++d) {
+      cases.push_back(base + BigInt(d));
+      cases.push_back(BigInt(0) - base + BigInt(d));
+    }
+  }
   for (const BigInt& v : cases) {
     wire::BitWriter w;
     w.write_bigint(v);
@@ -217,24 +229,27 @@ TEST(Wire, PushSumMessageRoundTrip) {
 TEST(Wire, FrequencyPushSumMessageRoundTrip) {
   std::mt19937_64 rng(13);
   for (int trial = 0; trial < 50; ++trial) {
-    FrequencyPushSumAgent::Message m;
+    // Stage entries through a map to get the sorted-unique key order the
+    // message's parallel vectors require.
+    std::map<std::int64_t, std::pair<double, double>> staged;
     const int count = static_cast<int>(rng() % 6);
     for (int i = 0; i < count; ++i) {
-      FrequencyPushSumAgent::Entry e;
-      e.y = static_cast<double>(rng() % 1000) / 8.0;
-      e.z = static_cast<double>(rng() % 1000) / 16.0;
-      m.entries.emplace(static_cast<std::int64_t>(rng() % 5000) - 2500, e);
+      staged[static_cast<std::int64_t>(rng() % 5000) - 2500] = {
+          static_cast<double>(rng() % 1000) / 8.0,
+          static_cast<double>(rng() % 1000) / 16.0};
+    }
+    FrequencyPushSumAgent::Message m;
+    for (const auto& [key, yz] : staged) {
+      m.keys.push_back(key);
+      m.ys.push_back(yz.first);
+      m.zs.push_back(yz.second);
     }
     m.outdegree = static_cast<int>(rng() % 7) + 1;
     const auto out = round_trip_checked(m);
     EXPECT_EQ(out.outdegree, m.outdegree);
-    ASSERT_EQ(out.entries.size(), m.entries.size());
-    for (const auto& [key, entry] : m.entries) {
-      const auto it = out.entries.find(key);
-      ASSERT_NE(it, out.entries.end()) << key;
-      EXPECT_EQ(it->second.y, entry.y);
-      EXPECT_EQ(it->second.z, entry.z);
-    }
+    EXPECT_EQ(out.keys, m.keys);
+    EXPECT_EQ(out.ys, m.ys);
+    EXPECT_EQ(out.zs, m.zs);
   }
 }
 
@@ -265,16 +280,22 @@ TEST(Wire, MetropolisMessagesRoundTrip) {
 
   std::mt19937_64 rng(14);
   for (int trial = 0; trial < 30; ++trial) {
-    FrequencyMetropolisAgent::Message f;
+    std::map<std::int64_t, double> staged;
     const int count = static_cast<int>(rng() % 6);
     for (int i = 0; i < count; ++i) {
-      f.x.emplace(static_cast<std::int64_t>(rng() % 4000) - 2000,
-                  static_cast<double>(rng() % 512) / 32.0);
+      staged[static_cast<std::int64_t>(rng() % 4000) - 2000] =
+          static_cast<double>(rng() % 512) / 32.0;
+    }
+    FrequencyMetropolisAgent::Message f;
+    for (const auto& [key, x] : staged) {
+      f.keys.push_back(key);
+      f.xs.push_back(x);
     }
     f.degree = static_cast<int>(rng() % 9) + 1;
     const auto fout = round_trip_checked(f);
     EXPECT_EQ(fout.degree, f.degree);
-    EXPECT_EQ(fout.x, f.x);
+    EXPECT_EQ(fout.keys, f.keys);
+    EXPECT_EQ(fout.xs, f.xs);
   }
 }
 
