@@ -7,19 +7,33 @@
 #   3. TSan build + concurrency/determinism tests   (build-tsan/)
 #   4. clang-tidy over src/ (skipped if not installed — the .clang-tidy
 #      config is committed either way)
-#   5. anonet_lint over src/ + examples/ (also wired into CTest as
-#      lint.src_clean; running it here too keeps the gate self-contained)
+#   5. anonet_lint over src/ + examples/, ratcheted against the checked-in
+#      baseline (also wired into CTest as lint.src_clean; running it here
+#      too keeps the gate self-contained)
 #
 # Exits nonzero on the first failing stage. Usage:
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh plain asan # just those stages (plain|asan|tsan|tidy|lint)
+#   scripts/check.sh lint --update-baseline  # accept current lint findings
+#   scripts/check.sh lint --no-baseline      # absolute run: fail on ANY finding
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 
-stages=("$@")
+# Split stage names from --flags (flags only affect the lint stage).
+stages=()
+lint_update_baseline=0
+lint_no_baseline=0
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) lint_update_baseline=1 ;;
+    --no-baseline)     lint_no_baseline=1 ;;
+    --*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *) stages+=("$arg") ;;
+  esac
+done
 if [ ${#stages[@]} -eq 0 ]; then
   stages=(plain asan tsan tidy lint)
 fi
@@ -87,6 +101,17 @@ if want lint; then
   lint_args=("$repo_root/src" "$repo_root/examples")
   if [ -f "$compile_db" ]; then
     lint_args=(--compile-commands "$compile_db" "${lint_args[@]}")
+  fi
+  # Ratchet against the checked-in baseline (same contract as CI and
+  # lint.src_clean): only NEW findings fail. --no-baseline drops the
+  # subtraction; --update-baseline accepts the current finding set
+  # (justifications preserved, new entries marked UNJUSTIFIED for editing).
+  if [ "$lint_no_baseline" -eq 0 ]; then
+    lint_args=(--baseline "$repo_root/tools/anonet_lint/baseline.json"
+               "${lint_args[@]}")
+    if [ "$lint_update_baseline" -eq 1 ]; then
+      lint_args=(--update-baseline "${lint_args[@]}")
+    fi
   fi
   python3 "$repo_root/tools/anonet_lint/anonet_lint.py" "${lint_args[@]}"
 fi

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "runtime/capabilities.hpp"
+#include "runtime/static_audit.hpp"
 #include "support/rational.hpp"
 
 namespace anonet {
@@ -47,5 +48,7 @@ class ExactPushSumAgent {
   Rational y_;
   Rational z_;
 };
+
+ANONET_STATIC_AUDIT_DECLARATIONS(ExactPushSumAgent);
 
 }  // namespace anonet

@@ -20,6 +20,7 @@
 
 #include "functions/functions.hpp"
 #include "runtime/capabilities.hpp"
+#include "runtime/static_audit.hpp"
 
 namespace anonet {
 
@@ -70,5 +71,7 @@ class SetGossipAgent {
   std::int64_t input_;
   std::set<std::int64_t> known_;
 };
+
+ANONET_STATIC_AUDIT_DECLARATIONS(SetGossipAgent);
 
 }  // namespace anonet

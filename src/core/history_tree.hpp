@@ -41,6 +41,7 @@
 
 #include "functions/functions.hpp"
 #include "runtime/capabilities.hpp"
+#include "runtime/static_audit.hpp"
 #include "support/bigint.hpp"
 #include "views/label_codec.hpp"
 #include "views/view_registry.hpp"
@@ -63,6 +64,7 @@ class HistoryFrequencyAgent {
   // CommModel::kSymmetricBroadcast (compile error under any other model);
   // kSymmetricOnly additionally keeps the per-round symmetry check armed.
   // NOT kParallelSafe: agents intern into the shared registry.
+  static constexpr bool kParallelSafe = false;
   static constexpr ModelCapabilities kModelCapabilities =
       ModelCapabilities::kSymmetricOnly |
       ModelCapabilities::kNeedsSymmetricModel;
@@ -105,5 +107,7 @@ class HistoryFrequencyAgent {
   mutable std::optional<Solution> solution_;
   mutable int solution_round_ = -1;
 };
+
+ANONET_STATIC_AUDIT_DECLARATIONS(HistoryFrequencyAgent);
 
 }  // namespace anonet

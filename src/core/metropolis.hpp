@@ -29,6 +29,7 @@
 
 #include "functions/functions.hpp"
 #include "runtime/capabilities.hpp"
+#include "runtime/static_audit.hpp"
 #include "support/farey.hpp"
 
 namespace anonet {
@@ -61,6 +62,8 @@ class MetropolisAgent {
   double x_ = 0.0;
   mutable int degree_ = 1;  // round degree recorded at send time
 };
+
+ANONET_STATIC_AUDIT_DECLARATIONS(MetropolisAgent);
 
 class FrequencyMetropolisAgent {
  public:
@@ -110,5 +113,7 @@ class FrequencyMetropolisAgent {
   std::vector<double> delta_;
   mutable int degree_ = 1;
 };
+
+ANONET_STATIC_AUDIT_DECLARATIONS(FrequencyMetropolisAgent);
 
 }  // namespace anonet

@@ -28,6 +28,7 @@
 
 #include "runtime/capabilities.hpp"
 #include "runtime/comm_model.hpp"
+#include "runtime/static_audit.hpp"
 #include "views/base_extraction.hpp"
 #include "views/label_codec.hpp"
 #include "views/view_registry.hpp"
@@ -47,6 +48,7 @@ class MinBaseAgent {
   // (value, outdegree) pairs, or port-colored edges depending on the
   // CommModel handed to the constructor (Section 3.2), so every pairing is
   // legitimate. NOT kParallelSafe: agents intern into the shared registry.
+  static constexpr bool kParallelSafe = false;
   static constexpr ModelCapabilities kModelCapabilities =
       ModelCapabilities::kModelPolymorphic;
 
@@ -97,5 +99,7 @@ class MinBaseAgent {
   mutable ExtractedBase candidate_;
   mutable int candidate_round_ = -1;
 };
+
+ANONET_STATIC_AUDIT_DECLARATIONS(MinBaseAgent);
 
 }  // namespace anonet

@@ -32,6 +32,7 @@
 
 #include "functions/functions.hpp"
 #include "runtime/capabilities.hpp"
+#include "runtime/static_audit.hpp"
 #include "support/farey.hpp"
 
 namespace anonet {
@@ -67,6 +68,8 @@ class PushSumAgent {
   double y_;
   double z_;
 };
+
+ANONET_STATIC_AUDIT_DECLARATIONS(PushSumAgent);
 
 class FrequencyPushSumAgent {
  public:
@@ -136,5 +139,7 @@ class FrequencyPushSumAgent {
   std::vector<double> acc_y_;
   std::vector<double> acc_z_;
 };
+
+ANONET_STATIC_AUDIT_DECLARATIONS(FrequencyPushSumAgent);
 
 }  // namespace anonet

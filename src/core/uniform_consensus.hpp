@@ -27,6 +27,7 @@
 
 #include "functions/functions.hpp"
 #include "runtime/capabilities.hpp"
+#include "runtime/static_audit.hpp"
 #include "support/farey.hpp"
 
 namespace anonet {
@@ -61,6 +62,8 @@ class UniformWeightAgent {
   double x_;
   double step_;  // 1/N
 };
+
+ANONET_STATIC_AUDIT_DECLARATIONS(UniformWeightAgent);
 
 // Per-value indicator version: x[ω] -> ν_v(ω), with the lazy per-value
 // joining of Algorithm 1 (both endpoints of a symmetric edge treat a
@@ -102,5 +105,7 @@ class FrequencyUniformAgent {
   double step_;
   std::map<std::int64_t, double> x_;
 };
+
+ANONET_STATIC_AUDIT_DECLARATIONS(FrequencyUniformAgent);
 
 }  // namespace anonet

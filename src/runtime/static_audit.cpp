@@ -1,0 +1,44 @@
+// Central expansion of the core agent registry (see static_audit.hpp).
+//
+// This translation unit is where the whole-list audits run: the per-header
+// ANONET_STATIC_AUDIT_DECLARATIONS invocations check each agent where it is
+// defined, but only this file sees every agent *and* the wire codecs at
+// once, so only here can "every registered agent has a complete
+// MessageTraits specialization" be a compile-time fact rather than a lint
+// finding. Deleting a codec from wire/codecs.hpp, or registering an agent
+// without one, breaks this TU with a named static_assert.
+
+#include "runtime/static_audit.hpp"
+
+#include "core/exact_pushsum.hpp"
+#include "core/gossip.hpp"
+#include "core/history_tree.hpp"
+#include "core/metropolis.hpp"
+#include "core/minbase_agent.hpp"
+#include "core/pushsum.hpp"
+#include "core/uniform_consensus.hpp"
+#include "wire/codecs.hpp"
+
+namespace anonet {
+namespace {
+
+template <typename A>
+[[nodiscard]] constexpr bool audit_wire() {
+  static_assert(wire::WireEncodable<typename A::Message>,
+                "static audit: a registered core agent's Message has no "
+                "complete MessageTraits specialization (encoded_bits, "
+                "encode, decode) in wire/codecs.hpp — every message that "
+                "can cross the channel needs a canonical wire format, or "
+                "bandwidth metering and bounded channels silently lie");
+  return true;
+}
+
+#define ANONET_AUDIT(Agent)                                              \
+  static_assert(audit_declarations<Agent>(),                             \
+                "declaration audit failed for " #Agent);                 \
+  static_assert(audit_wire<Agent>(), "wire audit failed for " #Agent);
+ANONET_CORE_AGENT_LIST(ANONET_AUDIT)
+#undef ANONET_AUDIT
+
+}  // namespace
+}  // namespace anonet

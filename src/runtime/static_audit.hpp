@@ -1,0 +1,93 @@
+#pragma once
+
+// Compile-time agent audit: the declaration side of docs/static_analysis.md.
+//
+// anonet_lint (tools/anonet_lint/) analyzes *source text*; this header
+// mirrors its contract in the type system so the two can cross-check each
+// other. Every core agent header invokes
+//
+//     ANONET_STATIC_AUDIT_DECLARATIONS(TheAgent);
+//
+// right after the class definition, which static_asserts — with named,
+// greppable messages — that the class declares the two annotations the
+// runtime dispatches on:
+//
+//   - kModelCapabilities (runtime/capabilities.hpp): the machine-checked
+//     Table 1 row. Without it, agent_capabilities<A>() silently defaults to
+//     kModelPolymorphic and every agent/model pairing check degrades to a
+//     no-op — exactly the hole a refactor that renames the member would
+//     open. lint rule M1 is the textual twin of this assert.
+//
+//   - kParallelSafe (runtime/executor.hpp's kParallelSafeAgent concept):
+//     whether the executor may fan receive() out across thread-pool blocks.
+//     `false` is a perfectly good declaration (HistoryFrequencyAgent and
+//     MinBaseAgent intern into a shared registry and say so); *absence* is
+//     not, because the concept treats "undeclared" and "false" identically
+//     and a typo'd member name would silently serialize every campaign.
+//     lint rule C1/P1 are the textual twins.
+//
+// ANONET_CORE_AGENT_LIST is the registry: an X-macro over every core agent.
+// src/runtime/static_audit.cpp expands it twice — once to re-run the
+// declaration audit centrally, once (with wire/codecs.hpp in scope) to
+// static_assert that each agent's Message satisfies wire::WireEncodable,
+// i.e. has a complete MessageTraits specialization. lint rule W1 keeps the
+// list honest in the other direction: an agent class defined under
+// src/core/ that is missing from this list, or whose header does not invoke
+// the audit macro, is a W1 finding.
+
+#include <concepts>
+
+#include "runtime/capabilities.hpp"
+
+namespace anonet {
+
+// kParallelSafe declared explicitly — true or false, but stated. The
+// executor's kParallelSafeAgent concept only asks "is it true?"; the audit
+// additionally rejects silence.
+template <typename A>
+concept DeclaresParallelSafety = requires {
+  { A::kParallelSafe } -> std::convertible_to<bool>;
+};
+
+template <typename A>
+[[nodiscard]] constexpr bool audit_declarations() {
+  static_assert(DeclaresModelCapabilities<A>,
+                "static audit: agent must declare `static constexpr "
+                "ModelCapabilities kModelCapabilities` (its Table 1 row) — "
+                "without it agent_capabilities<A>() defaults to "
+                "kModelPolymorphic and the agent/model pairing checks of "
+                "runtime/capabilities.hpp are silently disabled");
+  static_assert(DeclaresParallelSafety<A>,
+                "static audit: agent must declare `static constexpr bool "
+                "kParallelSafe` explicitly (true or false) — the executor "
+                "treats an undeclared agent as unsafe, so a renamed or "
+                "missing member serializes every campaign without any "
+                "diagnostic");
+  return true;
+}
+
+}  // namespace anonet
+
+// Invoked at namespace scope in the agent's own header, right after the
+// class definition, so the audit fires wherever the class is visible.
+#define ANONET_STATIC_AUDIT_DECLARATIONS(Agent)                         \
+  static_assert(::anonet::audit_declarations<Agent>(),                  \
+                "static audit failed for " #Agent)
+
+// The core agent registry. One X(...) entry per agent class defined under
+// src/core/; anonet_lint rule W1 flags any core agent missing from this
+// list. Keep the entries contiguous (no blank lines) — the lint front end
+// reads the block.
+#define ANONET_CORE_AGENT_LIST(X) \
+  X(SetGossipAgent)               \
+  X(PushSumAgent)                 \
+  X(FrequencyPushSumAgent)        \
+  X(ExactPushSumAgent)            \
+  X(MetropolisAgent)              \
+  X(FrequencyMetropolisAgent)     \
+  X(UniformWeightAgent)           \
+  X(FrequencyUniformAgent)        \
+  X(HistoryFrequencyAgent)        \
+  X(MinBaseAgent)
+
+// (blank line above terminates the list for the lint front end)

@@ -1,0 +1,39 @@
+// MUST NOT COMPILE. An agent registered with the static audit but missing
+// the kModelCapabilities declaration: audit_declarations() fires its named
+// static_assert ("agent must declare ... kModelCapabilities"). This is the
+// deletion drill for the annotation scheme — strip the Table 1 row from any
+// core agent and the build dies exactly like this TU does.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/static_audit.hpp"
+
+namespace {
+
+class UndeclaredAgent {
+ public:
+  struct Message {
+    std::int64_t value;
+  };
+
+  static constexpr bool kParallelSafe = true;
+  // kModelCapabilities deliberately missing.
+
+  [[nodiscard]] Message send(int /*outdegree*/, int /*port*/) const {
+    return Message{value_};
+  }
+
+  void receive(const std::vector<Message>& messages) {
+    for (const Message& m : messages) value_ += m.value;
+  }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+ANONET_STATIC_AUDIT_DECLARATIONS(UndeclaredAgent);
+
+}  // namespace
+
+int main() { return 0; }

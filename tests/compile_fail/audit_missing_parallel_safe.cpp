@@ -1,0 +1,43 @@
+// MUST NOT COMPILE. An agent registered with the static audit but silent
+// about parallel safety: audit_declarations() fires its named static_assert
+// ("agent must declare ... kParallelSafe explicitly"). Silence is the
+// dangerous state — the executor's kParallelSafeAgent concept treats an
+// undeclared agent exactly like a kParallelSafe = false one, so a renamed
+// member would serialize every campaign without any diagnostic. The audit
+// turns that silence into this compile error.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/capabilities.hpp"
+#include "runtime/static_audit.hpp"
+
+namespace {
+
+class SilentAgent {
+ public:
+  struct Message {
+    std::int64_t value;
+  };
+
+  // kParallelSafe deliberately missing (neither true nor false).
+  static constexpr anonet::ModelCapabilities kModelCapabilities =
+      anonet::ModelCapabilities::kNone;
+
+  [[nodiscard]] Message send(int /*outdegree*/, int /*port*/) const {
+    return Message{value_};
+  }
+
+  void receive(const std::vector<Message>& messages) {
+    for (const Message& m : messages) value_ += m.value;
+  }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+ANONET_STATIC_AUDIT_DECLARATIONS(SilentAgent);
+
+}  // namespace
+
+int main() { return 0; }

@@ -1,626 +1,77 @@
 #!/usr/bin/env python3
-"""anonet-check: model-compliance & determinism static analysis for anonet.
+"""anonet-check v2: whole-program model-compliance analysis for anonet.
 
 The library's guarantees are statements about what agent code is *allowed*
-to observe (docs/static_analysis.md): deterministic anonymous automata whose
-sending functions see exactly what their communication model provides. This
-tool enforces the discipline syntactically, over `src/` and `examples/`:
+to observe (docs/static_analysis.md): deterministic anonymous automata
+whose sending functions see exactly what their communication model
+provides. v2 enforces the discipline with a proper two-pass front end — a
+declaration/definition index plus an interprocedural call graph over the
+given roots — so capability taint propagates *transitively* through
+helpers, lambdas and out-of-line template definitions instead of the v1
+single-hop forwarding heuristic.
 
-  D1 determinism     bans nondeterministic sources (rand, std::random_device,
-                     wall-clock time sources other than steady_clock, getenv)
-                     and iteration over unordered_* containers, whose order
-                     would otherwise leak into message/state construction.
-  A1 anonymity       member code of agent classes must not read executor
-                     vertex indices (Vertex-typed values, vertex_id-style
-                     identifiers): agents are anonymous automata.
-  P1 parallel safety agents declaring kParallelSafe must not hold or touch
-                     state shared between agents: no static locals, no
-                     non-constant static data members, no shared_ptr members.
-  M1 model capability send() may only *name* its outdegree/port parameters
-                     (house style comments out unused ones) when the agent
-                     declares the matching ModelCapabilities bit
-                     (src/runtime/capabilities.hpp).
+Rule families (docs/static_analysis.md has the full table):
 
-Operation: pass one or more files or directories. When
---compile-commands points at an exported compilation database, the set of
-translation units under the given roots is cross-checked against it (a .cpp
-that is never built gets linted anyway, with a note). The analysis itself is
-AST-less — a comment/string-stripped token scan with class-body and
-member-function extraction. That is deliberate: the container toolchain
-ships no libclang/clang-query, and the project's house style (one class per
-concern, canonical send/receive signatures) makes token-level scope
-extraction reliable. Negative fixtures under tools/anonet_lint/fixtures/
-pin every rule; CTest runs them via lint.fixture_* (tests/CMakeLists.txt).
+  D1 determinism     nondeterministic sources; unordered-container
+                     iteration, incl. behind type/auto aliases
+  A1 anonymity       vertex identity in agent code or helpers reachable
+                     from it through the call graph
+  P1 parallel safety kParallelSafe agents must not hold shared state
+  M1 model capability send() outdegree/port consumption (any number of
+                     forwarding hops) requires the declared capability;
+                     pure forwarding into a capability-declared agent is
+                     whitelisted; audience info flowing INTO a
+                     non-declaring agent through helper chains is caught
+  W1 wire integrity  MessageTraits present and complete for every agent
+                     Message reachable from send(); core agents must
+                     register with the static_audit X-macro list
+  C1 parallel phase  shared-mutable state in parallel_blocks callbacks
+                     (must be lambda-local, per-slot, atomic, or padded)
+  F1 float order     FP accumulation in pooled phases must go through
+                     block-ordered partials (bitwise-replay contract)
 
-Suppression: a comment containing `anonet-lint-allow(RULE)` on the flagged
-line suppresses that rule there. src/ and examples/ are expected to stay at
-zero findings *and* zero suppressions; a suppression is a review flag.
+Output: human-readable findings by default, `--json FILE` for the
+machine-readable form (content-addressed fingerprints). Ratchet:
+`--baseline FILE` subtracts the checked-in accepted findings and fails
+only on new ones; `--update-baseline` rewrites the file, preserving
+justifications. `anonet-lint-allow(RULE)` on the flagged line suppresses
+in-source; src/ and examples/ are expected to stay at zero suppressions.
 
-Exit codes: 0 clean, 1 findings (or --expect rule did not fire), 2 usage.
+Exit codes: 0 clean (after baseline), 1 findings (or --expect rule did
+not fire), 2 usage.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import re
 import sys
-from dataclasses import dataclass, field
 
-CXX_EXTENSIONS = {".hpp", ".h", ".cpp", ".cc", ".cxx"}
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-# --- D1 banned tokens --------------------------------------------------------
-
-# Nondeterministic or environment-dependent types: banned wherever they appear.
-D1_BANNED_TYPES = {
-    "random_device": "std::random_device is nondeterministic; derive streams "
-                     "from a seeded generator or support/counter_rng.hpp",
-    "system_clock": "wall-clock time is not reproducible; only "
-                    "std::chrono::steady_clock may be read (timings are "
-                    "measurements, not semantics)",
-    "high_resolution_clock": "high_resolution_clock may alias system_clock; "
-                             "use std::chrono::steady_clock",
-}
-
-# Banned only when called (identifier directly followed by `(`).
-D1_BANNED_CALLS = {
-    "rand": "rand() is a hidden-state global RNG; use a seeded generator",
-    "srand": "srand() mutates global RNG state",
-    "rand_r": "rand_r() is a nondeterministic-seed idiom; use a seeded "
-              "generator",
-    "random": "random() is a hidden-state global RNG",
-    "drand48": "drand48() is a hidden-state global RNG",
-    "lrand48": "lrand48() is a hidden-state global RNG",
-    "mrand48": "mrand48() is a hidden-state global RNG",
-    "time": "time() reads the wall clock; executions must be a pure function "
-            "of (inputs, schedule, seed)",
-    "clock": "clock() reads processor time; not reproducible",
-    "gettimeofday": "gettimeofday() reads the wall clock",
-    "timespec_get": "timespec_get() reads the wall clock",
-    "getenv": "getenv() makes behavior depend on the environment",
-}
-
-# A1: spellings of an executor vertex identity inside agent code.
-A1_BANNED = {
-    "Vertex", "VertexId", "vertex_id", "vertex_index", "node_id",
-    "agent_index", "self_index", "my_id",
-}
-
-WORD_RE = re.compile(r"[A-Za-z_]\w*")
-ALLOW_RE = re.compile(r"anonet-lint-allow\((\w\d?)\)")
-UNORDERED_DECL_RE = re.compile(
-    r"\bunordered_(?:map|set|multimap|multiset)\s*<")
-CLASS_RE = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)")
-# Out-of-line member definitions, including template specializations:
-# `Foo::send(`, `Foo<T>::send(`, `Foo<T, U>::operator()(`.
-QUALIFIED_MEMBER_RE = re.compile(
-    r"\b([A-Za-z_]\w*)\s*(?:<[^<>;{}]*>)?\s*::\s*(~?[A-Za-z_]\w*)\s*\(")
-# Keywords that look like call expressions in a token scan.
-NOT_A_CALL = {"if", "for", "while", "switch", "return", "sizeof", "catch",
-              "alignof", "decltype", "noexcept", "assert"}
-CAPS_RE = re.compile(r"\bkModelCapabilities\s*=\s*([^;]+);")
-PARALLEL_SAFE_RE = re.compile(r"\bkParallelSafe\s*=\s*true\b")
+import baselines                              # noqa: E402
+from frontend import ProgramIndex, gather_files  # noqa: E402
+from rules import ALL_RULES, RuleEngine       # noqa: E402
 
 
-@dataclass
-class Finding:
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-@dataclass
-class ClassInfo:
-    name: str
-    capabilities: set = field(default_factory=set)
-    declares_capabilities: bool = False
-    parallel_safe: bool = False
-    # (path, body_text, body_start_offset) of the class body and of every
-    # out-of-line member function definition.
-    bodies: list = field(default_factory=list)
-    # (path, offset, params_text, body_text) per send() declaration or
-    # definition; body_text is "" for a declaration without a body.
-    send_params: list = field(default_factory=list)
-    # True when the class body itself was never scanned (only out-of-line
-    # definitions were seen) — capabilities are then unknown, not absent.
-    declaration_missing: bool = False
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks comments, string and char literals, preserving offsets."""
-    out = list(text)
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                out[i] = " "
-                i += 1
-        elif c == "/" and nxt == "*":
-            out[i] = out[i + 1] = " "
-            i += 2
-            while i < n and not (text[i] == "*" and i + 1 < n and
-                                 text[i + 1] == "/"):
-                if text[i] != "\n":
-                    out[i] = " "
-                i += 1
-            if i < n:
-                out[i] = " "
-                if i + 1 < n:
-                    out[i + 1] = " "
-                i += 2
-        elif c == '"':
-            # Raw string literal R"delim( ... )delim"
-            if i >= 1 and text[i - 1] == "R":
-                m = re.match(r'R"([^\s()\\]{0,16})\(', text[i - 1:])
-                if m:
-                    closer = ")" + m.group(1) + '"'
-                    end = text.find(closer, i + 1)
-                    end = n if end == -1 else end + len(closer)
-                    for j in range(i, end):
-                        if text[j] != "\n":
-                            out[j] = " "
-                    i = end
-                    continue
-            out[i] = " "
-            i += 1
-            while i < n and text[i] != '"':
-                if text[i] == "\\":
-                    out[i] = " "
-                    i += 1
-                    if i < n and text[i] != "\n":
-                        out[i] = " "
-                    i += 1
-                    continue
-                if text[i] != "\n":
-                    out[i] = " "
-                i += 1
-            if i < n:
-                out[i] = " "
-                i += 1
-        elif c == "'":
-            out[i] = " "
-            i += 1
-            while i < n and text[i] != "'":
-                if text[i] == "\\":
-                    out[i] = " "
-                    i += 1
-                    if i < n:
-                        out[i] = " "
-                    i += 1
-                    continue
-                out[i] = " "
-                i += 1
-            if i < n:
-                out[i] = " "
-                i += 1
-        else:
-            i += 1
-    return "".join(out)
-
-
-def line_of(text: str, offset: int) -> int:
-    return text.count("\n", 0, offset) + 1
-
-
-def match_delim(text: str, start: int, open_c: str, close_c: str) -> int:
-    """Offset just past the delimiter closing text[start] (== open_c)."""
-    depth = 0
-    for i in range(start, len(text)):
-        if text[i] == open_c:
-            depth += 1
-        elif text[i] == close_c:
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return len(text)
-
-
-def next_token(text: str, offset: int):
-    m = WORD_RE.search(text, offset)
-    return (m.group(0), m.start()) if m else ("", len(text))
-
-
-def next_nonspace(text: str, offset: int) -> int:
-    while offset < len(text) and text[offset].isspace():
-        offset += 1
-    return offset
-
-
-class FileScan:
-    def __init__(self, path: str):
-        self.path = path
-        with open(path, "r", encoding="utf-8", errors="replace") as fh:
-            self.raw = fh.read()
-        self.text = strip_comments_and_strings(self.raw)
-        self.suppressed = {}  # line -> set of rules
-        for i, line in enumerate(self.raw.splitlines(), start=1):
-            for m in ALLOW_RE.finditer(line):
-                self.suppressed.setdefault(i, set()).add(m.group(1))
-
-
-class Linter:
-    def __init__(self):
-        self.classes: dict = {}
-        self.scans: list = []
-        self.findings: list = []
-
-    # --- collection ---------------------------------------------------------
-
-    def add_file(self, path: str):
-        self.scans.append(FileScan(path))
-
-    def class_info(self, name: str) -> ClassInfo:
-        if name not in self.classes:
-            self.classes[name] = ClassInfo(name)
-        return self.classes[name]
-
-    def collect(self):
-        for scan in self.scans:
-            self._collect_classes(scan)
-        for scan in self.scans:
-            self._collect_out_of_line(scan)
-
-    def _collect_classes(self, scan: FileScan):
-        text = scan.text
-        for m in CLASS_RE.finditer(text):
-            name = m.group(2)
-            # Walk to the opening brace, bailing at `;` (forward declaration)
-            # — base clauses may contain template angle brackets and parens.
-            i = m.end()
-            depth_angle = depth_paren = 0
-            body_start = -1
-            while i < len(text):
-                c = text[i]
-                if c == "<":
-                    depth_angle += 1
-                elif c == ">":
-                    depth_angle = max(0, depth_angle - 1)
-                elif c == "(":
-                    depth_paren += 1
-                elif c == ")":
-                    depth_paren -= 1
-                elif c == ";" and depth_angle == 0 and depth_paren == 0:
-                    break
-                elif c == "{" and depth_angle == 0 and depth_paren == 0:
-                    body_start = i
-                    break
-                i += 1
-            if body_start < 0:
-                continue
-            body_end = match_delim(text, body_start, "{", "}")
-            body = text[body_start:body_end]
-            info = self.class_info(name)
-            info.bodies.append((scan, body, body_start))
-            if PARALLEL_SAFE_RE.search(body):
-                info.parallel_safe = True
-            cm = CAPS_RE.search(body)
-            if cm:
-                info.declares_capabilities = True
-                info.capabilities |= set(re.findall(r"\bk\w+", cm.group(1)))
-            for sm in re.finditer(r"\bsend\s*\(", body):
-                p_open = body.index("(", sm.start())
-                p_close = match_delim(body, p_open, "(", ")")
-                info.send_params.append(
-                    (scan, body_start + sm.start(),
-                     body[p_open + 1:p_close - 1],
-                     self._trailing_body(body, p_close)))
-
-    def _collect_out_of_line(self, scan: FileScan):
-        text = scan.text
-        for m in QUALIFIED_MEMBER_RE.finditer(text):
-            cls, member = m.group(1), m.group(2)
-            if cls not in self.classes:
-                # An out-of-line send() of an agent class whose declaration
-                # was not scanned (e.g. a lone .cpp): check it anyway with
-                # unknown capabilities rather than silently skipping.
-                if member != "send" or "Agent" not in cls:
-                    continue
-                info = self.class_info(cls)
-                info.declaration_missing = True
-            else:
-                info = self.classes[cls]
-            p_open = text.index("(", m.end() - 1)
-            p_close = match_delim(text, p_open, "(", ")")
-            # Definition if a `{` follows before any top-level `;` (the
-            # constructor init list may intervene).
-            i = p_close
-            depth_paren = 0
-            body_start = -1
-            while i < len(text):
-                c = text[i]
-                if c == "(":
-                    depth_paren += 1
-                elif c == ")":
-                    depth_paren -= 1
-                elif c == ";" and depth_paren == 0:
-                    break
-                elif c == "{" and depth_paren == 0:
-                    body_start = i
-                    break
-                i += 1
-            if body_start < 0:
-                continue  # qualified call or declaration, not a definition
-            body_end = match_delim(text, body_start, "{", "}")
-            info.bodies.append((scan, text[body_start:body_end], body_start))
-            if member == "send":
-                info.send_params.append(
-                    (scan, m.start(), text[p_open + 1:p_close - 1],
-                     text[body_start:body_end]))
-
-    @staticmethod
-    def _trailing_body(text: str, offset: int) -> str:
-        """The `{...}` body following a parameter list, '' for declarations."""
-        i = offset
-        depth_paren = 0
-        while i < len(text):
-            c = text[i]
-            if c == "(":
-                depth_paren += 1
-            elif c == ")":
-                depth_paren -= 1
-            elif c == ";" and depth_paren == 0:
-                return ""
-            elif c == "{" and depth_paren == 0:
-                return text[i:match_delim(text, i, "{", "}")]
-            i += 1
-        return ""
-
-    # --- reporting ----------------------------------------------------------
-
-    def report(self, scan: FileScan, offset: int, rule: str, message: str):
-        line = line_of(scan.text, offset)
-        if rule in scan.suppressed.get(line, set()):
-            return
-        self.findings.append(Finding(scan.path, line, rule, message))
-
-    # --- rules --------------------------------------------------------------
-
-    def run(self):
-        self.collect()
-        for scan in self.scans:
-            self.rule_d1(scan)
-        self.rule_a1()
-        self.rule_p1()
-        self.rule_m1()
-        self.findings.sort(key=lambda f: (f.path, f.line, f.rule))
-
-    def rule_d1(self, scan: FileScan):
-        text = scan.text
-        for m in WORD_RE.finditer(text):
-            word = m.group(0)
-            if word in D1_BANNED_TYPES:
-                self.report(scan, m.start(), "D1",
-                            f"use of {word}: {D1_BANNED_TYPES[word]}")
-            elif word in D1_BANNED_CALLS:
-                after = next_nonspace(text, m.end())
-                before = text[m.start() - 1] if m.start() > 0 else " "
-                # A call expression, not a member/qualified name of ours:
-                # `std::time(` and bare `time(` count, `x.time(` does not.
-                if after < len(text) and text[after] == "(" and before != ".":
-                    self.report(scan, m.start(), "D1",
-                                f"call to {word}(): {D1_BANNED_CALLS[word]}")
-
-        # Iteration over unordered containers: collect declared names, then
-        # flag range-for ranges and .begin() walks that mention them.
-        unordered_names = set()
-        for m in UNORDERED_DECL_RE.finditer(text):
-            close = match_delim(text, text.index("<", m.start()), "<", ">")
-            name, _ = next_token(text, close)
-            if name and name not in {"const", "auto"}:
-                unordered_names.add(name)
-        if not unordered_names:
-            return
-        for m in re.finditer(r"\bfor\s*\(", text):
-            p_open = text.index("(", m.start())
-            p_close = match_delim(text, p_open, "(", ")")
-            header = text[p_open + 1:p_close - 1]
-            colon = self._top_level_colon(header)
-            if colon < 0:
-                continue
-            range_words = set(WORD_RE.findall(header[colon + 1:]))
-            hits = range_words & unordered_names
-            if hits:
-                self.report(
-                    scan, m.start(), "D1",
-                    f"range-for over unordered container '{sorted(hits)[0]}':"
-                    " bucket order is implementation-defined and leaks into "
-                    "whatever this loop constructs; iterate a sorted copy or "
-                    "an ordered container")
-        for name in unordered_names:
-            for m in re.finditer(
-                    rf"\b{re.escape(name)}\s*\.\s*(?:begin|cbegin)\s*\(",
-                    text):
-                self.report(
-                    scan, m.start(), "D1",
-                    f"iteration over unordered container '{name}' via "
-                    "begin(): bucket order is implementation-defined")
-
-    @staticmethod
-    def _top_level_colon(header: str) -> int:
-        depth = 0
-        for i, c in enumerate(header):
-            if c in "(<[{":
-                depth += 1
-            elif c in ")>]}":
-                depth -= 1
-            elif c == ":" and depth == 0:
-                # skip `::`
-                if i + 1 < len(header) and header[i + 1] == ":":
-                    continue
-                if i > 0 and header[i - 1] == ":":
-                    continue
-                return i
-        return -1
-
-    def rule_a1(self):
-        for info in self.classes.values():
-            if "Agent" not in info.name:
-                continue
-            for scan, body, base in info.bodies:
-                for m in WORD_RE.finditer(body):
-                    if m.group(0) in A1_BANNED:
-                        self.report(
-                            scan, base + m.start(), "A1",
-                            f"agent class {info.name} reads "
-                            f"'{m.group(0)}': agents are anonymous automata "
-                            "and must not observe executor vertex indices "
-                            "(Section 2.1)")
-
-    def rule_p1(self):
-        for info in self.classes.values():
-            if not info.parallel_safe:
-                continue
-            for scan, body, base in info.bodies:
-                for m in re.finditer(r"\bstatic\b", body):
-                    word, _ = next_token(body, m.end())
-                    if word in {"constexpr", "const", "consteval",
-                                "constinit"}:
-                        continue
-                    self.report(
-                        scan, base + m.start(), "P1",
-                        f"{info.name} declares kParallelSafe but introduces "
-                        "non-constant static state: static storage is shared "
-                        "between agents and races under the thread-parallel "
-                        "round phases")
-                for m in re.finditer(r"\bshared_ptr\s*<", body):
-                    self.report(
-                        scan, base + m.start(), "P1",
-                        f"{info.name} declares kParallelSafe but holds a "
-                        "shared_ptr: state reachable from several agents "
-                        "must not be touched in parallel round hooks (cf. "
-                        "MinBaseAgent, which stays serial for exactly this "
-                        "reason)")
-
-    def rule_m1(self):
-        for info in self.classes.values():
-            if "Agent" not in info.name or not info.send_params:
-                continue
-            caps = info.capabilities
-            polymorphic = "kModelPolymorphic" in caps
-            missing = (" (the class declaration was not scanned; declare the "
-                       "capability where the class is defined)"
-                       if info.declaration_missing else "")
-            for scan, offset, params, body in info.send_params:
-                names = self._param_names(params)
-                if len(names) >= 1 and names[0] and not polymorphic and \
-                        "kNeedsOutdegree" not in caps:
-                    self.report(
-                        scan, offset, "M1",
-                        f"{info.name}::send names its outdegree parameter "
-                        f"'{names[0]}' but the class does not declare "
-                        "ModelCapabilities::kNeedsOutdegree — either the "
-                        "agent peeks at audience information its model may "
-                        "hide (Table 1), or the parameter should be "
-                        f"commented out{missing}")
-                if len(names) >= 2 and names[1] and not polymorphic and \
-                        "kNeedsOutputPorts" not in caps:
-                    self.report(
-                        scan, offset, "M1",
-                        f"{info.name}::send names its port parameter "
-                        f"'{names[1]}' but the class does not declare "
-                        "ModelCapabilities::kNeedsOutputPorts — only "
-                        f"kOutputPortAware addresses ports (Table 1){missing}")
-                if polymorphic or not body:
-                    continue
-                # Positional laundering: send() forwards the (possibly
-                # renamed) outdegree/port parameter into a helper call. The
-                # naming check above already fires on the definition; this
-                # pins the *use site* so the flow through helpers is visible
-                # even when the in-class declaration leaves params unnamed.
-                for position, cap, what in ((0, "kNeedsOutdegree",
-                                             "outdegree"),
-                                            (1, "kNeedsOutputPorts", "port")):
-                    if cap in caps or len(names) <= position or \
-                            not names[position]:
-                        continue
-                    pname = names[position]
-                    for cm in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", body):
-                        callee = cm.group(1)
-                        if callee in NOT_A_CALL or callee == "send":
-                            continue
-                        a_open = body.index("(", cm.end() - 1)
-                        a_close = match_delim(body, a_open, "(", ")")
-                        args = body[a_open + 1:a_close - 1]
-                        if re.search(rf"\b{re.escape(pname)}\b", args):
-                            self.report(
-                                scan, offset, "M1",
-                                f"{info.name}::send forwards its {what} "
-                                f"parameter '{pname}' into helper "
-                                f"'{callee}()' without declaring "
-                                f"ModelCapabilities::{cap} — renaming and "
-                                "forwarding does not change what the "
-                                "sending function observes (Table 1)"
-                                f"{missing}")
-
-    @staticmethod
-    def _param_names(params: str):
-        """['outdegree', ''] — the declared name per parameter, '' if none."""
-        parts, depth, cur = [], 0, []
-        for c in params:
-            if c in "(<[{":
-                depth += 1
-            elif c in ")>]}":
-                depth -= 1
-            if c == "," and depth == 0:
-                parts.append("".join(cur))
-                cur = []
-            else:
-                cur.append(c)
-        if cur:
-            parts.append("".join(cur))
-        names = []
-        for part in parts:
-            words = WORD_RE.findall(part.split("=")[0])
-            words = [w for w in words
-                     if w not in {"int", "const", "unsigned", "signed",
-                                  "long", "short", "char", "bool", "auto",
-                                  "std", "size_t", "int32_t", "int64_t",
-                                  "uint32_t", "uint64_t"}]
-            names.append(words[-1] if words else "")
-        return names
-
-
-def gather_files(roots, compile_commands):
-    files = []
-    seen = set()
-    for root in roots:
-        root = os.path.abspath(root)
-        if os.path.isfile(root):
-            if root not in seen:
-                seen.add(root)
-                files.append(root)
-            continue
-        for dirpath, _dirnames, filenames in os.walk(root):
-            for fn in sorted(filenames):
-                if os.path.splitext(fn)[1] in CXX_EXTENSIONS:
-                    path = os.path.join(dirpath, fn)
-                    if path not in seen:
-                        seen.add(path)
-                        files.append(path)
-    unbuilt = []
-    if compile_commands and os.path.isfile(compile_commands):
-        with open(compile_commands, "r", encoding="utf-8") as fh:
-            db = json.load(fh)
-        built = {os.path.abspath(os.path.join(e.get("directory", "."),
-                                              e["file"])) for e in db}
-        unbuilt = [f for f in files
-                   if os.path.splitext(f)[1] not in {".hpp", ".h"} and
-                   f not in built]
-    return files, unbuilt
+def build_engine(paths, compile_commands=None, max_hops=8, rules=ALL_RULES):
+    """(engine, files, unbuilt) — shared by the CLI and the self-tests."""
+    files, unbuilt = gather_files(paths, compile_commands)
+    index = ProgramIndex()
+    for path in files:
+        index.add_file(path)
+    index.build()
+    engine = RuleEngine(index, max_hops=max_hops, rules=rules)
+    engine.run()
+    return engine, files, unbuilt
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="anonet_lint",
-        description="model-compliance & determinism lint for anonet "
-                    "(rules D1/A1/P1/M1; see docs/static_analysis.md)")
+        description="whole-program model-compliance & determinism lint for "
+                    "anonet (rules D1/A1/P1/M1/W1/C1/F1; see "
+                    "docs/static_analysis.md)")
     parser.add_argument("paths", nargs="+",
                         help="files or directories to analyze")
     parser.add_argument("--compile-commands", metavar="JSON",
@@ -629,44 +80,117 @@ def main(argv=None) -> int:
     parser.add_argument("--expect", metavar="RULE",
                         help="fixture mode: succeed iff at least one "
                              "finding of RULE fires (and print them)")
+    parser.add_argument("--rules", metavar="LIST",
+                        help="comma-separated rule subset to run "
+                             f"(default: {','.join(ALL_RULES)})")
+    parser.add_argument("--max-hops", type=int, default=8, metavar="N",
+                        help="call-graph taint depth bound (default 8; "
+                             "1 approximates the v1 single-hop analysis)")
+    parser.add_argument("--json", metavar="FILE", dest="json_out",
+                        help="write machine-readable findings (all of "
+                             "them, pre-baseline) to FILE")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="ratchet mode: fail only on findings absent "
+                             "from this checked-in baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline to the current findings, "
+                             "preserving existing justifications")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-file summary line")
     args = parser.parse_args(argv)
 
-    files, unbuilt = gather_files(args.paths, args.compile_commands)
+    rules = ALL_RULES
+    if args.rules:
+        rules = tuple(r.strip().upper() for r in args.rules.split(","))
+        bad = [r for r in rules if r not in ALL_RULES]
+        if bad:
+            print(f"anonet_lint: unknown rule(s) {','.join(bad)}",
+                  file=sys.stderr)
+            return 2
+    if args.update_baseline and not args.baseline:
+        print("anonet_lint: --update-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
+
+    try:
+        engine, files, unbuilt = build_engine(
+            args.paths, args.compile_commands, args.max_hops, rules)
+    except FileNotFoundError as err:
+        print(f"anonet_lint: {err}", file=sys.stderr)
+        return 2
     if not files:
         print("anonet_lint: no C++ sources found under given paths",
               file=sys.stderr)
         return 2
+    findings = engine.findings
+    root = baselines.find_repo_root(files[0])
 
-    linter = Linter()
-    for path in files:
-        linter.add_file(path)
-    linter.run()
-
-    for f in linter.findings:
-        print(f.render())
-    for path in unbuilt:
-        print(f"note: {path} is not in the compilation database "
-              "(linted anyway)")
+    if args.json_out:
+        baselines.write_findings_json(args.json_out, findings, root)
 
     if args.expect:
-        fired = sorted({f.rule for f in linter.findings})
+        for f in findings:
+            print(f.render())
+        fired = sorted({f.rule for f in findings})
         if args.expect in fired:
             if not args.quiet:
                 print(f"anonet_lint: expected rule {args.expect} fired "
-                      f"({len(linter.findings)} finding(s))")
+                      f"({len(findings)} finding(s))")
             return 0
         print(f"anonet_lint: expected rule {args.expect} did NOT fire "
               f"(fired: {fired or 'none'})", file=sys.stderr)
         return 1
 
-    if linter.findings:
-        print(f"anonet_lint: {len(linter.findings)} finding(s) in "
+    if args.update_baseline:
+        entries = baselines.update_baseline(args.baseline, findings, root)
+        unjustified = sum(1 for e in entries
+                          if e["justification"] == baselines.UNJUSTIFIED)
+        print(f"anonet_lint: baseline {args.baseline} updated "
+              f"({len(entries)} finding(s), {unjustified} unjustified)")
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = baselines.load_baseline(args.baseline)
+        except (OSError, ValueError) as err:
+            print(f"anonet_lint: cannot load baseline: {err}",
+                  file=sys.stderr)
+            return 2
+        new, suppressed, stale = baselines.apply_baseline(
+            findings, baseline, root)
+        for f, fp in new:
+            print(f"{f.render()}  [new, fingerprint {fp}]")
+        for entry in stale:
+            print(f"note: stale baseline entry {entry['fingerprint']} "
+                  f"({entry['rule']} in {entry['path']}): the finding no "
+                  "longer fires — remove it with --update-baseline")
+        for path in unbuilt:
+            print(f"note: {path} is not in the compilation database "
+                  "(linted anyway)")
+        if new:
+            print(f"anonet_lint: {len(new)} NEW finding(s) not in baseline "
+                  f"({len(suppressed)} baselined, {len(stale)} stale)",
+                  file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"anonet_lint: clean ({len(files)} files, "
+                  f"{len(suppressed)} baselined finding(s), "
+                  f"{len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'}"
+                  ")")
+        return 0
+
+    for f in findings:
+        print(f.render())
+    for path in unbuilt:
+        print(f"note: {path} is not in the compilation database "
+              "(linted anyway)")
+    if findings:
+        print(f"anonet_lint: {len(findings)} finding(s) in "
               f"{len(files)} file(s)", file=sys.stderr)
         return 1
     if not args.quiet:
-        print(f"anonet_lint: clean ({len(files)} files, rules D1/A1/P1/M1)")
+        print(f"anonet_lint: clean ({len(files)} files, rules "
+              f"{'/'.join(rules)})")
     return 0
 
 

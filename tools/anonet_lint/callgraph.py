@@ -1,0 +1,261 @@
+"""Interprocedural call graph and taint propagation for anonet_lint.
+
+Built on the ProgramIndex (frontend.py). Two facilities:
+
+  * CallGraph — call-site extraction with receiver-type resolution
+    (`obj.method(...)` resolves `obj` against parameter lists, enclosing
+    function bodies, and class member declarations) and name-based edges
+    to free functions and members;
+  * taint walks used by the rules:
+      - `trace_param_taint`: forward taint from a tainted *parameter*
+        (M1: send()'s outdegree/port) through pure forwards into helper
+        parameters, flagging any consuming use; forwarding into a method
+        of a class that *declares* the matching capability is whitelisted
+        (the declaration accounts for the observation);
+      - `audience_tainted_functions`: the fixpoint of functions whose
+        return value carries audience information (out_degree & friends),
+        so `helper -> helper -> agent method` side-door leaks are caught
+        no matter how many hops deep.
+
+Resolution is name-based and conservative-by-construction where it must
+be: a tainted value forwarded into a callee the index cannot resolve is a
+finding, not a silent pass.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from frontend import (FunctionDef, NOT_A_CALL, ProgramIndex, WORD_RE,
+                      match_delim, split_top_level)
+
+# Calls whose result carries the caller's audience size: the executor/graph
+# surface that reveals per-vertex degrees.
+AUDIENCE_SOURCES = {"out_degree", "in_degree", "outdegree", "indegree",
+                    "degree", "out_edges", "in_edges"}
+
+CALL_RE = re.compile(
+    r"(?:\b([A-Za-z_]\w*)\s*(?:\.|->)\s*)?"      # optional receiver
+    r"\b([A-Za-z_]\w*)\s*"                        # callee
+    r"(?:<[^<>();]*>\s*)?"                        # template args
+    r"\(")
+
+
+@dataclass
+class CallSite:
+    receiver: str | None
+    callee: str
+    args: list          # [(text, abs_span_start, abs_span_end)], top-level
+    offset: int         # offset of the callee token within the body
+    arg_span: tuple     # (open+1, close-1) span of the whole arg list
+
+
+def extract_calls(body: str):
+    """All call expressions in a function body (offsets body-relative)."""
+    calls = []
+    for m in CALL_RE.finditer(body):
+        receiver, callee = m.group(1), m.group(2)
+        if callee in NOT_A_CALL:
+            continue
+        p_open = body.index("(", m.end() - 1)
+        p_close = match_delim(body, p_open, "(", ")")
+        args_text = body[p_open + 1:p_close - 1]
+        args, cursor = [], p_open + 1
+        for part in split_top_level(args_text):
+            args.append((part.strip(), cursor, cursor + len(part)))
+            cursor += len(part) + 1
+        calls.append(CallSite(receiver=receiver, callee=callee, args=args,
+                              offset=m.start(2) if m.group(2) else m.start(),
+                              arg_span=(p_open + 1, p_close - 1)))
+    return calls
+
+
+class CallGraph:
+    def __init__(self, index: ProgramIndex):
+        self.index = index
+        self._calls_cache: dict[int, list] = {}
+
+    def calls_of(self, fn: FunctionDef):
+        key = id(fn)
+        if key not in self._calls_cache:
+            self._calls_cache[key] = extract_calls(fn.body)
+        return self._calls_cache[key]
+
+    # -- receiver/type resolution -------------------------------------------
+
+    def receiver_class(self, fn: FunctionDef, receiver: str) -> str | None:
+        """The class name of `receiver` as declared in fn's scope."""
+        if receiver in (None, "this"):
+            return fn.owner
+        decl_re = re.compile(
+            rf"\b([A-Za-z_][\w:]*)\s*(?:<[^;<>]*>)?\s*[&*]?\s+"
+            rf"{re.escape(receiver)}\s*[;={{(,)]")
+        scopes = [fn.params_text, fn.body]
+        if fn.owner and fn.owner in self.index.classes:
+            scopes.append(self.index.classes[fn.owner].member_decls)
+        for scope in scopes:
+            for m in decl_re.finditer(scope):
+                type_name = m.group(1).split("::")[-1]
+                if type_name in {"const", "auto", "return", "new"}:
+                    continue
+                if type_name in self.index.classes:
+                    return type_name
+        return None
+
+    def resolve(self, fn: FunctionDef, call: CallSite):
+        """Candidate FunctionDefs for a call, best effort.
+
+        Returns (class_name | None, [FunctionDef]); class_name is the
+        resolved receiver class when the call is a member call.
+        """
+        if call.receiver is not None:
+            cls = self.receiver_class(fn, call.receiver)
+            if cls is not None:
+                info = self.index.classes[cls]
+                return cls, [f for f in info.methods.get(call.callee, [])
+                             if f.body]
+            return None, []
+        # Unqualified: same-class member first.
+        if fn.owner and fn.owner in self.index.classes:
+            own = self.index.classes[fn.owner].methods.get(call.callee, [])
+            own = [f for f in own if f.body]
+            if own:
+                return fn.owner, own
+        # Free functions defined in the same file, then anywhere (unique).
+        frees = self.index.free_functions.get(call.callee, [])
+        same_file = [f for f in frees if f.scan is fn.scan and f.body]
+        if same_file:
+            return None, same_file
+        with_body = [f for f in frees if f.body]
+        if len(with_body) == 1:
+            return None, with_body
+        return None, []
+
+    # -- forward parameter taint (M1) ----------------------------------------
+
+    def trace_param_taint(self, fn: FunctionDef, var: str, cap: str,
+                          max_hops: int, _hops: int = 0, _visited=None,
+                          _path=None):
+        """Yields (fn, body_offset_of_use, kind, hops, path) for every
+        consuming use of the tainted parameter `var` reachable from `fn`.
+
+        kind is 'use' (expression consumption), 'unknown-callee' (pure
+        forward into a call the index cannot resolve), or 'unnamed' never
+        (an unnamed callee parameter means the value is dropped — allowed).
+        Pure forwards into methods of classes declaring `cap` are allowed.
+        """
+        if _visited is None:
+            _visited = set()
+        if _path is None:
+            _path = [fn.qualname]
+        key = (id(fn), var)
+        if key in _visited:
+            return
+        _visited.add(key)
+        calls = self.calls_of(fn)
+        # Occurrences of var that are a whole top-level argument of a call:
+        # candidate pure forwards. Every other occurrence is a use.
+        forward_spans = {}  # occurrence offset -> (call, arg_index)
+        for call in calls:
+            for idx, (text, a, b) in enumerate(call.args):
+                if text == var:
+                    occ = fn.body.index(var, a, b)
+                    forward_spans[occ] = (call, idx)
+        for m in re.finditer(rf"\b{re.escape(var)}\b", fn.body):
+            occ = m.start()
+            if occ not in forward_spans:
+                yield (fn, occ, "use", _hops, list(_path))
+                continue
+            call, idx = forward_spans[occ]
+            cls, candidates = self.resolve(fn, call)
+            if cls is not None and cls in self.index.classes:
+                info = self.index.classes[cls]
+                if cap in info.capabilities or \
+                        "kModelPolymorphic" in info.capabilities:
+                    continue  # declared consumer: the whitelist
+            if not candidates:
+                yield (fn, occ, "unknown-callee", _hops, list(_path))
+                continue
+            if _hops >= max_hops:
+                yield (fn, occ, "use", _hops, list(_path))
+                continue
+            for cand in candidates:
+                names = cand.param_names
+                if idx >= len(names) or not names[idx]:
+                    continue  # callee ignores the value: dropped, allowed
+                yield from self.trace_param_taint(
+                    cand, names[idx], cap, max_hops, _hops + 1, _visited,
+                    _path + [cand.qualname])
+
+    # -- audience-returning functions (side-door M1) -------------------------
+
+    def audience_tainted_functions(self, max_hops: int):
+        """{qualname: (hops, via)} of functions whose return value carries
+        audience information, to the fixpoint (bounded by max_hops)."""
+        tainted: dict[str, tuple] = {}
+        all_fns = list(self._iter_functions())
+
+        def returns_call_to(fn: FunctionDef, names: set) -> str | None:
+            for m in re.finditer(r"\breturn\b([^;]*);", fn.body):
+                expr = m.group(1)
+                for call in extract_calls(expr):
+                    if call.callee in names:
+                        return call.callee
+            return None
+
+        for fn in all_fns:
+            via = returns_call_to(fn, AUDIENCE_SOURCES)
+            if via:
+                tainted[fn.qualname] = (1, via)
+        for _ in range(max_hops - 1):
+            changed = False
+            for fn in all_fns:
+                if fn.qualname in tainted:
+                    continue
+                via = returns_call_to(fn, set(tainted))
+                if via:
+                    tainted[fn.qualname] = (tainted[via][0] + 1, via)
+                    changed = True
+            if not changed:
+                break
+        return tainted
+
+    def _iter_functions(self):
+        for fns in self.index.free_functions.values():
+            for fn in fns:
+                if fn.body:
+                    yield fn
+        for info in self.index.classes.values():
+            for fns in info.methods.values():
+                for fn in fns:
+                    if fn.body:
+                        yield fn
+
+    # -- reachable helper closure (A1) ---------------------------------------
+
+    def reachable_free_functions(self, fn: FunctionDef, max_hops: int):
+        """Free functions in the same file reachable from fn, with the call
+        chain: [(helper_fn, hops, path), ...]."""
+        out = []
+        seen = set()
+
+        def walk(cur: FunctionDef, hops: int, path):
+            if hops >= max_hops:
+                return
+            for call in self.calls_of(cur):
+                if call.receiver is not None:
+                    continue
+                frees = self.index.free_functions.get(call.callee, [])
+                for helper in frees:
+                    if helper.scan is not cur.scan or not helper.body:
+                        continue
+                    if id(helper) in seen:
+                        continue
+                    seen.add(id(helper))
+                    out.append((helper, hops + 1,
+                                path + [helper.qualname]))
+                    walk(helper, hops + 1, path + [helper.qualname])
+
+        walk(fn, 0, [fn.qualname])
+        return out

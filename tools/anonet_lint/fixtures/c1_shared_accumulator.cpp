@@ -1,0 +1,39 @@
+// Negative fixture — anonet_lint MUST flag this file under rule C1.
+//
+// A parallel_blocks callback accumulating into a shared, non-atomic,
+// non-padded variable captured by reference: every block races on
+// `total`, and even when the increments happen to survive, the loss is
+// silent and run-dependent. The sanctioned pattern (accumulate into a
+// lambda-local, then store into a per-block alignas(64) slot) is what the
+// real executor uses; this fixture is the anti-pattern C1 exists to
+// catch.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace anonet_fixtures {
+
+struct FakePool {
+  void parallel_blocks(std::size_t blocks,
+                       const std::function<void(std::size_t)>& fn) {
+    for (std::size_t b = 0; b < blocks; ++b) fn(b);
+  }
+};
+
+inline std::int64_t racy_sum(const std::vector<std::int64_t>& values,
+                             FakePool& pool) {
+  std::int64_t total = 0;
+  const std::size_t blocks = 4;
+  pool.parallel_blocks(blocks, [&](std::size_t b) {
+    const std::size_t begin = b * values.size() / blocks;
+    const std::size_t end = (b + 1) * values.size() / blocks;
+    for (std::size_t i = begin; i < end; ++i) {
+      total += values[i];  // C1: shared mutable accumulator, no atomics
+    }
+  });
+  return total;
+}
+
+}  // namespace anonet_fixtures

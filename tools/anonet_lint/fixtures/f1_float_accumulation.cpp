@@ -1,0 +1,39 @@
+// Negative fixture — anonet_lint MUST flag this file under rule F1.
+//
+// Floating-point accumulation across parallel blocks through an
+// atomic<double> fetch_add: the atomic removes the data race (so C1 is
+// satisfied) but NOT the ordering dependence — FP addition is not
+// associative, so the final sum depends on the interleaving of blocks
+// and differs run to run. Determinism of the reproduction requires
+// block-ordered reduction: accumulate per block, then combine in block
+// index order on the calling thread.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace anonet_fixtures {
+
+struct FakePool {
+  void parallel_blocks(std::size_t blocks,
+                       const std::function<void(std::size_t)>& fn) {
+    for (std::size_t b = 0; b < blocks; ++b) fn(b);
+  }
+};
+
+inline double drifting_mean(const std::vector<double>& values,
+                            FakePool& pool) {
+  std::atomic<double> sum{0.0};
+  const std::size_t blocks = 4;
+  pool.parallel_blocks(blocks, [&](std::size_t b) {
+    const std::size_t begin = b * values.size() / blocks;
+    const std::size_t end = (b + 1) * values.size() / blocks;
+    double local = 0.0;
+    for (std::size_t i = begin; i < end; ++i) local += values[i];
+    sum.fetch_add(local);  // F1: interleaving-ordered FP reduction
+  });
+  return sum.load() / static_cast<double>(values.size());
+}
+
+}  // namespace anonet_fixtures
