@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Loopback parity proof for the socket transport (docs/transport.md):
+#
+#   1. run the smoke grid in-process (anonet_campaign) as the reference,
+#   2. run it distributed at 1, 2, and 4 worker processes,
+#   3. run it distributed with one worker killed after its first cell,
+#
+# and require every distributed output to be byte-identical to the
+# reference. Usage: scripts/net_loopback_smoke.sh [BUILD_DIR] (default:
+# build). Exits non-zero on the first mismatch or tool failure.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CAMPAIGN="$BUILD_DIR/tools/anonet_campaign"
+NODE="$BUILD_DIR/tools/anonet_node"
+GRID=smoke
+
+for tool in "$CAMPAIGN" "$NODE"; do
+  if [[ ! -x "$tool" ]]; then
+    echo "net_loopback_smoke: missing $tool (build first)" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/anonet_net.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== reference: in-process run of grid '$GRID'"
+"$CAMPAIGN" --grid "$GRID" --out "$WORK/ref.jsonl" --quiet >/dev/null
+
+# run_distributed OUT NWORKERS [abandon_flags...]: coordinator + workers on
+# an ephemeral loopback port; extra flags go to the *first* worker.
+run_distributed() {
+  local out="$1" workers="$2"
+  shift 2
+  local port_file="$out.port"
+  rm -f "$port_file"
+  "$NODE" --listen 127.0.0.1:0 --port-file "$port_file" \
+          --workers "$workers" --grid "$GRID" --out "$out" >/dev/null &
+  local coord_pid=$!
+  # The coordinator writes the port file only after the listener is bound.
+  for _ in $(seq 1 200); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.05
+  done
+  [[ -s "$port_file" ]] || { echo "coordinator never bound" >&2; exit 1; }
+  local port
+  port="$(cat "$port_file")"
+  local worker_pids=()
+  for ((w = 0; w < workers; ++w)); do
+    if [[ $w -eq 0 && $# -gt 0 ]]; then
+      "$NODE" --connect "127.0.0.1:$port" "$@" >/dev/null &
+    else
+      "$NODE" --connect "127.0.0.1:$port" >/dev/null &
+    fi
+    worker_pids+=($!)
+  done
+  wait "$coord_pid"
+  # Workers exit 0 both on clean shutdown and deliberate abandonment.
+  wait "${worker_pids[@]}"
+}
+
+for n in 1 2 4; do
+  echo "== distributed: $n worker process(es)"
+  run_distributed "$WORK/net$n.jsonl" "$n"
+  cmp "$WORK/ref.jsonl" "$WORK/net$n.jsonl" || {
+    echo "net_loopback_smoke: $n-worker output differs from reference" >&2
+    exit 1
+  }
+done
+
+echo "== distributed: 2 workers, one killed after its first cell"
+run_distributed "$WORK/kill.jsonl" 2 --abandon-after 1
+cmp "$WORK/ref.jsonl" "$WORK/kill.jsonl" || {
+  echo "net_loopback_smoke: worker-kill output differs from reference" >&2
+  exit 1
+}
+
+echo "net_loopback_smoke: all distributed outputs byte-identical to the"
+echo "in-process reference (1, 2, 4 workers; 2 workers with one killed)"

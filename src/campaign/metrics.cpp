@@ -28,7 +28,12 @@ void MetricsSink::append(const CellRecord& record) {
     throw std::runtime_error("MetricsSink: append after close");
   }
   out_ << line << '\n';
-  if (++unflushed_ >= kFlushInterval) {
+  // Durability contract: a record carrying a verdict is an *acknowledged*
+  // cell — remote coordinators treat its append as the moment the cell is
+  // done, so it must reach the file before append returns or a crash right
+  // after the acknowledgement silently loses the cell. The batch interval
+  // only bounds the (currently hypothetical) verdict-less record path.
+  if (!record.verdict.empty() || ++unflushed_ >= kFlushInterval) {
     out_.flush();
     unflushed_ = 0;
   }

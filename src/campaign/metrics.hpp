@@ -71,9 +71,12 @@ struct CellRecord {
 };
 
 // Thread-safe JSONL writer. append() serializes under a mutex, so concurrent
-// shard workers interleave whole lines only; the stream is flushed every
-// kFlushInterval records and on close(), bounding how many finished cells a
-// crash can lose without paying a syscall per record.
+// shard workers interleave whole lines only. Every verdict-bearing record is
+// flushed as it is appended: once append() returns, the cell is durably
+// acknowledged, and a crash (or a killed worker process in a distributed
+// run, src/net/) can never lose a cell the coordinator already counted.
+// Verdict-less records fall back to the kFlushInterval batch boundary, and
+// close() remains the flush of last resort.
 class MetricsSink {
  public:
   // Opens `path` for append (resume keeps finished cells) or truncation.
@@ -112,7 +115,8 @@ class MetricsSink {
                               std::vector<CellRecord> records,
                               bool include_timings);
 
-  // Records buffered between explicit flushes of the underlying stream.
+  // Verdict-less records buffered between explicit flushes of the stream;
+  // verdict-bearing records flush unconditionally (see class comment).
   static constexpr int kFlushInterval = 32;
 
  private:

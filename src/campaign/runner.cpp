@@ -192,6 +192,20 @@ void run_frequency_estimator(const Cell& cell, CellRecord& record,
 
 }  // namespace
 
+void apply_cell_overrides(std::vector<Cell>& cells, double cell_timeout_ms,
+                          std::int64_t bandwidth_bits) {
+  if (cell_timeout_ms > 0.0) {
+    for (Cell& cell : cells) {
+      if (cell.timeout_ms <= 0.0) cell.timeout_ms = cell_timeout_ms;
+    }
+  }
+  if (bandwidth_bits != 0) {
+    for (Cell& cell : cells) {
+      if (cell.bandwidth_bits == 0) cell.bandwidth_bits = bandwidth_bits;
+    }
+  }
+}
+
 Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
   if (options_.shards < 1) {
     throw std::invalid_argument("Runner: shards must be >= 1");
@@ -280,18 +294,8 @@ CellRecord Runner::run_cell(const Cell& cell, bool record_wall_time) {
 
 std::vector<CellRecord> Runner::run(const Grid& grid) const {
   std::vector<Cell> cells = grid.expand();
-  if (options_.cell_timeout_ms > 0.0) {
-    for (Cell& cell : cells) {
-      if (cell.timeout_ms <= 0.0) cell.timeout_ms = options_.cell_timeout_ms;
-    }
-  }
-  if (options_.bandwidth_bits != 0) {
-    for (Cell& cell : cells) {
-      if (cell.bandwidth_bits == 0) {
-        cell.bandwidth_bits = options_.bandwidth_bits;
-      }
-    }
-  }
+  apply_cell_overrides(cells, options_.cell_timeout_ms,
+                       options_.bandwidth_bits);
 
   // Cost model: measured wall times when a timings file is given, static
   // estimates otherwise. Both sharding (under kCost) and the in-process

@@ -64,6 +64,15 @@ struct RunnerOptions {
   std::int64_t bandwidth_bits = 0;
 };
 
+// Applies campaign-level overrides to an expanded cell list: cells without
+// their own deadline get `cell_timeout_ms`, cells without their own channel
+// policy get `bandwidth_bits` (the latter changes the affected cells' keys —
+// see RunnerOptions::bandwidth_bits). Shared by the in-process Runner and
+// the socket transport (net::Coordinator / net::WorkerNode), so both ends
+// of the wire derive identical keys from identical options.
+void apply_cell_overrides(std::vector<Cell>& cells, double cell_timeout_ms,
+                          std::int64_t bandwidth_bits);
+
 class Runner {
  public:
   // Throws std::invalid_argument on an inconsistent shard spec.

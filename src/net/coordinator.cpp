@@ -1,0 +1,382 @@
+#include "net/coordinator.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "campaign/cost_model.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "net/protocol.hpp"
+
+namespace anonet::net {
+
+namespace {
+
+using campaign::Cell;
+using campaign::CellRecord;
+using campaign::MetricsSink;
+
+// One connected worker. `inflight` holds positions into the pending-cell
+// vector, so a disconnect can return exactly those cells to the queue.
+struct Peer {
+  TcpSocket socket;
+  FrameDecoder decoder;
+  bool greeted = false;
+  std::uint32_t window = 1;
+  std::vector<std::size_t> inflight;
+};
+
+const auto canonical_less = [](const CellRecord& a, const CellRecord& b) {
+  if (a.cell != b.cell) return a.cell < b.cell;
+  return a.key < b.key;
+};
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {
+  if (options_.workers < 1) {
+    throw std::invalid_argument("Coordinator: workers must be >= 1");
+  }
+  if (options_.grid.empty()) {
+    throw std::invalid_argument("Coordinator: grid name must be non-empty");
+  }
+}
+
+std::uint16_t Coordinator::listen() {
+  if (!listener_.valid()) {
+    listener_ = TcpListener::bind(options_.host, options_.port);
+  }
+  return listener_.port();
+}
+
+std::vector<CellRecord> Coordinator::run() {
+  listen();
+  stats_ = CoordinatorStats{};
+
+  // Expansion + overrides, identical to Runner::run. Workers re-expand the
+  // same grid from the WELCOME parameters, so (index, key) pairs agree on
+  // both ends of every socket.
+  std::vector<Cell> cells = campaign::Grid::preset(options_.grid).expand();
+  campaign::apply_cell_overrides(cells, options_.cell_timeout_ms,
+                                 options_.bandwidth_bits);
+
+  campaign::CostModel costs;
+  if (!options_.cost_path.empty()) {
+    costs = campaign::CostModel::from_timings_file(options_.cost_path);
+  }
+
+  // Resume, mirroring Runner::run with this process owning every cell:
+  // matching records are reused and re-anchored, unmatched ("foreign")
+  // records are preserved verbatim for the canonical rewrite.
+  std::vector<CellRecord> kept;
+  std::vector<CellRecord> foreign;
+  std::unordered_set<std::string> finished;
+  bool had_output = false;
+  if (!options_.out_path.empty() && options_.resume) {
+    std::unordered_map<std::string, int> wanted;
+    for (const Cell& cell : cells) wanted.emplace(cell.key(), cell.index);
+    std::unordered_set<std::string> seen;
+    for (CellRecord& record : MetricsSink::read_file(options_.out_path)) {
+      had_output = true;
+      if (!seen.insert(record.key).second) continue;
+      const auto it = wanted.find(record.key);
+      if (it == wanted.end()) {
+        foreign.push_back(std::move(record));
+        continue;
+      }
+      record.cell = it->second;
+      finished.insert(record.key);
+      kept.push_back(std::move(record));
+    }
+  }
+
+  std::vector<Cell> pending;
+  std::vector<std::string> pending_keys;  // computed once, reused per frame
+  for (Cell& cell : cells) {
+    if (finished.count(cell.key()) == 0) pending.push_back(std::move(cell));
+  }
+  pending_keys.reserve(pending.size());
+  for (const Cell& cell : pending) pending_keys.push_back(cell.key());
+  std::unordered_map<std::uint32_t, std::size_t> pos_by_index;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    pos_by_index.emplace(static_cast<std::uint32_t>(pending[i].index), i);
+  }
+
+  std::unique_ptr<MetricsSink> sink;
+  if (!options_.out_path.empty()) {
+    sink = std::make_unique<MetricsSink>(
+        options_.out_path, options_.include_timings,
+        /*append=*/options_.resume && had_output);
+  }
+
+  // Demand queue in the same cost-descending order the in-process pool
+  // steals from; reassigned cells go to the *front* (they blocked a worker
+  // already — they should not wait out the whole queue again).
+  std::deque<std::size_t> queue;
+  for (std::size_t pos : campaign::cost_descending_order(pending, costs)) {
+    queue.push_back(pos);
+  }
+  std::vector<std::optional<CellRecord>> fresh(pending.size());
+  std::size_t outstanding = 0;  // cells assigned but not yet recorded
+
+  std::vector<std::unique_ptr<Peer>> peers;
+  std::uint32_t epoch = 1;
+  int joined_now = 0;  // currently-connected greeted workers
+  bool started = false;
+
+  WelcomePayload welcome;
+  welcome.grid = options_.grid;
+  welcome.include_timings = options_.include_timings;
+  welcome.bandwidth_bits = options_.bandwidth_bits;
+  welcome.cell_timeout_ms = options_.cell_timeout_ms;
+
+  // --- event-loop helpers -------------------------------------------------
+
+  const auto send_frame = [](Peer& peer, const Frame& frame) -> bool {
+    try {
+      write_frame(peer.socket, frame);
+      return true;
+    } catch (const SocketError&) {
+      return false;  // caller drops the peer; its cells are reassigned
+    }
+  };
+
+  // Fills a peer's window from the queue. Returns false when a write failed
+  // (peer must be dropped; the cell just queued to it is in `inflight`, so
+  // the normal reassignment path recovers it).
+  const auto assign_work = [&](Peer& peer) -> bool {
+    while (peer.inflight.size() < peer.window && !queue.empty()) {
+      const std::size_t pos = queue.front();
+      queue.pop_front();
+      peer.inflight.push_back(pos);
+      ++outstanding;
+      ++stats_.cells_assigned;
+      AssignPayload assign;
+      assign.epoch = epoch;
+      assign.cell_index = static_cast<std::uint32_t>(pending[pos].index);
+      assign.key = pending_keys[pos];
+      if (!send_frame(peer, encode_assign(assign))) return false;
+    }
+    return true;
+  };
+
+  const auto broadcast_barrier = [&]() {
+    BarrierPayload barrier;
+    barrier.epoch = epoch;
+    barrier.pending =
+        static_cast<std::uint32_t>(queue.size() + outstanding);
+    const Frame frame = encode_barrier(barrier);
+    for (const std::unique_ptr<Peer>& peer : peers) {
+      if (peer->greeted && peer->socket.valid()) {
+        (void)send_frame(*peer, frame);  // failure surfaces as EOF next poll
+      }
+    }
+  };
+
+  // Disconnect handling: return in-flight cells to the queue front (in
+  // their original relative order), bump the epoch, fence the survivors.
+  // Idempotent — a peer closed mid-dispatch is swept through here again.
+  const auto drop_peer = [&](Peer& peer) {
+    peer.socket.close();
+    if (peer.greeted) {
+      ++stats_.workers_lost;
+      --joined_now;
+      peer.greeted = false;
+    }
+    if (!peer.inflight.empty()) {
+      for (auto it = peer.inflight.rbegin(); it != peer.inflight.rend();
+           ++it) {
+        queue.push_front(*it);
+        --outstanding;
+        ++stats_.cells_reassigned;
+      }
+      peer.inflight.clear();
+      ++epoch;
+      stats_.epochs = epoch;
+      if (started) broadcast_barrier();
+    }
+  };
+
+  // Frame dispatch for one peer. Returns false when the peer violated the
+  // protocol and must be dropped.
+  const auto handle_frame = [&](Peer& peer, const Frame& frame) -> bool {
+    if (!peer.greeted) {
+      const HelloPayload hello = decode_hello(frame);  // throws on non-HELLO
+      if (hello.version != kProtocolVersion) {
+        ++stats_.workers_rejected;
+        return false;
+      }
+      peer.greeted = true;
+      peer.window = std::max<std::uint32_t>(1, hello.window);
+      ++stats_.workers_joined;
+      ++joined_now;
+      if (!send_frame(peer, encode_welcome(welcome))) return false;
+      if (!started && joined_now >= options_.workers) {
+        started = true;
+        broadcast_barrier();
+        for (const std::unique_ptr<Peer>& other : peers) {
+          if (other->greeted && other->socket.valid() &&
+              !assign_work(*other)) {
+            // A failed kickoff write is indistinguishable from a dead
+            // worker: let the poll loop reap it via EOF.
+            other->socket.close();
+          }
+        }
+        return peer.socket.valid();
+      }
+      if (started) {
+        // Late joiner (or a replacement): fence it to the current epoch
+        // and put it to work immediately.
+        BarrierPayload barrier;
+        barrier.epoch = epoch;
+        barrier.pending =
+            static_cast<std::uint32_t>(queue.size() + outstanding);
+        if (!send_frame(peer, encode_barrier(barrier))) return false;
+        if (!assign_work(peer)) return false;
+      }
+      return true;
+    }
+    if (frame.type != FrameType::kVerdict) {
+      throw FrameError(std::string("coordinator: unexpected ") +
+                       std::string(to_string(frame.type)) +
+                       " from a greeted worker");
+    }
+    const VerdictPayload verdict = decode_verdict(frame);
+    const auto pos_it = pos_by_index.find(verdict.cell_index);
+    if (pos_it == pos_by_index.end() ||
+        pending_keys[pos_it->second] != verdict.key) {
+      throw FrameError("coordinator: verdict for unknown cell " +
+                       verdict.key);
+    }
+    const std::size_t pos = pos_it->second;
+    const auto inflight_it =
+        std::find(peer.inflight.begin(), peer.inflight.end(), pos);
+    if (inflight_it != peer.inflight.end()) {
+      peer.inflight.erase(inflight_it);
+      --outstanding;
+    }
+    if (fresh[pos].has_value()) {
+      ++stats_.duplicate_verdicts;  // settled in an earlier epoch
+    } else {
+      std::optional<CellRecord> record = MetricsSink::parse_line(verdict.line);
+      if (!record.has_value() || record->key != verdict.key) {
+        throw FrameError("coordinator: unparseable verdict line for " +
+                         verdict.key);
+      }
+      record->cell = pending[pos].index;  // re-anchor, as resume does
+      if (sink != nullptr) sink->append(*record);  // durable before ack
+      fresh[pos] = std::move(record);
+      ++stats_.verdicts;
+    }
+    return assign_work(peer);
+  };
+
+  // Drains the peer's decoder after a read. Returns false to drop.
+  const auto handle_input = [&](Peer& peer) -> bool {
+    std::uint8_t chunk[64 * 1024];
+    std::size_t got = 0;
+    try {
+      got = peer.socket.read_some(chunk, sizeof(chunk));
+    } catch (const SocketError&) {
+      return false;
+    }
+    if (got == 0) return false;  // EOF (mid-frame or not: cells come back)
+    try {
+      peer.decoder.feed(chunk, got);
+      while (std::optional<Frame> frame = peer.decoder.next()) {
+        if (!handle_frame(peer, *frame)) return false;
+      }
+    } catch (const FrameError&) {
+      return false;  // poisoned stream: drop, reassign
+    }
+    return true;
+  };
+
+  // --- event loop ---------------------------------------------------------
+
+  while (!(started && outstanding == 0 && queue.empty())) {
+    if (started && joined_now == 0 && (outstanding > 0 || !queue.empty())) {
+      throw std::runtime_error(
+          "Coordinator: all workers disconnected with " +
+          std::to_string(outstanding + queue.size()) + " cells outstanding");
+    }
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    std::vector<Peer*> polled;
+    for (const std::unique_ptr<Peer>& peer : peers) {
+      if (peer->socket.valid()) {
+        fds.push_back(pollfd{peer->socket.fd(), POLLIN, 0});
+        polled.push_back(peer.get());
+      }
+    }
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError("Coordinator: poll failed");
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      auto peer = std::make_unique<Peer>();
+      peer->socket = listener_.accept();
+      peers.push_back(std::move(peer));
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      const short events = fds[i + 1].revents;
+      if (events == 0) continue;
+      if (!handle_input(*polled[i])) drop_peer(*polled[i]);
+    }
+    // Sweep peers closed mid-dispatch (e.g. a failed kickoff write) through
+    // the same reassignment path, then reap them.
+    for (const std::unique_ptr<Peer>& peer : peers) {
+      if (!peer->socket.valid()) drop_peer(*peer);
+    }
+    std::erase_if(peers, [](const std::unique_ptr<Peer>& peer) {
+      return !peer->socket.valid();
+    });
+  }
+
+  // Orderly teardown: every worker gets a SHUTDOWN, failures ignored.
+  const Frame shutdown = encode_shutdown();
+  for (const std::unique_ptr<Peer>& peer : peers) {
+    if (peer->greeted && peer->socket.valid()) {
+      (void)send_frame(*peer, shutdown);
+    }
+    peer->socket.close();
+  }
+  peers.clear();
+  listener_.close();
+
+  // Canonical finish, identical to Runner::run: kept + fresh sorted by
+  // (cell, key); the file additionally merges foreign records.
+  std::vector<CellRecord> all = std::move(kept);
+  all.reserve(all.size() + fresh.size());
+  for (std::optional<CellRecord>& record : fresh) {
+    if (!record.has_value()) {
+      throw std::runtime_error("Coordinator: campaign ended with a hole");
+    }
+    all.push_back(std::move(*record));
+  }
+  std::stable_sort(all.begin(), all.end(), canonical_less);
+  if (sink != nullptr) {
+    sink->close();
+    std::vector<CellRecord> file_records = all;
+    file_records.insert(file_records.end(),
+                        std::make_move_iterator(foreign.begin()),
+                        std::make_move_iterator(foreign.end()));
+    std::stable_sort(file_records.begin(), file_records.end(),
+                     canonical_less);
+    MetricsSink::write_canonical(options_.out_path, std::move(file_records),
+                                 options_.include_timings);
+  }
+  return all;
+}
+
+}  // namespace anonet::net

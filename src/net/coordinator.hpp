@@ -1,0 +1,81 @@
+#pragma once
+
+// Campaign coordinator for distributed runs (docs/transport.md).
+//
+// The coordinator is the distributed twin of campaign::Runner::run(): it
+// expands the grid, resumes from an existing output file, and canonicalizes
+// the result identically — but instead of a thread pool it feeds cells to
+// worker *processes* over TCP (net/protocol.hpp), demand-driven in the same
+// cost-descending LPT order the in-process pool steals from. A worker with
+// window W holds at most W cells in flight; finishing one (VERDICT) pulls
+// the next, so fast workers naturally take more of the queue — the online
+// form of the CostModel's LPT assignment.
+//
+// Fault model: a worker disconnect (EOF, reset, corrupt frame) returns its
+// in-flight cells to the *front* of the queue — each such cell is
+// reassigned exactly once per loss — and bumps the epoch, fencing the new
+// wave behind a ROUND_BARRIER so every surviving worker knows records from
+// older epochs are settled. Verdicts are deduplicated by cell key and the
+// sink flushes every verdict-bearing record (campaign/metrics.hpp), so a
+// crash on either side never loses an acknowledged cell and the final
+// canonical file is byte-identical to a fault-free single-process run.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/metrics.hpp"
+#include "net/socket.hpp"
+
+namespace anonet::net {
+
+struct CoordinatorOptions {
+  std::string grid;                // Grid::preset name (shipped in WELCOME)
+  int workers = 1;                 // HELLOs to wait for before assigning
+  std::string host = "127.0.0.1";  // listen address
+  std::uint16_t port = 0;          // 0 = ephemeral (read back via listen())
+  std::string out_path;            // JSONL output; empty = records only
+  bool resume = true;              // reuse finished cells found in out_path
+  bool include_timings = false;    // emit wall_ms (breaks byte-parity)
+  std::int64_t bandwidth_bits = 0; // campaign-level overrides, shipped in
+  double cell_timeout_ms = 0.0;    //   WELCOME so worker keys agree
+  std::string cost_path;           // timings JSONL feeding the CostModel
+};
+
+struct CoordinatorStats {
+  int workers_joined = 0;      // HELLOs accepted over the whole run
+  int workers_rejected = 0;    // bad magic/version handshakes dropped
+  int workers_lost = 0;        // accepted workers that disconnected
+  std::int64_t cells_assigned = 0;    // ASSIGN frames sent (incl. re-sends)
+  std::int64_t cells_reassigned = 0;  // cells returned by a lost worker
+  std::int64_t verdicts = 0;          // fresh verdicts recorded
+  std::int64_t duplicate_verdicts = 0;
+  std::uint32_t epochs = 1;    // final epoch (1 + reassignment waves)
+};
+
+class Coordinator {
+ public:
+  // Throws std::invalid_argument on workers < 1 or an empty grid name.
+  explicit Coordinator(CoordinatorOptions options);
+
+  // Binds and listens; returns the bound port (resolves port 0). Separate
+  // from run() so a caller can publish the ephemeral port before workers
+  // race to connect.
+  std::uint16_t listen();
+
+  // Runs the campaign to completion and returns this run's records (reused
+  // and fresh) in canonical order, exactly as Runner::run() would. Calls
+  // listen() if it has not happened yet. Throws SocketError/FrameError on
+  // unrecoverable transport failure and std::runtime_error when every
+  // worker is gone with cells still outstanding.
+  std::vector<campaign::CellRecord> run();
+
+  [[nodiscard]] const CoordinatorStats& stats() const { return stats_; }
+
+ private:
+  CoordinatorOptions options_;
+  TcpListener listener_;
+  CoordinatorStats stats_;
+};
+
+}  // namespace anonet::net

@@ -1,0 +1,153 @@
+#pragma once
+
+// Coordinator/worker control protocol (docs/transport.md).
+//
+// Control payloads are rendered with wire::BitWriter — the same bit-level
+// encoder the agent codecs use — with byte-aligned fields (uvarint/svarint/
+// double/length-prefixed strings), so the transport introduces no second
+// serialization dialect. Each payload has an encode_* returning a complete
+// Frame and a decode_* taking one; decoders validate the frame type, the
+// handshake magic/version, and reject trailing bytes, converting every
+// wire::DecodeError into a FrameError — one exception type means "this
+// peer's stream is poisoned".
+//
+// The conversation (one coordinator, N workers):
+//
+//   worker  -> HELLO{magic, version, window}
+//   coord   -> WELCOME{version, grid, include_timings, bandwidth_bits,
+//                      cell_timeout_ms}         (or drops on mismatch)
+//   coord   -> ROUND_BARRIER{epoch, pending}    (campaign start fence)
+//   coord   -> ASSIGN{epoch, cell_index, key}   (demand-driven, LPT order)
+//   worker  -> VERDICT{epoch, cell_index, key, line}
+//   ...                                         (ASSIGN/VERDICT repeats)
+//   coord   -> ROUND_BARRIER{epoch+1, pending}  (after a reassignment wave)
+//   coord   -> SHUTDOWN                         (queue drained)
+//
+// Workers never receive cells by value: WELCOME names a grid preset, both
+// sides expand it locally (Grid::expand() is deterministic — same cells,
+// same indices everywhere), and ASSIGN carries only (index, key). The key
+// echo lets a worker detect a version- or option-skewed expansion before
+// running the wrong cell.
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.hpp"
+#include "wire/wire.hpp"
+
+namespace anonet::net {
+
+// "ANET" — rejects peers that speak TCP but not this protocol.
+inline constexpr std::uint32_t kMagic = 0x414E4554;
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+struct HelloPayload {
+  std::uint32_t version = kProtocolVersion;
+  // How many cells the worker wants in flight at once (its thread count).
+  std::uint32_t window = 1;
+
+  bool operator==(const HelloPayload&) const = default;
+};
+
+struct WelcomePayload {
+  std::uint32_t version = kProtocolVersion;
+  std::string grid;            // Grid::preset name to expand locally
+  bool include_timings = false;
+  std::int64_t bandwidth_bits = 0;   // campaign::apply_cell_overrides args —
+  double cell_timeout_ms = 0.0;      // shipped so keys match the coordinator
+
+  bool operator==(const WelcomePayload&) const = default;
+};
+
+struct AssignPayload {
+  std::uint32_t epoch = 1;
+  std::uint32_t cell_index = 0;  // Cell::index in expansion order
+  std::string key;               // Cell::key() echo (skew detection)
+
+  bool operator==(const AssignPayload&) const = default;
+};
+
+struct BarrierPayload {
+  std::uint32_t epoch = 1;   // bumped after every reassignment wave
+  std::uint32_t pending = 0; // cells not yet durably recorded
+
+  bool operator==(const BarrierPayload&) const = default;
+};
+
+struct VerdictPayload {
+  std::uint32_t epoch = 1;
+  std::uint32_t cell_index = 0;
+  std::string key;
+  std::string line;  // MetricsSink::to_json rendering of the record
+
+  bool operator==(const VerdictPayload&) const = default;
+};
+
+[[nodiscard]] Frame encode_hello(const HelloPayload& payload);
+[[nodiscard]] Frame encode_welcome(const WelcomePayload& payload);
+[[nodiscard]] Frame encode_assign(const AssignPayload& payload);
+[[nodiscard]] Frame encode_barrier(const BarrierPayload& payload);
+[[nodiscard]] Frame encode_verdict(const VerdictPayload& payload);
+[[nodiscard]] Frame encode_shutdown();
+
+// Decoders throw FrameError on a type mismatch, bad magic/overlong fields,
+// truncated payloads, or trailing bytes.
+[[nodiscard]] HelloPayload decode_hello(const Frame& frame);
+[[nodiscard]] WelcomePayload decode_welcome(const Frame& frame);
+[[nodiscard]] AssignPayload decode_assign(const Frame& frame);
+[[nodiscard]] BarrierPayload decode_barrier(const Frame& frame);
+[[nodiscard]] VerdictPayload decode_verdict(const Frame& frame);
+void decode_shutdown(const Frame& frame);
+
+namespace detail {
+
+// Shared scaffolding for the typed decoders: type check, reader setup,
+// trailing-data check, DecodeError -> FrameError translation.
+[[nodiscard]] wire::BitReader open_payload(const Frame& frame,
+                                           FrameType expected);
+void finish_payload(const wire::BitReader& reader, FrameType type);
+[[noreturn]] void rethrow_as_frame_error(FrameType type,
+                                         const std::exception& error);
+
+}  // namespace detail
+
+// One wire-encoded agent message as a MESSAGE frame. The payload is the
+// message's exact canonical bit stream (wire/codecs.hpp) behind a uvarint
+// bit count — frames are byte-granular, encodings are bit-granular, and the
+// count preserves the exact size the bandwidth meter would charge. All
+// encoding routes through MessageTraits: the transport cannot invent a
+// second wire dialect for a payload type (enforced by anonet_lint W1).
+template <wire::WireEncodable M>
+[[nodiscard]] Frame make_message_frame(const M& message) {
+  wire::BitWriter writer;
+  writer.write_uvarint(static_cast<std::uint64_t>(wire::encoded_bits(message)));
+  wire::encode(message, writer);
+  return Frame{FrameType::kMessage, writer.bytes()};
+}
+
+template <wire::WireEncodable M>
+[[nodiscard]] M parse_message_frame(const Frame& frame) {
+  if (frame.type != FrameType::kMessage) {
+    throw FrameError("parse_message_frame: not a MESSAGE frame");
+  }
+  try {
+    wire::BitReader reader(frame.payload.data(),
+                           static_cast<std::int64_t>(frame.payload.size()) * 8);
+    const std::uint64_t declared_bits = reader.read_uvarint();
+    const std::int64_t body_start = reader.cursor();
+    if (declared_bits > static_cast<std::uint64_t>(reader.remaining())) {
+      throw FrameError("parse_message_frame: declared bit count exceeds frame");
+    }
+    M message = wire::decode<M>(reader);
+    if (static_cast<std::uint64_t>(reader.cursor() - body_start) !=
+        declared_bits) {
+      throw FrameError(
+          "parse_message_frame: decoded size disagrees with declared bits");
+    }
+    return message;
+  } catch (const wire::DecodeError& error) {
+    detail::rethrow_as_frame_error(FrameType::kMessage, error);
+  }
+}
+
+}  // namespace anonet::net

@@ -1,0 +1,123 @@
+#pragma once
+
+// Thin RAII wrappers over POSIX TCP sockets (docs/transport.md).
+//
+// Deliberately minimal: blocking I/O, IPv4, move-only ownership of the file
+// descriptor. Everything protocol-shaped lives a layer up (net/frame.hpp,
+// net/protocol.hpp); this file only turns errno conventions into exceptions
+// and hides the SIGPIPE / EINTR / partial-write folklore.
+//
+// A read returning 0 is end-of-stream, not an error — disconnection is an
+// *expected* event the coordinator handles by reassigning cells, so it is
+// surfaced as a value (read_some() == 0, read_frame() == nullopt), while
+// genuine socket failures throw SocketError.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "net/frame.hpp"
+
+namespace anonet::net {
+
+// OS-level socket failure (connect refused, write on a closed peer, ...).
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Move-only owner of a connected TCP stream socket.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() { close(); }
+
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpSocket& operator=(TcpSocket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  // Reads up to `cap` bytes; blocks until at least one byte or EOF.
+  // Returns 0 on orderly peer shutdown. Throws SocketError on failure.
+  [[nodiscard]] std::size_t read_some(void* buffer, std::size_t cap);
+
+  // Writes all `size` bytes, looping over partial writes. A peer that went
+  // away surfaces as SocketError (EPIPE/ECONNRESET), never as SIGPIPE.
+  void write_all(const void* data, std::size_t size);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Move-only owner of a listening TCP socket.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  // Binds `host`:`port` (port 0 picks an ephemeral port — read it back from
+  // port()) with SO_REUSEADDR, listening backlog 64.
+  [[nodiscard]] static TcpListener bind(const std::string& host,
+                                        std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // Blocks until one connection arrives.
+  [[nodiscard]] TcpSocket accept();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// Connects to `host`:`port` (IPv4 literal or resolvable name). Throws
+// SocketError when the connection cannot be established.
+[[nodiscard]] TcpSocket connect_tcp(const std::string& host,
+                                    std::uint16_t port);
+
+// Sends one frame over the socket.
+void write_frame(TcpSocket& socket, const Frame& frame);
+
+// Blocks until one complete frame is decodable (feeding `decoder` from the
+// socket as needed) or the peer closes. Returns nullopt on a clean EOF at a
+// frame boundary; throws FrameError when the peer died mid-frame or sent
+// corrupt bytes, SocketError on I/O failure.
+[[nodiscard]] std::optional<Frame> read_frame(TcpSocket& socket,
+                                              FrameDecoder& decoder);
+
+}  // namespace anonet::net

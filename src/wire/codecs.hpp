@@ -61,7 +61,7 @@ inline void write_key(BitWriter& sink, std::int64_t key, bool first,
   if (first) return src.read_svarint();
   const std::uint64_t delta = src.read_uvarint();
   if (delta == 0) {
-    throw std::invalid_argument("wire: keys must be strictly increasing");
+    throw DecodeError("wire: keys must be strictly increasing");
   }
   return prev + static_cast<std::int64_t>(delta);
 }
@@ -97,7 +97,9 @@ struct MessageTraits<SetGossipAgent::Message> {
   }
 
   static M decode(BitReader& src) {
-    const std::uint64_t count = src.read_uvarint();
+    // Every value costs at least one 8-bit varint group; the clamped count
+    // read makes a corrupt count a DecodeError, not a giant reserve().
+    const std::uint64_t count = src.read_count(8);
     M m;
     m.values.reserve(count);
     std::int64_t prev = 0;
@@ -159,7 +161,7 @@ struct MessageTraits<FrequencyPushSumAgent::Message> {
   }
 
   static M decode(BitReader& src) {
-    const std::uint64_t count = src.read_uvarint();
+    const std::uint64_t count = src.read_count(8 + 2 * kDoubleBits);
     M m;
     m.keys.reserve(count);
     m.ys.reserve(count);
@@ -250,7 +252,7 @@ struct MessageTraits<FrequencyMetropolisAgent::Message> {
   }
 
   static M decode(BitReader& src) {
-    const std::uint64_t count = src.read_uvarint();
+    const std::uint64_t count = src.read_count(8 + kDoubleBits);
     M m;
     m.keys.reserve(count);
     m.xs.reserve(count);
@@ -311,7 +313,7 @@ struct MessageTraits<FrequencyUniformAgent::Message> {
   }
 
   static M decode(BitReader& src) {
-    const std::uint64_t count = src.read_uvarint();
+    const std::uint64_t count = src.read_count(8 + kDoubleBits);
     M m;
     std::int64_t prev = 0;
     for (std::uint64_t i = 0; i < count; ++i) {

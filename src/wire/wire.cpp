@@ -25,7 +25,7 @@ BigInt BitReader::read_bigint() {
   const bool negative = read_bit();
   const std::uint64_t length = read_uvarint();
   if (length > static_cast<std::uint64_t>(remaining())) {
-    throw std::out_of_range("BitReader: truncated bigint");
+    throw DecodeError("BitReader: truncated bigint");
   }
   if (length <= 64) {
     // Small-magnitude fast lane: one or two chunk reads land directly in

@@ -35,6 +35,18 @@
 
 namespace anonet::wire {
 
+// Decode-side failure: truncated, corrupt, or otherwise malformed input.
+// Every BitReader/codec decode path throws this (and only this) for bad
+// *data*, so a socket or file feeding untrusted bytes into a decoder can
+// catch one type and treat the stream as poisoned; std::invalid_argument
+// stays reserved for caller bugs (e.g. a bit count outside [0, 64]).
+// Derives from std::out_of_range to keep the historical truncation
+// contract ("reading past the end throws std::out_of_range") intact.
+class DecodeError : public std::out_of_range {
+ public:
+  explicit DecodeError(const std::string& what) : std::out_of_range(what) {}
+};
+
 // Append-only bit sink. Bits are packed LSB-first into bytes; bit_size() is
 // the exact number of bits written (not rounded up to a byte).
 class BitWriter {
@@ -97,7 +109,9 @@ class BitWriter {
 };
 
 // Sequential reader over a BitWriter's output. Reading past the recorded
-// bit count throws std::out_of_range ("truncated"), never fabricates bits.
+// bit count throws DecodeError ("truncated"), never fabricates bits. Every
+// read is bounds-checked against bit_count_, so a reader over corrupt or
+// adversarial bytes fails with an exception, never undefined behavior.
 class BitReader {
  public:
   BitReader(const std::uint8_t* data, std::int64_t bit_count)
@@ -110,7 +124,7 @@ class BitReader {
       throw std::invalid_argument("BitReader: count must be in [0, 64]");
     }
     if (cursor_ + count > bit_count_) {
-      throw std::out_of_range("BitReader: truncated input");
+      throw DecodeError("BitReader: truncated input");
     }
     std::uint64_t value = 0;
     for (int i = 0; i < count; ++i) {
@@ -129,7 +143,7 @@ class BitReader {
     while (true) {
       const std::uint64_t group = read_bits(8);
       if (shift >= 64 || (shift == 63 && (group & 0x7fu) > 1)) {
-        throw std::out_of_range("BitReader: uvarint overflows 64 bits");
+        throw DecodeError("BitReader: uvarint overflows 64 bits");
       }
       value |= (group & 0x7fu) << shift;
       if ((group & 0x80u) == 0) return value;
@@ -142,6 +156,20 @@ class BitReader {
     return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
   }
 
+  // Count prefix of a container, sanity-clamped against the bits that are
+  // actually left: each element needs at least `min_bits_per_entry`, so a
+  // corrupt count fails fast as a DecodeError instead of driving a
+  // multi-gigabyte reserve() before the first element read trips.
+  [[nodiscard]] std::uint64_t read_count(std::int64_t min_bits_per_entry) {
+    const std::uint64_t count = read_uvarint();
+    if (min_bits_per_entry > 0 &&
+        count > static_cast<std::uint64_t>(remaining()) /
+                    static_cast<std::uint64_t>(min_bits_per_entry)) {
+      throw DecodeError("BitReader: count prefix exceeds remaining input");
+    }
+    return count;
+  }
+
   [[nodiscard]] double read_double() {
     return std::bit_cast<double>(read_bits(64));
   }
@@ -151,6 +179,12 @@ class BitReader {
   [[nodiscard]] Rational read_rational() {
     BigInt numerator = read_bigint();
     BigInt denominator = read_bigint();
+    // The encoder only emits positive denominators (Rational invariant); a
+    // zero or negative one is corrupt input, not a std::domain_error-grade
+    // caller bug.
+    if (denominator.is_zero() || denominator.is_negative()) {
+      throw DecodeError("BitReader: rational with non-positive denominator");
+    }
     return Rational(std::move(numerator), std::move(denominator));
   }
 

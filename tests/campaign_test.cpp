@@ -579,6 +579,42 @@ TEST(Campaign, SinkBatchesFlushesAndFlushesOnClose) {
   std::remove(path2.c_str());
 }
 
+TEST(Campaign, SinkIsDurablePerVerdictRecord) {
+  // Remote-use contract (src/net/): a record carrying a verdict is an
+  // acknowledged cell and must be on disk the moment append() returns, so
+  // a worker killed mid-stream (no close(), no destructor) never loses a
+  // cell its coordinator already counted. Reading the file while the sink
+  // is still open is exactly what a post-kill recovery would see — the
+  // batch interval must not be holding the record in the stream buffer.
+  const std::string path = temp_path("durable_sink.jsonl");
+  MetricsSink sink(path, false, /*append=*/false);
+  for (int i = 0; i < 3; ++i) {
+    CellRecord record;
+    record.cell = i;
+    record.key = "cell-" + std::to_string(i);
+    record.verdict = "ok";
+    sink.append(record);
+    EXPECT_EQ(MetricsSink::read_file(path).size(),
+              static_cast<std::size_t>(i) + 1)
+        << "verdict-bearing record " << i << " not flushed on append";
+  }
+  // Resume against the mid-stream file: every acknowledged record is
+  // parseable and reusable, and new appends extend rather than clobber.
+  {
+    MetricsSink resumed(path, false, /*append=*/true);
+    CellRecord record;
+    record.cell = 3;
+    record.key = "cell-3";
+    resumed.append(record);
+  }
+  const std::vector<CellRecord> records = MetricsSink::read_file(path);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().key, "cell-0");
+  EXPECT_EQ(records.back().key, "cell-3");
+  sink.close();
+  std::remove(path.c_str());
+}
+
 TEST(CampaignCost, ShardBySlugsRoundTrip) {
   EXPECT_EQ(parse_shard_by(slug(ShardBy::kIndex)), ShardBy::kIndex);
   EXPECT_EQ(parse_shard_by(slug(ShardBy::kCost)), ShardBy::kCost);

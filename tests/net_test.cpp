@@ -1,0 +1,486 @@
+// Socket transport tests (src/net/, docs/transport.md): frame integrity
+// under corruption and truncation, protocol payload round-trips, handshake
+// rejection, agent MESSAGE frames routed through MessageTraits, and —
+// through real loopback sockets — coordinator/worker campaign parity with
+// the in-process Runner, including a worker killed mid-campaign.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/metrics.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "core/gossip.hpp"
+#include "core/pushsum.hpp"
+#include "net/coordinator.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "net/worker.hpp"
+#include "wire/codecs.hpp"
+
+namespace {
+
+using namespace anonet;
+using namespace anonet::net;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "anonet_net_" + name;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Frame sample_frame() {
+  Frame frame;
+  frame.type = FrameType::kVerdict;
+  frame.payload = {0x01, 0x02, 0xFF, 0x00, 0x7E, 0x41};
+  return frame;
+}
+
+// --- frame layer ----------------------------------------------------------
+
+TEST(NetFrame, RoundTripsEveryTypeThroughTheDecoder) {
+  for (const FrameType type :
+       {FrameType::kHello, FrameType::kWelcome, FrameType::kAssign,
+        FrameType::kRoundBarrier, FrameType::kVerdict, FrameType::kShutdown,
+        FrameType::kMessage}) {
+    Frame frame;
+    frame.type = type;
+    if (type != FrameType::kShutdown) {
+      frame.payload = {0xAB, 0xCD, static_cast<std::uint8_t>(type)};
+    }
+    const std::vector<std::uint8_t> bytes = encode_frame(frame);
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    const auto decoded = decoder.next();
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, frame);
+    EXPECT_EQ(decoder.buffered(), 0u);
+    EXPECT_FALSE(decoder.next().has_value());
+  }
+}
+
+TEST(NetFrame, ReassemblesFramesFedOneByteAtATime) {
+  const Frame first = sample_frame();
+  Frame second;
+  second.type = FrameType::kAssign;
+  second.payload = std::vector<std::uint8_t>(100, 0x5A);
+  std::vector<std::uint8_t> stream = encode_frame(first);
+  const std::vector<std::uint8_t> tail = encode_frame(second);
+  stream.insert(stream.end(), tail.begin(), tail.end());
+
+  FrameDecoder decoder;
+  std::vector<Frame> seen;
+  for (const std::uint8_t byte : stream) {
+    decoder.feed(&byte, 1);
+    while (auto frame = decoder.next()) seen.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], first);
+  EXPECT_EQ(seen[1], second);
+}
+
+// Every truncated prefix is "incomplete", never a frame and never UB.
+TEST(NetFrame, TruncatedPrefixesYieldNoFrame) {
+  const std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), cut);
+    EXPECT_FALSE(decoder.next().has_value()) << "prefix " << cut;
+    EXPECT_EQ(decoder.buffered(), cut);
+  }
+}
+
+// Every single-byte corruption is caught: the decoder either throws
+// FrameError (CRC/length/type damage) or keeps waiting (length grew) — it
+// never hands back a frame.
+TEST(NetFrame, EveryByteFlipIsCaughtNeverDecoded) {
+  const std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> corrupt = bytes;
+      corrupt[i] ^= static_cast<std::uint8_t>(1u << bit);
+      FrameDecoder decoder;
+      decoder.feed(corrupt.data(), corrupt.size());
+      try {
+        const auto frame = decoder.next();
+        EXPECT_FALSE(frame.has_value())
+            << "byte " << i << " bit " << bit << " decoded a corrupt frame";
+      } catch (const FrameError&) {
+        // the loud, correct outcome
+      }
+    }
+  }
+}
+
+TEST(NetFrame, RejectsOversizedDeclaredLengthBeforeBuffering) {
+  // Hand-build a header declaring a payload far over the cap; the decoder
+  // must throw on the header alone, without waiting for (or allocating)
+  // the declared gigabytes.
+  const std::uint32_t huge = (1u << 28);
+  const std::vector<std::uint8_t> header = {
+      static_cast<std::uint8_t>(huge), static_cast<std::uint8_t>(huge >> 8),
+      static_cast<std::uint8_t>(huge >> 16),
+      static_cast<std::uint8_t>(huge >> 24)};
+  FrameDecoder decoder;
+  decoder.feed(header.data(), header.size());
+  EXPECT_THROW((void)decoder.next(), FrameError);
+}
+
+TEST(NetFrame, RejectsPayloadOverCapOnEncode) {
+  Frame frame;
+  frame.type = FrameType::kMessage;
+  frame.payload.resize(kMaxFramePayload + 1);
+  EXPECT_THROW((void)encode_frame(frame), FrameError);
+}
+
+// --- protocol payloads ----------------------------------------------------
+
+TEST(NetProtocol, ControlPayloadsRoundTrip) {
+  HelloPayload hello;
+  hello.window = 7;
+  EXPECT_EQ(decode_hello(encode_hello(hello)), hello);
+
+  WelcomePayload welcome;
+  welcome.grid = "smoke";
+  welcome.include_timings = true;
+  welcome.bandwidth_bits = -1;
+  welcome.cell_timeout_ms = 1500.5;
+  EXPECT_EQ(decode_welcome(encode_welcome(welcome)), welcome);
+
+  AssignPayload assign;
+  assign.epoch = 3;
+  assign.cell_index = 41;
+  assign.key = "smoke/auto/SB/none/max/static_panel/n5/v0/s1";
+  EXPECT_EQ(decode_assign(encode_assign(assign)), assign);
+
+  BarrierPayload barrier;
+  barrier.epoch = 9;
+  barrier.pending = 12;
+  EXPECT_EQ(decode_barrier(encode_barrier(barrier)), barrier);
+
+  VerdictPayload verdict;
+  verdict.epoch = 2;
+  verdict.cell_index = 5;
+  verdict.key = "k";
+  verdict.line = R"({"cell":5,"verdict":"ok"})";
+  EXPECT_EQ(decode_verdict(encode_verdict(verdict)), verdict);
+
+  EXPECT_NO_THROW(decode_shutdown(encode_shutdown()));
+}
+
+TEST(NetProtocol, DecodersRejectTypeMismatchAndTrailingBytes) {
+  EXPECT_THROW((void)decode_hello(encode_shutdown()), FrameError);
+  EXPECT_THROW((void)decode_assign(encode_barrier(BarrierPayload{})),
+               FrameError);
+  Frame hello = encode_hello(HelloPayload{});
+  hello.payload.push_back(0x00);  // a whole trailing byte = skewed peer
+  EXPECT_THROW((void)decode_hello(hello), FrameError);
+  Frame truncated = encode_welcome(WelcomePayload{});
+  truncated.payload.pop_back();
+  EXPECT_THROW((void)decode_welcome(truncated), FrameError);
+}
+
+TEST(NetProtocol, HelloWithWrongMagicIsRejected) {
+  wire::BitWriter writer;
+  writer.write_uvarint(0xBADC0DE);
+  writer.write_uvarint(kProtocolVersion);
+  writer.write_uvarint(1);
+  const Frame impostor{FrameType::kHello, writer.bytes()};
+  EXPECT_THROW((void)decode_hello(impostor), FrameError);
+}
+
+TEST(NetProtocol, AgentMessageFramesRouteThroughMessageTraits) {
+  SetGossipAgent::Message gossip;
+  gossip.values = {-3, 0, 41};
+  const Frame gossip_frame = make_message_frame(gossip);
+  EXPECT_EQ(gossip_frame.type, FrameType::kMessage);
+  EXPECT_EQ(parse_message_frame<SetGossipAgent::Message>(gossip_frame).values,
+            gossip.values);
+
+  FrequencyPushSumAgent::Message push;
+  push.keys = {7};
+  push.ys = {0.25};
+  push.zs = {0.5};
+  push.outdegree = 2;
+  const Frame push_frame = make_message_frame(push);
+  const auto decoded =
+      parse_message_frame<FrequencyPushSumAgent::Message>(push_frame);
+  ASSERT_EQ(decoded.keys, push.keys);
+  EXPECT_EQ(decoded.ys, push.ys);
+  EXPECT_EQ(decoded.zs, push.zs);
+  EXPECT_EQ(decoded.outdegree, push.outdegree);
+}
+
+TEST(NetProtocol, MessageFrameWithCorruptBitCountIsAFrameError) {
+  SetGossipAgent::Message gossip;
+  gossip.values = {1, 2};
+  Frame frame = make_message_frame(gossip);
+  // Forge the declared bit count (first uvarint byte) far past the frame.
+  frame.payload[0] = 0xFF;
+  frame.payload.insert(frame.payload.begin() + 1, 0x7F);
+  EXPECT_THROW((void)parse_message_frame<SetGossipAgent::Message>(frame),
+               FrameError);
+  Frame wrong_type = frame;
+  wrong_type.type = FrameType::kAssign;
+  EXPECT_THROW(
+      (void)parse_message_frame<SetGossipAgent::Message>(wrong_type),
+      FrameError);
+}
+
+// --- sockets --------------------------------------------------------------
+
+TEST(NetSocket, FramesCrossALoopbackSocketIntact) {
+  TcpListener listener = TcpListener::bind("127.0.0.1", 0);
+  const Frame sent = sample_frame();
+  std::thread client([port = listener.port(), &sent] {
+    TcpSocket socket = connect_tcp("127.0.0.1", port);
+    write_frame(socket, sent);
+  });
+  TcpSocket accepted = listener.accept();
+  FrameDecoder decoder;
+  const auto received = read_frame(accepted, decoder);
+  client.join();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, sent);
+  // After the client exits, the stream ends cleanly at a frame boundary.
+  EXPECT_FALSE(read_frame(accepted, decoder).has_value());
+}
+
+TEST(NetSocket, PeerDyingMidFrameIsAFrameError) {
+  TcpListener listener = TcpListener::bind("127.0.0.1", 0);
+  std::thread client([port = listener.port()] {
+    TcpSocket socket = connect_tcp("127.0.0.1", port);
+    const std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+    socket.write_all(bytes.data(), bytes.size() / 2);  // half a frame, die
+  });
+  TcpSocket accepted = listener.accept();
+  FrameDecoder decoder;
+  EXPECT_THROW((void)read_frame(accepted, decoder), FrameError);
+  client.join();
+}
+
+// --- distributed campaign parity ------------------------------------------
+
+std::vector<campaign::CellRecord> reference_records(
+    const std::string& out_path) {
+  campaign::RunnerOptions options;
+  options.out_path = out_path;
+  const campaign::Runner runner(options);
+  return runner.run(campaign::Grid::preset("smoke"));
+}
+
+void expect_same_records(const std::vector<campaign::CellRecord>& got,
+                         const std::vector<campaign::CellRecord>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(campaign::MetricsSink::to_json(got[i], false),
+              campaign::MetricsSink::to_json(want[i], false))
+        << "record " << i;
+  }
+}
+
+// "Determin" in the suite name opts these multi-threaded socket tests into
+// the TSan CI shard (see .github/workflows/ci.yml).
+TEST(NetDeterminism, DistributedSmokeRunMatchesInProcessRunByteForByte) {
+  const std::string ref_path = temp_path("parity_ref.jsonl");
+  std::remove(ref_path.c_str());
+  const std::vector<campaign::CellRecord> want = reference_records(ref_path);
+  const std::string ref_bytes = read_bytes(ref_path);
+  ASSERT_FALSE(ref_bytes.empty());
+
+  for (const int workers : {1, 2, 4}) {
+    const std::string out_path =
+        temp_path("parity_w" + std::to_string(workers) + ".jsonl");
+    std::remove(out_path.c_str());
+    CoordinatorOptions options;
+    options.grid = "smoke";
+    options.workers = workers;
+    options.out_path = out_path;
+    Coordinator coordinator(options);
+    const std::uint16_t port = coordinator.listen();
+
+    std::vector<std::thread> nodes;
+    nodes.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      nodes.emplace_back([port] {
+        WorkerOptions worker_options;
+        worker_options.port = port;
+        WorkerNode worker(worker_options);
+        EXPECT_TRUE(worker.run());
+      });
+    }
+    const std::vector<campaign::CellRecord> got = coordinator.run();
+    for (std::thread& node : nodes) node.join();
+
+    expect_same_records(got, want);
+    EXPECT_EQ(read_bytes(out_path), ref_bytes) << workers << " workers";
+    EXPECT_EQ(coordinator.stats().workers_joined, workers);
+    EXPECT_EQ(coordinator.stats().cells_reassigned, 0);
+    std::remove(out_path.c_str());
+  }
+  std::remove(ref_path.c_str());
+}
+
+TEST(NetDeterminism, WorkerDisconnectReassignsItsCellExactlyOnce) {
+  const std::string ref_path = temp_path("kill_ref.jsonl");
+  std::remove(ref_path.c_str());
+  const std::vector<campaign::CellRecord> want = reference_records(ref_path);
+  const std::string ref_bytes = read_bytes(ref_path);
+
+  const std::string out_path = temp_path("kill_out.jsonl");
+  std::remove(out_path.c_str());
+  CoordinatorOptions options;
+  options.grid = "smoke";
+  options.workers = 2;
+  options.out_path = out_path;
+  Coordinator coordinator(options);
+  const std::uint16_t port = coordinator.listen();
+
+  std::thread deserter([port] {
+    WorkerOptions worker_options;
+    worker_options.port = port;
+    worker_options.abandon_after = 1;  // one verdict, then die on assign #2
+    WorkerNode worker(worker_options);
+    EXPECT_FALSE(worker.run());
+    EXPECT_EQ(worker.stats().cells_run, 1);
+  });
+  std::thread survivor([port] {
+    WorkerOptions worker_options;
+    worker_options.port = port;
+    WorkerNode worker(worker_options);
+    EXPECT_TRUE(worker.run());
+    // Its final barrier epoch reflects the reassignment wave.
+    EXPECT_EQ(worker.stats().epoch, 2u);
+  });
+  const std::vector<campaign::CellRecord> got = coordinator.run();
+  deserter.join();
+  survivor.join();
+
+  const CoordinatorStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.workers_joined, 2);
+  EXPECT_EQ(stats.workers_lost, 1);
+  EXPECT_EQ(stats.cells_reassigned, 1);  // exactly the abandoned cell
+  EXPECT_EQ(stats.duplicate_verdicts, 0);
+  EXPECT_EQ(stats.epochs, 2u);
+  EXPECT_EQ(stats.verdicts, static_cast<std::int64_t>(want.size()));
+
+  expect_same_records(got, want);
+  EXPECT_EQ(read_bytes(out_path), ref_bytes);
+  std::remove(out_path.c_str());
+  std::remove(ref_path.c_str());
+}
+
+TEST(NetDeterminism, CoordinatorResumesFinishedCellsWithoutWorkersRedoing) {
+  const std::string out_path = temp_path("resume_out.jsonl");
+  std::remove(out_path.c_str());
+  // First pass: complete the whole grid distributed.
+  {
+    CoordinatorOptions options;
+    options.grid = "smoke";
+    options.workers = 1;
+    options.out_path = out_path;
+    Coordinator coordinator(options);
+    const std::uint16_t port = coordinator.listen();
+    std::thread node([port] {
+      WorkerOptions worker_options;
+      worker_options.port = port;
+      WorkerNode worker(worker_options);
+      EXPECT_TRUE(worker.run());
+    });
+    (void)coordinator.run();
+    node.join();
+  }
+  const std::string first_bytes = read_bytes(out_path);
+  // Second pass resumes: every cell is already finished, so the worker is
+  // greeted, fenced, and shut down without running anything.
+  CoordinatorOptions options;
+  options.grid = "smoke";
+  options.workers = 1;
+  options.out_path = out_path;
+  Coordinator coordinator(options);
+  const std::uint16_t port = coordinator.listen();
+  std::thread node([port] {
+    WorkerOptions worker_options;
+    worker_options.port = port;
+    WorkerNode worker(worker_options);
+    EXPECT_TRUE(worker.run());
+    EXPECT_EQ(worker.stats().cells_run, 0);
+  });
+  (void)coordinator.run();
+  node.join();
+  EXPECT_EQ(coordinator.stats().cells_assigned, 0);
+  EXPECT_EQ(read_bytes(out_path), first_bytes);
+  std::remove(out_path.c_str());
+}
+
+TEST(NetDeterminism, VersionSkewedWorkerIsRejectedAtTheHandshake) {
+  CoordinatorOptions options;
+  options.grid = "smoke";
+  options.workers = 1;
+  Coordinator coordinator(options);
+  const std::uint16_t port = coordinator.listen();
+
+  std::thread impostor([port] {
+    // Speak the frame layer but a future protocol version: the coordinator
+    // must drop us without a WELCOME.
+    TcpSocket socket = connect_tcp("127.0.0.1", port);
+    wire::BitWriter writer;
+    writer.write_uvarint(kMagic);
+    writer.write_uvarint(kProtocolVersion + 1);
+    writer.write_uvarint(1);
+    write_frame(socket, Frame{FrameType::kHello, writer.bytes()});
+    FrameDecoder decoder;
+    EXPECT_FALSE(read_frame(socket, decoder).has_value());  // dropped: EOF
+  });
+  std::thread genuine([port] {
+    WorkerOptions worker_options;
+    worker_options.port = port;
+    WorkerNode worker(worker_options);
+    EXPECT_TRUE(worker.run());
+  });
+  (void)coordinator.run();
+  impostor.join();
+  genuine.join();
+  EXPECT_EQ(coordinator.stats().workers_rejected, 1);
+  EXPECT_EQ(coordinator.stats().workers_joined, 1);
+}
+
+TEST(NetDeterminism, ParallelWorkerThreadsKeepCellRecordsSerial) {
+  // One worker process, four internal threads: between-cell parallelism
+  // only, so records still match the serial reference bit for bit.
+  const std::string ref_path = temp_path("threads_ref.jsonl");
+  std::remove(ref_path.c_str());
+  const std::vector<campaign::CellRecord> want = reference_records(ref_path);
+
+  CoordinatorOptions options;
+  options.grid = "smoke";
+  options.workers = 1;
+  Coordinator coordinator(options);
+  const std::uint16_t port = coordinator.listen();
+  std::thread node([port] {
+    WorkerOptions worker_options;
+    worker_options.port = port;
+    worker_options.threads = 4;
+    WorkerNode worker(worker_options);
+    EXPECT_TRUE(worker.run());
+    EXPECT_EQ(worker.stats().cells_run, 8);
+  });
+  const std::vector<campaign::CellRecord> got = coordinator.run();
+  node.join();
+  expect_same_records(got, want);
+  std::remove(ref_path.c_str());
+}
+
+}  // namespace

@@ -210,7 +210,106 @@ TEST(Wire, SetGossipDecodeRejectsNonIncreasingKeys) {
   w.write_uvarint(0);  // forged zero gap
   wire::BitReader r(w);
   EXPECT_THROW((void)wire::decode<SetGossipAgent::Message>(r),
-               std::invalid_argument);
+               wire::DecodeError);
+}
+
+TEST(Wire, CorruptCountPrefixFailsFastInsteadOfReserving) {
+  // A forged count of 2^62 with two bytes of actual payload: the clamped
+  // count read must throw before any container reserve sees the number.
+  wire::BitWriter w;
+  w.write_uvarint(1ull << 62);
+  w.write_bits(0xabu, 8);
+  {
+    wire::BitReader r(w);
+    EXPECT_THROW((void)wire::decode<SetGossipAgent::Message>(r),
+                 wire::DecodeError);
+  }
+  {
+    wire::BitReader r(w);
+    EXPECT_THROW((void)wire::decode<FrequencyPushSumAgent::Message>(r),
+                 wire::DecodeError);
+  }
+  {
+    wire::BitReader r(w);
+    EXPECT_THROW((void)wire::decode<FrequencyUniformAgent::Message>(r),
+                 wire::DecodeError);
+  }
+}
+
+TEST(Wire, CorruptRationalDenominatorIsADecodeError) {
+  // numerator 1, denominator 0 — unrepresentable by the encoder (Rational
+  // forbids zero denominators), so the decoder must classify it as corrupt
+  // input rather than letting std::domain_error escape.
+  wire::BitWriter w;
+  w.write_bigint(BigInt(1));
+  w.write_bigint(BigInt(0));
+  wire::BitReader r(w);
+  EXPECT_THROW((void)r.read_rational(), wire::DecodeError);
+}
+
+// Property test for socket-facing decode paths: over truncations and
+// single-bit flips of valid encodings, decode either succeeds or throws
+// wire::DecodeError — never UB (ASan/UBSan cover the never-crash half in
+// the sanitizer stages) and never a foreign exception type.
+template <typename M>
+void expect_decode_contained(const wire::BitWriter& w, std::int64_t bits) {
+  wire::BitReader r(w.bytes().data(), bits);
+  try {
+    (void)wire::decode<M>(r);
+  } catch (const wire::DecodeError&) {
+    // fine: corrupt input reported as such
+  }
+  // any other exception type escapes and fails the test
+}
+
+template <typename M>
+void corrupt_stream_property(const M& message) {
+  wire::BitWriter w;
+  wire::encode(message, w);
+  // Every truncation length, including zero.
+  for (std::int64_t bits = 0; bits < w.bit_size(); ++bits) {
+    expect_decode_contained<M>(w, bits);
+  }
+  // Every single-bit flip.
+  for (std::int64_t bit = 0; bit < w.bit_size(); ++bit) {
+    std::vector<std::uint8_t> bytes = w.bytes();
+    bytes[static_cast<std::size_t>(bit >> 3)] ^=
+        static_cast<std::uint8_t>(1u << (bit & 7));
+    wire::BitReader r(bytes.data(), w.bit_size());
+    try {
+      (void)wire::decode<M>(r);
+    } catch (const wire::DecodeError&) {
+    }
+  }
+}
+
+TEST(Wire, CorruptStreamsNeverEscapeDecodeError) {
+  SetGossipAgent::Message gossip;
+  gossip.values = {-100, -7, 0, 3, 900000};
+  corrupt_stream_property(gossip);
+
+  FrequencyPushSumAgent::Message pushsum;
+  pushsum.keys = {1, 5, 9};
+  pushsum.ys = {0.5, 0.25, 0.125};
+  pushsum.zs = {1.0, 2.0, 3.0};
+  pushsum.outdegree = 4;
+  corrupt_stream_property(pushsum);
+
+  ExactPushSumAgent::Message exact;
+  exact.y_share = Rational(7, 48);
+  exact.z_share = Rational(BigInt(1), BigInt(3).shifted_left(80));
+  corrupt_stream_property(exact);
+
+  FrequencyMetropolisAgent::Message metro;
+  metro.keys = {-3, 12};
+  metro.xs = {0.75, -1.5};
+  metro.degree = 2;
+  corrupt_stream_property(metro);
+
+  MinBaseAgent::Message base;
+  base.view = ViewId{129};
+  base.port = 7;
+  corrupt_stream_property(base);
 }
 
 TEST(Wire, PushSumMessageRoundTrip) {

@@ -400,6 +400,7 @@ class RuleEngine:
                         "must be defined together — a size without a codec "
                         "(or vice versa) lets measured and transported bits "
                         "disagree")
+        self._rule_w1_raw_payload()
         # Registry mirror: when the static_audit X-macro list is in scope,
         # every core agent must appear in it and register in its header.
         if not self.index.audit_list_seen:
@@ -426,6 +427,48 @@ class RuleEngine:
                     f"core agent {info.name} does not invoke "
                     "ANONET_STATIC_AUDIT_DECLARATIONS in its header: the "
                     "declaration audit must run where the class is defined")
+
+    # Raw-payload escape (transport hardening): a statement that pushes an
+    # agent's Message across a byte boundary with memcpy / reinterpret_cast /
+    # bit_cast bypasses the canonical codec — the bits on the wire are no
+    # longer the bits the bandwidth meter charges, and layout becomes ABI-
+    # dependent. Agent payloads must route through MessageTraits
+    # (wire::encode / wire::decode / make_message_frame); statements that
+    # mention those are exempt, and transport *control* frames (HELLO,
+    # ASSIGN, ... — structs of non-agent classes) never match because the
+    # pattern keys on the qualified `<Agent>::Message` spelling.
+    def _rule_w1_raw_payload(self):
+        agent_names = [info.name for info in self.index.classes.values()
+                       if info.is_agent and info.has_message and
+                       info.has_send]
+        if not agent_names:
+            return
+        escape_re = re.compile(r"\b(?:memcpy|reinterpret_cast|bit_cast)\b")
+        for scan in self.index.scans:
+            text = scan.text
+            for m in escape_re.finditer(text):
+                stmt_start = max(text.rfind(";", 0, m.start()),
+                                 text.rfind("{", 0, m.start()),
+                                 text.rfind("}", 0, m.start())) + 1
+                stmt_end = text.find(";", m.end())
+                if stmt_end < 0:
+                    stmt_end = len(text)
+                stmt = text[stmt_start:stmt_end]
+                if ("MessageTraits" in stmt or "wire::encode" in stmt
+                        or "wire::decode" in stmt
+                        or "make_message_frame" in stmt):
+                    continue
+                for name in agent_names:
+                    if f"{name}::Message" in stmt:
+                        self.report(
+                            scan, m.start(), "W1",
+                            f"raw byte reinterpretation of {name}::Message "
+                            "(memcpy/reinterpret_cast/bit_cast) bypasses "
+                            "its canonical codec: agent payloads must "
+                            "cross byte boundaries through MessageTraits "
+                            "(wire::encode/wire::decode); only transport "
+                            "control frames may be packed by hand")
+                        break
 
     # --- C1 / F1 ------------------------------------------------------------
 

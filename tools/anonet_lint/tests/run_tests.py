@@ -59,6 +59,7 @@ FIXTURE_RULES = {
     "m1_forwarding_ok.cpp": None,
     "w1_missing_traits.cpp": "W1",
     "w1_partial_traits.cpp": "W1",
+    "w1_raw_payload_frame.cpp": "W1",
     "c1_shared_accumulator.cpp": "C1",
     "f1_float_accumulation.cpp": "F1",
 }
@@ -307,6 +308,77 @@ class RatchetCliTests(unittest.TestCase):
             self.assertEqual(run.returncode, 1)
             self.assertIn("NEW finding", run.stdout + run.stderr)
             self.assertIn("clock()", run.stdout + run.stderr)
+
+
+class RawPayloadEscapeTests(unittest.TestCase):
+    """W1 raw-payload escape: agent messages must not cross byte boundaries
+    via memcpy/reinterpret_cast/bit_cast; codec-routed statements and
+    non-agent control frames are exempt."""
+
+    AGENT = """
+        namespace wire { template <typename M> struct MessageTraits; }
+        class PayloadAgent {
+         public:
+          struct Message { long v; };
+          static constexpr bool kParallelSafe = true;
+          Message send(int outdegree, int port) { return Message{1}; }
+        };
+        namespace wire {
+        template <> struct MessageTraits<PayloadAgent::Message> {
+          static long encoded_bits(const PayloadAgent::Message&) { return 64; }
+          static void encode(const PayloadAgent::Message&, int&) {}
+          static PayloadAgent::Message decode(int&) { return {}; }
+        };
+        }
+    """
+
+    def _raw_payload_findings(self, extra):
+        _, findings = analyze_source([("t.cpp", self.AGENT + extra)])
+        return [f for f in findings
+                if f.rule == "W1" and "raw byte" in f.message]
+
+    def test_memcpy_of_agent_message_is_flagged(self):
+        findings = self._raw_payload_findings("""
+            void pack(const PayloadAgent::Message& m, unsigned char* out) {
+              memcpy(out, &m, sizeof(PayloadAgent::Message));
+            }
+        """)
+        self.assertEqual(len(findings), 1)
+
+    def test_control_frame_memcpy_is_exempt(self):
+        findings = self._raw_payload_findings("""
+            struct HelloFrame { unsigned magic; };
+            void pack(const HelloFrame& hello, unsigned char* out) {
+              memcpy(out, &hello, sizeof(HelloFrame));
+            }
+        """)
+        self.assertEqual(findings, [])
+
+    def test_codec_routed_statement_is_exempt(self):
+        # A memcpy whose own statement routes through the codec (here:
+        # sizing the copy from encoded_bits) is the sanctioned staging
+        # pattern, not an escape.
+        findings = self._raw_payload_findings("""
+            void pack(const PayloadAgent::Message& m, unsigned char* out,
+                      const unsigned char* staged) {
+              memcpy(out, staged,
+                     wire::MessageTraits<PayloadAgent::Message>
+                         ::encoded_bits(m) / 8);
+            }
+            PayloadAgent::Message unpack(int& src) {
+              return wire::decode<PayloadAgent::Message>(src);
+            }
+        """)
+        self.assertEqual(findings, [])
+
+    def test_reinterpret_cast_of_agent_message_is_flagged(self):
+        # Decode-side escape: conjuring a Message out of raw socket bytes.
+        findings = self._raw_payload_findings("""
+            const PayloadAgent::Message* view(const unsigned char* bytes) {
+              return reinterpret_cast<const PayloadAgent::Message*>(bytes);
+            }
+        """)
+        self.assertEqual(len(findings), 1)
 
 
 def regen():
