@@ -1,8 +1,10 @@
 // End-to-end campaign benchmark — emits BENCH_campaign.json.
 //
-// Runs the "tables" grid (both verdict tables of the paper) plus the
+// Runs the "tables" grid (both verdict tables of the paper), the
 // "adversarial" grid (explicit agents pinned against the worst-case
-// schedules) through campaign::Runner, and summarizes the outcome: per
+// schedules) and the "faults" grid (the perturbation scenario zoo —
+// asynchronous starts, crash-stop, message drops over churning
+// topologies) through campaign::Runner, and summarizes the outcome: per
 // suite the cell counts by verdict, the paper comparison for the table
 // suites, and aggregate message/bandwidth totals from the arena. Cells
 // are timed individually (in memory only — no JSONL is written, so the
@@ -35,6 +37,8 @@ struct SuiteSummary {
   int skipped = 0;
   int failed = 0;
   int timeouts = 0;
+  int expected_failures = 0;
+  int prediction_mismatches = 0;  // predicted to break, succeeded anyway
   int exact = 0;
   int approximate = 0;  // success without exact stabilization
   std::int64_t rounds = 0;
@@ -59,6 +63,10 @@ void fold(const std::vector<CellRecord>& records,
     if (record.verdict == "skipped") ++summary->skipped;
     if (record.verdict == "failed") ++summary->failed;
     if (record.verdict == "timeout") ++summary->timeouts;
+    if (record.verdict == "expected_failure") ++summary->expected_failures;
+    if (record.predicted && record.verdict == "ok" && record.success) {
+      ++summary->prediction_mismatches;
+    }
     if (record.exact) ++summary->exact;
     if (record.success && !record.exact) ++summary->approximate;
     summary->rounds += record.rounds;
@@ -100,10 +108,13 @@ int main() {
   std::printf("campaign bench: running 'adversarial' grid...\n");
   const std::vector<CellRecord> adversarial =
       runner.run(Grid::preset("adversarial"));
+  std::printf("campaign bench: running 'faults' grid...\n");
+  const std::vector<CellRecord> faults = runner.run(Grid::preset("faults"));
 
   std::vector<SuiteSummary> suites;
   fold(tables, suites);
   fold(adversarial, suites);
+  fold(faults, suites);
 
   const TableComparison table1 = compare_table(tables, "table1");
   const TableComparison table2 = compare_table(tables, "table2");
@@ -123,9 +134,12 @@ int main() {
   for (const CellRecord& record : adversarial) {
     if (record.wall_ms >= 0.0) measured.set_measured(record.key, record.wall_ms);
   }
+  for (const CellRecord& record : faults) {
+    if (record.wall_ms >= 0.0) measured.set_measured(record.key, record.wall_ms);
+  }
   std::vector<Cell> cells = Grid::preset("tables").expand();
-  {
-    const std::vector<Cell> extra = Grid::preset("adversarial").expand();
+  for (const char* extra_grid : {"adversarial", "faults"}) {
+    const std::vector<Cell> extra = Grid::preset(extra_grid).expand();
     cells.insert(cells.end(), extra.begin(), extra.end());
   }
   constexpr int kShards = 4;
@@ -167,6 +181,8 @@ int main() {
         .field("skipped", s.skipped)
         .field("failed", s.failed)
         .field("timeouts", s.timeouts)
+        .field("expected_failures", s.expected_failures)
+        .field("prediction_mismatches", s.prediction_mismatches)
         .field("exact", s.exact)
         .field("approximate", s.approximate)
         .field("rounds", s.rounds)
@@ -179,11 +195,14 @@ int main() {
   std::fclose(out);
 
   bool failures = false;
-  for (const SuiteSummary& s : suites) failures = failures || s.failed > 0;
+  for (const SuiteSummary& s : suites) {
+    failures = failures || s.failed > 0 || s.prediction_mismatches > 0;
+  }
   std::printf("wrote BENCH_campaign.json (%zu suites, %.1fs)\n",
               suites.size(), wall_seconds);
   if (!table1.all_match || !table2.all_match || failures) {
-    std::printf("MISMATCH or failed cells — see above.\n");
+    std::printf("MISMATCH, failed cells, or predicted breakdowns that "
+                "succeeded — see above.\n");
     return 1;
   }
   return 0;

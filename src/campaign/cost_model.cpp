@@ -78,6 +78,12 @@ double CostModel::static_estimate(const Cell& cell) {
       // delivered volume is dominated by the idle rounds.
       edges = 2.0 * n;
       break;
+    case ScheduleKind::kPreferentialChurn:
+    case ScheduleKind::kGeometricChurn:
+      // Sparse symmetric backbones (~2 undirected edges per vertex) thinned
+      // by ~25% churn per epoch, plus self-loops.
+      edges = 3.0 * n;
+      break;
   }
 
   // Mechanism multiplier: what one round *does* with a delivery. The auto

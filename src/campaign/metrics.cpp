@@ -28,15 +28,11 @@ void MetricsSink::append(const CellRecord& record) {
     throw std::runtime_error("MetricsSink: append after close");
   }
   out_ << line << '\n';
-  // Durability contract: a record carrying a verdict is an *acknowledged*
-  // cell — remote coordinators treat its append as the moment the cell is
-  // done, so it must reach the file before append returns or a crash right
-  // after the acknowledgement silently loses the cell. The batch interval
-  // only bounds the (currently hypothetical) verdict-less record path.
-  if (!record.verdict.empty() || ++unflushed_ >= kFlushInterval) {
-    out_.flush();
-    unflushed_ = 0;
-  }
+  // Durability contract: an appended record is an *acknowledged* cell —
+  // remote coordinators treat its append as the moment the cell is done, so
+  // it must reach the file before append returns or a crash right after the
+  // acknowledgement silently loses the cell.
+  out_.flush();
   if (!out_) {
     throw std::runtime_error("MetricsSink: write to '" + path_ + "' failed");
   }
@@ -46,7 +42,6 @@ void MetricsSink::close() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (out_.is_open()) {
     out_.flush();
-    unflushed_ = 0;
     out_.close();
   }
 }
@@ -64,10 +59,24 @@ std::string MetricsSink::to_json(const CellRecord& record,
       .field("schedule", record.schedule)
       .field("variant", record.variant)
       .field("n", record.n)
-      .field("seed", static_cast<std::int64_t>(record.seed))
-      .field("verdict", record.verdict)
-      .field("reason", record.reason)
-      .field("success", record.success)
+      .field("seed", static_cast<std::int64_t>(record.seed));
+  // Perturbation coordinates only appear off their defaults, keeping
+  // unperturbed records byte-identical to the pre-perturbation format.
+  if (!record.starts.empty() && record.starts != "sync") {
+    o.field("starts", record.starts);
+  }
+  if (!record.faults.empty() && record.faults != "none") {
+    o.field("faults", record.faults);
+  }
+  o.field("verdict", record.verdict)
+      .field("reason", record.reason);
+  if (record.deadline_ms > 0.0) {
+    o.field("deadline_ms", record.deadline_ms);
+  }
+  if (record.predicted) {
+    o.field("predicted", record.predicted);
+  }
+  o.field("success", record.success)
       .field("exact", record.exact)
       .field("stabilization_round", record.stabilization_round)
       .field("error", record.error)
@@ -248,6 +257,8 @@ std::optional<CellRecord> MetricsSink::parse_line(const std::string& line) {
   str("knowledge", record.knowledge);
   str("function", record.function);
   str("schedule", record.schedule);
+  str("starts", record.starts);
+  str("faults", record.faults);
   str("reason", record.reason);
   str("mechanism", record.mechanism);
 
@@ -277,6 +288,11 @@ std::optional<CellRecord> MetricsSink::parse_line(const std::string& line) {
   };
   boolean("success", record.success);
   boolean("exact", record.exact);
+  boolean("predicted", record.predicted);
+  if (const std::string* t = find(tokens, "deadline_ms")) {
+    double d = 0.0;
+    if (to_double(*t, d)) record.deadline_ms = d;
+  }
 
   // error is numeric, or the string spelling of a non-finite value.
   if (const std::string* t = find(tokens, "error")) {

@@ -4,8 +4,8 @@
 // folds records back into Table-1/Table-2-shaped verdict grids.
 //
 // The record format is append-friendly (one self-contained line per cell,
-// flushed in small batches as cells complete) so a killed campaign leaves a
-// readable prefix, and resume can trust every complete line. Records are rendered
+// flushed as each cell completes) so a killed campaign leaves a readable
+// prefix, and resume can trust every complete line. Records are rendered
 // through support/jsonl.hpp with a fixed field order, making a record's
 // bytes a pure function of its field values — the basis of the
 // shard-invariance guarantee (--shards 1 and --shards 4 produce identical
@@ -45,6 +45,10 @@ struct CellRecord {
   // Only emitted (with `bits`) when non-zero, so channel-off records stay
   // byte-identical to the pre-bandwidth format.
   std::int64_t bandwidth_bits = 0;
+  // Perturbation coordinates (slug spellings). Only emitted when off their
+  // defaults ("sync" / "none"), so unperturbed records keep their bytes.
+  std::string starts;
+  std::string faults;
 
   // "ok": the simulation ran to a verdict (success or not).
   // "failed": an exception escaped the cell (reason = what()).
@@ -53,9 +57,19 @@ struct CellRecord {
   // "bandwidth_exceeded": a bounded channel rejected a message over budget
   //            (reason = message vs budget bits) — a model verdict: the
   //            algorithm does not fit the channel, nothing crashed.
+  // "expected_failure": a perturbed cell broke (unsuccessfully converged or
+  //            timed out) exactly as its agent's FaultTolerance claim
+  //            predicts (reason = which perturbations exceed the claim).
   // "skipped": inadmissible or open cell (reason = diagnosis).
   std::string verdict = "ok";
   std::string reason;
+  // The wall-clock budget (ms) behind a "timeout" verdict; resume re-attempts
+  // the cell when the current budget exceeds it. 0 = no deadline recorded.
+  double deadline_ms = 0.0;
+  // The FaultTolerance table predicted this cell to break. True on every
+  // "expected_failure", and on the rare "ok" that contradicts the table
+  // (the CLI treats that mismatch as a campaign failure).
+  bool predicted = false;
 
   bool success = false;  // δ2: final error within the cell's tolerance
   bool exact = false;    // δ0: outputs stabilized exactly on f(v)
@@ -71,12 +85,13 @@ struct CellRecord {
 };
 
 // Thread-safe JSONL writer. append() serializes under a mutex, so concurrent
-// shard workers interleave whole lines only. Every verdict-bearing record is
-// flushed as it is appended: once append() returns, the cell is durably
-// acknowledged, and a crash (or a killed worker process in a distributed
-// run, src/net/) can never lose a cell the coordinator already counted.
-// Verdict-less records fall back to the kFlushInterval batch boundary, and
-// close() remains the flush of last resort.
+// shard workers interleave whole lines only. The flush policy is single:
+// every record is flushed before append() returns. Once append() returns,
+// the cell is durably acknowledged, and a crash (or a killed worker process
+// in a distributed run, src/net/) can never lose a cell the coordinator
+// already counted. There is deliberately no batching interval — every
+// record carries a verdict, and a second, weaker policy for a hypothetical
+// verdict-less path would only invite the two to drift apart.
 class MetricsSink {
  public:
   // Opens `path` for append (resume keeps finished cells) or truncation.
@@ -115,16 +130,11 @@ class MetricsSink {
                               std::vector<CellRecord> records,
                               bool include_timings);
 
-  // Verdict-less records buffered between explicit flushes of the stream;
-  // verdict-bearing records flush unconditionally (see class comment).
-  static constexpr int kFlushInterval = 32;
-
  private:
   std::mutex mutex_;
   std::ofstream out_;
   std::string path_;
   bool include_timings_;
-  int unflushed_ = 0;  // appends since the last explicit flush
 };
 
 // A measured verdict grid with the paper's grid beside it. Rows are

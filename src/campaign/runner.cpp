@@ -13,6 +13,7 @@
 #include "core/metropolis.hpp"
 #include "core/pushsum.hpp"
 #include "dynamics/adversarial.hpp"
+#include "dynamics/perturbation.hpp"
 #include "dynamics/schedules.hpp"
 #include "runtime/executor.hpp"
 #include "support/thread_pool.hpp"
@@ -50,8 +51,49 @@ DynamicGraphPtr make_cell_schedule(const Cell& cell) {
       return std::make_shared<UnionRingSchedule>(n, kUnionRingParts);
     case ScheduleKind::kGrowingGap:
       return std::make_shared<GrowingGapRingSchedule>(n);
+    case ScheduleKind::kPreferentialChurn:
+      return preferential_churn_schedule(n, cell.seed);
+    case ScheduleKind::kGeometricChurn:
+      return geometric_churn_schedule(n, cell.seed);
   }
   throw std::invalid_argument("make_cell_schedule: unknown schedule kind");
+}
+
+// Perturbation coordinates -> executor configuration. The parameters are
+// fixed per kind (stride-2 staggering, a round-25 straggler, an immediate
+// crash of agent 0, 30% drops) so a cell's key fully determines its run.
+constexpr int kStaggerStride = 2;
+constexpr int kStragglerWake = 25;
+constexpr int kCrashRound = 1;
+constexpr double kDropRate = 0.30;
+
+template <typename Agent>
+void configure_perturbations(Executor<Agent>& executor, const Cell& cell) {
+  const auto n = static_cast<Vertex>(cell.n());
+  switch (cell.starts) {
+    case StartsKind::kSynchronous:
+      break;
+    case StartsKind::kStaggered:
+      executor.set_start_schedule(StartSchedule::staggered(n, kStaggerStride));
+      break;
+    case StartsKind::kStraggler:
+      executor.set_start_schedule(StartSchedule::straggler(n, kStragglerWake));
+      break;
+  }
+  if (cell.faults == FaultsKind::kNone) return;
+  FaultPlan plan;
+  if (cell.faults == FaultsKind::kCrash ||
+      cell.faults == FaultsKind::kCrashDrop) {
+    plan = FaultPlan::crash_first_agent(n, kCrashRound);
+  }
+  if (cell.faults == FaultsKind::kDrop ||
+      cell.faults == FaultsKind::kCrashDrop) {
+    // The drop lottery gets its own stream, decorrelated from the graph and
+    // shuffle streams that also key off cell.seed.
+    plan.drop_rate = kDropRate;
+    plan.drop_seed = cell.seed ^ 0x9e3779b97f4a7c15ull;
+  }
+  executor.set_fault_plan(std::move(plan));
 }
 
 // The computability-harness path (AgentKind::kAuto): the harness picks the
@@ -119,6 +161,7 @@ void run_gossip(const Cell& cell, CellRecord& record) {
   executor.set_deadline(cell.timeout_ms);
   executor.set_channel_policy(
       wire::channel_policy_from_bits(cell.bandwidth_bits));
+  configure_perturbations(executor, cell);
   const SymmetricFunction f = make_function(cell.function);
   const Rational truth = ground_truth(cell.inputs, f, Knowledge::kNone);
   int stabilized = -1;
@@ -166,6 +209,7 @@ void run_frequency_estimator(const Cell& cell, CellRecord& record,
   executor.set_deadline(cell.timeout_ms);
   executor.set_channel_policy(
       wire::channel_policy_from_bits(cell.bandwidth_bits));
+  configure_perturbations(executor, cell);
   const SymmetricFunction f = make_function(cell.function);
   const double truth = ground_truth(cell.inputs, f, Knowledge::kNone)
                            .to_double();
@@ -206,6 +250,16 @@ void apply_cell_overrides(std::vector<Cell>& cells, double cell_timeout_ms,
   }
 }
 
+bool reusable_on_resume(const CellRecord& record, const Cell& cell) {
+  if (record.verdict != "timeout") return true;
+  // A timeout is only conclusive for budgets no larger than the one that
+  // produced it. Records predating the deadline_ms field (<= 0) carry no
+  // budget to compare against, so they are re-attempted too — the cheap
+  // direction of the ambiguity.
+  return record.deadline_ms > 0.0 && cell.timeout_ms > 0.0 &&
+         cell.timeout_ms <= record.deadline_ms;
+}
+
 Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
   if (options_.shards < 1) {
     throw std::invalid_argument("Runner: shards must be >= 1");
@@ -230,6 +284,8 @@ CellRecord Runner::run_cell(const Cell& cell, bool record_wall_time) {
   record.n = cell.n();
   record.seed = cell.seed;
   record.bandwidth_bits = cell.bandwidth_bits;
+  record.starts = std::string(slug(cell.starts));
+  record.faults = std::string(slug(cell.faults));
 
   if (!cell.admissible) {
     record.verdict = "skipped";
@@ -237,6 +293,13 @@ CellRecord Runner::run_cell(const Cell& cell, bool record_wall_time) {
     record.mechanism = "(not run)";
     return record;
   }
+
+  // Prediction gate: a perturbed cell whose perturbations exceed the agent's
+  // FaultTolerance claim is *expected* to break. Its non-success verdicts
+  // are downgraded to "expected_failure" below; an unexpected success keeps
+  // verdict "ok" with predicted=true so the CLI can flag the mismatch.
+  const std::string predicted = predict_failure(cell);
+  record.predicted = !predicted.empty();
 
   const auto started = std::chrono::steady_clock::now();
   try {
@@ -263,12 +326,25 @@ CellRecord Runner::run_cell(const Cell& cell, bool record_wall_time) {
         break;
     }
     record.verdict = "ok";
+    if (record.predicted && !record.success) {
+      // The breakdown the FaultTolerance table predicted: not a bug, the
+      // measured confirmation of an out-of-claim perturbation.
+      record.verdict = "expected_failure";
+      record.reason = predicted;
+    }
   } catch (const DeadlineExceeded& e) {
     record.verdict = "timeout";
     record.reason = e.what();
     record.success = false;
     record.exact = false;
     record.rounds = e.rounds_run();
+    record.deadline_ms = cell.timeout_ms;
+    if (record.predicted) {
+      // A crash/drop-stalled cell can burn its whole deadline instead of
+      // finishing unsuccessfully; that is still the predicted breakdown.
+      record.verdict = "expected_failure";
+      record.reason = predicted + "; " + e.what();
+    }
   } catch (const wire::BandwidthExceeded& e) {
     // A model verdict, not a crash: the algorithm's messages do not fit
     // the declared channel. Distinct from "failed" so aggregations can
@@ -332,8 +408,8 @@ std::vector<CellRecord> Runner::run(const Grid& grid) const {
   std::unordered_set<std::string> finished;
   bool had_output = false;
   if (!options_.out_path.empty() && options_.resume) {
-    std::unordered_map<std::string, int> wanted;
-    for (const Cell& cell : mine) wanted.emplace(cell.key(), cell.index);
+    std::unordered_map<std::string, const Cell*> wanted;
+    for (const Cell& cell : mine) wanted.emplace(cell.key(), &cell);
     std::unordered_set<std::string> seen;
     for (CellRecord& record : MetricsSink::read_file(options_.out_path)) {
       had_output = true;
@@ -343,7 +419,10 @@ std::vector<CellRecord> Runner::run(const Grid& grid) const {
         foreign.push_back(std::move(record));
         continue;
       }
-      record.cell = it->second;  // re-anchor to the current expansion order
+      // Dropping (not keeping) a non-reusable record re-queues the cell;
+      // the stale line is then superseded by the canonical rewrite.
+      if (!reusable_on_resume(record, *it->second)) continue;
+      record.cell = it->second->index;  // re-anchor to current expansion order
       finished.insert(record.key);
       kept.push_back(std::move(record));
     }

@@ -14,7 +14,9 @@
 // Sharding and resume compose through the cell index and key: a cell runs
 // in the shard the sharding policy assigns it (`index % shards` by default,
 // or the CostModel's LPT assignment under ShardBy::kCost), and a cell whose
-// key already appears in the output file is reused, not recomputed. After
+// key already appears in the output file is reused, not recomputed — except
+// a "timeout" record facing a larger budget, which is re-attempted (see
+// reusable_on_resume). After
 // a run the output file is rewritten in canonical (cell-index) order, so
 // the concatenation of all shards' files — or the same campaign resumed
 // any number of times — is byte-identical to a single-shard run, whichever
@@ -72,6 +74,15 @@ struct RunnerOptions {
 // of the wire derive identical keys from identical options.
 void apply_cell_overrides(std::vector<Cell>& cells, double cell_timeout_ms,
                           std::int64_t bandwidth_bits);
+
+// Resume reuse policy. Most verdicts are pure functions of the cell's
+// coordinates, so a matching key is enough to reuse the record. "timeout" is
+// not: it only says the cell exceeded the *recorded* budget, so a resumed
+// run with a larger (or unlimited) budget must re-attempt the cell instead
+// of pinning the old verdict forever. Shared by the in-process Runner and
+// the socket coordinator so both transports resume identically.
+[[nodiscard]] bool reusable_on_resume(const CellRecord& record,
+                                      const Cell& cell);
 
 class Runner {
  public:

@@ -88,7 +88,31 @@ std::string diagnose(const Spec& spec, const Cell& cell) {
                        "in frequency; campaign pins them to 'average', not '") +
            std::string(slug(cell.function)) + "'";
   }
+  if (cell.agent == AgentKind::kAuto &&
+      (cell.starts != StartsKind::kSynchronous ||
+       cell.faults != FaultsKind::kNone || schedule_churn(cell.schedule))) {
+    return "the computability harness dispatches algorithms proved for the "
+           "clean synchronous model; perturbed cells must pin an explicit "
+           "agent whose FaultTolerance claim the prediction table can gate";
+  }
   return {};
+}
+
+// The declared robustness claim behind an AgentKind (the FaultTolerance
+// analogue of kind_capabilities). kAuto claims nothing — but perturbed
+// kAuto cells are inadmissible anyway (see diagnose).
+FaultTolerance kind_fault_tolerance(AgentKind kind) {
+  switch (kind) {
+    case AgentKind::kAuto:
+      return FaultTolerance::kNone;
+    case AgentKind::kSetGossip:
+      return agent_fault_tolerance<SetGossipAgent>();
+    case AgentKind::kFrequencyPushSum:
+      return agent_fault_tolerance<FrequencyPushSumAgent>();
+    case AgentKind::kMetropolis:
+      return agent_fault_tolerance<FrequencyMetropolisAgent>();
+  }
+  throw std::invalid_argument("kind_fault_tolerance: unknown agent kind");
 }
 
 }  // namespace
@@ -113,6 +137,27 @@ std::string_view slug(ScheduleKind kind) {
     case ScheduleKind::kSpooner: return "spooner";
     case ScheduleKind::kUnionRing: return "union-ring";
     case ScheduleKind::kGrowingGap: return "growing-gap";
+    case ScheduleKind::kPreferentialChurn: return "pref-churn";
+    case ScheduleKind::kGeometricChurn: return "geo-churn";
+  }
+  return "?";
+}
+
+std::string_view slug(StartsKind kind) {
+  switch (kind) {
+    case StartsKind::kSynchronous: return "sync";
+    case StartsKind::kStaggered: return "staggered";
+    case StartsKind::kStraggler: return "straggler";
+  }
+  return "?";
+}
+
+std::string_view slug(FaultsKind kind) {
+  switch (kind) {
+    case FaultsKind::kNone: return "none";
+    case FaultsKind::kCrash: return "crash";
+    case FaultsKind::kDrop: return "drop";
+    case FaultsKind::kCrashDrop: return "crash-drop";
   }
   return "?";
 }
@@ -173,8 +218,23 @@ ScheduleKind parse_schedule(std::string_view text) {
       {ScheduleKind::kStaticPanel, ScheduleKind::kRandomStronglyConnected,
        ScheduleKind::kRandomSymmetric, ScheduleKind::kRandomMatching,
        ScheduleKind::kTokenRing, ScheduleKind::kSpooner,
-       ScheduleKind::kUnionRing, ScheduleKind::kGrowingGap},
+       ScheduleKind::kUnionRing, ScheduleKind::kGrowingGap,
+       ScheduleKind::kPreferentialChurn, ScheduleKind::kGeometricChurn},
       "parse_schedule");
+}
+
+StartsKind parse_starts(std::string_view text) {
+  return parse_enum(text,
+                    {StartsKind::kSynchronous, StartsKind::kStaggered,
+                     StartsKind::kStraggler},
+                    "parse_starts");
+}
+
+FaultsKind parse_faults(std::string_view text) {
+  return parse_enum(text,
+                    {FaultsKind::kNone, FaultsKind::kCrash, FaultsKind::kDrop,
+                     FaultsKind::kCrashDrop},
+                    "parse_faults");
 }
 
 FunctionKind parse_function(std::string_view text) {
@@ -214,6 +274,10 @@ bool schedule_symmetric(ScheduleKind kind) {
     case ScheduleKind::kSpooner:
     case ScheduleKind::kUnionRing:
     case ScheduleKind::kGrowingGap:
+    // The churn overlays filter a symmetric base graph by membership, which
+    // removes both orientations of a pair together: still symmetric.
+    case ScheduleKind::kPreferentialChurn:
+    case ScheduleKind::kGeometricChurn:
       return true;
     case ScheduleKind::kStaticPanel:
     case ScheduleKind::kRandomStronglyConnected:
@@ -225,6 +289,38 @@ bool schedule_symmetric(ScheduleKind kind) {
 
 bool schedule_dynamic(ScheduleKind kind) {
   return kind != ScheduleKind::kStaticPanel;
+}
+
+bool schedule_churn(ScheduleKind kind) {
+  return kind == ScheduleKind::kPreferentialChurn ||
+         kind == ScheduleKind::kGeometricChurn;
+}
+
+std::string predict_failure(const Cell& cell) {
+  const FaultTolerance claimed = kind_fault_tolerance(cell.agent);
+  std::string reasons;
+  const auto unclaimed = [&](FaultTolerance bit, const char* what) {
+    if (tolerates(claimed, bit)) return;
+    if (!reasons.empty()) reasons += "; ";
+    reasons += what;
+  };
+  if (cell.starts != StartsKind::kSynchronous) {
+    unclaimed(FaultTolerance::kAsyncStart,
+              "asynchronous starts outside the agent's tolerance claim");
+  }
+  if (cell.faults == FaultsKind::kCrash || cell.faults == FaultsKind::kCrashDrop) {
+    unclaimed(FaultTolerance::kCrashStop,
+              "crash-stop outside the agent's tolerance claim");
+  }
+  if (cell.faults == FaultsKind::kDrop || cell.faults == FaultsKind::kCrashDrop) {
+    unclaimed(FaultTolerance::kMessageDrop,
+              "message drops outside the agent's tolerance claim");
+  }
+  if (schedule_churn(cell.schedule)) {
+    unclaimed(FaultTolerance::kChurn,
+              "membership churn outside the agent's tolerance claim");
+  }
+  return reasons;
 }
 
 std::string Cell::key() const {
@@ -242,9 +338,14 @@ std::string Cell::key() const {
   out += "/n" + std::to_string(n());
   out += "/v" + std::to_string(variant);
   out += "/s" + std::to_string(seed);
-  // The default (channel off) stays out of the key so pre-bandwidth
-  // campaign outputs resume cleanly against re-expanded grids.
+  // The defaults (channel off, synchronous starts, no faults) stay out of
+  // the key so pre-perturbation campaign outputs resume cleanly against
+  // re-expanded grids.
   if (bandwidth_bits != 0) out += "/b" + std::to_string(bandwidth_bits);
+  if (starts != StartsKind::kSynchronous) {
+    out += "/w" + std::string(slug(starts));
+  }
+  if (faults != FaultsKind::kNone) out += "/f" + std::string(slug(faults));
   return out;
 }
 
@@ -308,7 +409,8 @@ std::vector<Cell> Grid::expand() const {
     if (spec.suite.empty() || spec.agents.empty() || spec.models.empty() ||
         spec.knowledges.empty() || spec.functions.empty() ||
         spec.schedules.empty() || spec.seeds.empty() ||
-        spec.bandwidths.empty() || spec.variants < 1) {
+        spec.bandwidths.empty() || spec.starts.empty() ||
+        spec.faults.empty() || spec.variants < 1) {
       throw std::invalid_argument("Grid::expand: spec block '" + spec.suite +
                                   "' has an empty axis");
     }
@@ -337,46 +439,53 @@ std::vector<Cell> Grid::expand() const {
               for (int size : sizes) {
                 for (int variant = 0; variant < spec.variants; ++variant) {
                   for (std::uint64_t seed : spec.seeds) {
-                    // Innermost by design: with the {0} default this loop
-                    // degenerates and the cell order (hence every index)
-                    // matches pre-bandwidth expansions exactly.
+                    // Innermost by design: with the {0} / {kSynchronous} /
+                    // {kNone} defaults these loops degenerate and the cell
+                    // order (hence every index) matches pre-bandwidth and
+                    // pre-perturbation expansions exactly.
                     for (std::int64_t bandwidth : spec.bandwidths) {
-                      Cell cell;
-                      cell.index = index++;
-                      cell.suite = spec.suite;
-                      cell.agent = agent;
-                      cell.model = model;
-                      cell.knowledge = knowledge;
-                      cell.function = function;
-                      cell.schedule = schedule;
-                      cell.variant = variant;
-                      cell.tolerance = spec.tolerance;
-                      cell.timeout_ms = spec.timeout_ms;
-                      cell.bandwidth_bits = bandwidth;
-                      switch (spec.input_source) {
-                        case InputSource::kPanel:
-                          cell.inputs =
-                              make_static_panel(model, variant).values;
-                          cell.seed = seed;
-                          break;
-                        case InputSource::kFixedSets:
-                          cell.inputs = table2_inputs(variant);
-                          // bench/table2_dynamic seeds the three input sets
-                          // consecutively from the base seed.
-                          cell.seed =
-                              seed + static_cast<std::uint64_t>(variant);
-                          break;
-                        case InputSource::kDerived:
-                          cell.inputs = derived_inputs(size, seed);
-                          cell.seed = seed;
-                          break;
+                      for (StartsKind starts : spec.starts) {
+                        for (FaultsKind faults : spec.faults) {
+                          Cell cell;
+                          cell.index = index++;
+                          cell.suite = spec.suite;
+                          cell.agent = agent;
+                          cell.model = model;
+                          cell.knowledge = knowledge;
+                          cell.function = function;
+                          cell.schedule = schedule;
+                          cell.variant = variant;
+                          cell.tolerance = spec.tolerance;
+                          cell.timeout_ms = spec.timeout_ms;
+                          cell.bandwidth_bits = bandwidth;
+                          cell.starts = starts;
+                          cell.faults = faults;
+                          switch (spec.input_source) {
+                            case InputSource::kPanel:
+                              cell.inputs =
+                                  make_static_panel(model, variant).values;
+                              cell.seed = seed;
+                              break;
+                            case InputSource::kFixedSets:
+                              cell.inputs = table2_inputs(variant);
+                              // bench/table2_dynamic seeds the three input
+                              // sets consecutively from the base seed.
+                              cell.seed =
+                                  seed + static_cast<std::uint64_t>(variant);
+                              break;
+                            case InputSource::kDerived:
+                              cell.inputs = derived_inputs(size, seed);
+                              cell.seed = seed;
+                              break;
+                          }
+                          // rounds == 0 requests the Table 1 horizon 3n + 10.
+                          cell.rounds = spec.rounds > 0 ? spec.rounds
+                                                        : 3 * cell.n() + 10;
+                          cell.skip_reason = diagnose(spec, cell);
+                          cell.admissible = cell.skip_reason.empty();
+                          cells.push_back(std::move(cell));
+                        }
                       }
-                      // rounds == 0 requests the Table 1 horizon 3n + 10.
-                      cell.rounds =
-                          spec.rounds > 0 ? spec.rounds : 3 * cell.n() + 10;
-                      cell.skip_reason = diagnose(spec, cell);
-                      cell.admissible = cell.skip_reason.empty();
-                      cells.push_back(std::move(cell));
                     }
                   }
                 }
@@ -517,6 +626,65 @@ Grid Grid::preset(const std::string& name) {
     grid.add(std::move(pushsum));
   };
 
+  // The scenario zoo: every explicit agent crossed with asynchronous
+  // starts, churn overlays, and crash/drop fault plans, restricted per
+  // agent to the perturbations worth asking about. Cells whose
+  // perturbation set exceeds the agent's FaultTolerance claim are
+  // *predicted* to fail and must — the campaign CLI treats a successful
+  // predicted cell as a prediction mismatch. No timeouts here: verdicts
+  // must be a pure function of the grid for byte-identical output.
+  const auto add_faults = [&grid] {
+    Spec base;
+    base.suite = "faults";
+    base.knowledges = {Knowledge::kNone};
+    base.input_source = InputSource::kDerived;
+    base.sizes = {8};
+    base.seeds = {1, 2};
+    base.rounds = 800;
+    base.tolerance = 1e-3;
+
+    // Gossip survives everything but crash-stop: the crash cells are the
+    // predicted failures (a crashed agent's known-set freezes).
+    Spec gossip = base;
+    gossip.agents = {AgentKind::kSetGossip};
+    gossip.models = {CommModel::kSimpleBroadcast};
+    gossip.functions = {FunctionKind::kMax};
+    gossip.schedules = {ScheduleKind::kRandomSymmetric,
+                        ScheduleKind::kPreferentialChurn,
+                        ScheduleKind::kGeometricChurn};
+    gossip.starts = {StartsKind::kSynchronous, StartsKind::kStaggered,
+                     StartsKind::kStraggler};
+    gossip.faults = {FaultsKind::kNone, FaultsKind::kCrash, FaultsKind::kDrop};
+    grid.add(std::move(gossip));
+
+    // Push-Sum claims churn only: the staggered and drop cells leak or
+    // destroy mass and are predicted to fail.
+    Spec pushsum = base;
+    pushsum.agents = {AgentKind::kFrequencyPushSum};
+    pushsum.models = {CommModel::kOutdegreeAware};
+    pushsum.functions = {FunctionKind::kAverage};
+    pushsum.schedules = {ScheduleKind::kRandomStronglyConnected,
+                         ScheduleKind::kPreferentialChurn,
+                         ScheduleKind::kGeometricChurn};
+    pushsum.starts = {StartsKind::kSynchronous, StartsKind::kStaggered};
+    pushsum.faults = {FaultsKind::kNone, FaultsKind::kDrop};
+    grid.add(std::move(pushsum));
+
+    // Metropolis claims async starts and churn (symmetric omission), not
+    // drops or crashes (one-sided loss breaks pairwise cancellation).
+    Spec metropolis = base;
+    metropolis.agents = {AgentKind::kMetropolis};
+    metropolis.models = {CommModel::kOutdegreeAware};
+    metropolis.functions = {FunctionKind::kAverage};
+    metropolis.schedules = {ScheduleKind::kRandomSymmetric,
+                            ScheduleKind::kPreferentialChurn,
+                            ScheduleKind::kGeometricChurn};
+    metropolis.starts = {StartsKind::kSynchronous, StartsKind::kStraggler};
+    metropolis.faults = {FaultsKind::kNone, FaultsKind::kDrop,
+                         FaultsKind::kCrash};
+    grid.add(std::move(metropolis));
+  };
+
   if (name == "table1") {
     add_table1();
   } else if (name == "table2") {
@@ -528,6 +696,8 @@ Grid Grid::preset(const std::string& name) {
     add_adversarial();
   } else if (name == "bandwidth") {
     add_bandwidth();
+  } else if (name == "faults") {
+    add_faults();
   } else if (name == "smoke") {
     Spec spec;
     spec.suite = "smoke";
@@ -545,13 +715,14 @@ Grid Grid::preset(const std::string& name) {
   } else {
     throw std::invalid_argument("Grid::preset: unknown grid '" + name +
                                 "' (expected one of: table1, table2, tables, "
-                                "adversarial, bandwidth, smoke)");
+                                "adversarial, bandwidth, faults, smoke)");
   }
   return grid;
 }
 
 std::vector<std::string> Grid::preset_names() {
-  return {"table1", "table2", "tables", "adversarial", "bandwidth", "smoke"};
+  return {"table1", "table2", "tables",
+          "adversarial", "bandwidth", "faults", "smoke"};
 }
 
 }  // namespace anonet::campaign

@@ -51,6 +51,25 @@ enum class ScheduleKind {
   kSpooner,                 // bounded-D information-delay adversary
   kUnionRing,               // ring split into phases; no round is connected
   kGrowingGap,              // ring on power-of-two rounds only; unbounded D
+  kPreferentialChurn,       // preferential-attachment overlay + epoch churn
+  kGeometricChurn,          // random-geometric overlay + epoch churn
+};
+
+// Asynchronous-start axis: which executor StartSchedule the cell installs
+// (dynamics/perturbation.hpp). Concrete wake rounds are derived from n in
+// the runner; the kind is the grid coordinate.
+enum class StartsKind {
+  kSynchronous, // everyone awake from round 1 (the default; out of the key)
+  kStaggered,   // agent v wakes at round 1 + 2v
+  kStraggler,   // all awake at 1 except the last agent (late by ~25 rounds)
+};
+
+// Fault-injection axis: which executor FaultPlan the cell installs.
+enum class FaultsKind {
+  kNone,      // clean run (the default; out of the key)
+  kCrash,     // agent 0 crash-stops at round 1
+  kDrop,      // 30% iid per-(round, edge) message loss
+  kCrashDrop, // both
 };
 
 // One representative function per class of Section 2.3, mirroring the
@@ -66,6 +85,8 @@ enum class FunctionKind {
 [[nodiscard]] std::string_view slug(FunctionKind kind);
 [[nodiscard]] std::string_view slug(CommModel model);
 [[nodiscard]] std::string_view slug(Knowledge knowledge);
+[[nodiscard]] std::string_view slug(StartsKind kind);
+[[nodiscard]] std::string_view slug(FaultsKind kind);
 
 // Inverse of slug(); throws std::invalid_argument on unknown names.
 [[nodiscard]] AgentKind parse_agent(std::string_view text);
@@ -73,6 +94,8 @@ enum class FunctionKind {
 [[nodiscard]] FunctionKind parse_function(std::string_view text);
 [[nodiscard]] CommModel parse_model(std::string_view text);
 [[nodiscard]] Knowledge parse_knowledge(std::string_view text);
+[[nodiscard]] StartsKind parse_starts(std::string_view text);
+[[nodiscard]] FaultsKind parse_faults(std::string_view text);
 
 // The SymmetricFunction behind a FunctionKind (functions/functions.hpp).
 [[nodiscard]] SymmetricFunction make_function(FunctionKind kind);
@@ -87,6 +110,11 @@ enum class FunctionKind {
 // but kStaticPanel). kOutputPortAware cells on these are inadmissible: a
 // port labelling is only meaningful for a static network.
 [[nodiscard]] bool schedule_dynamic(ScheduleKind kind);
+
+// True for the churn families (membership join/leave): a perturbation in
+// its own right, entering the failure-prediction table as FaultTolerance::
+// kChurn even though it rides on the schedule axis.
+[[nodiscard]] bool schedule_churn(ScheduleKind kind);
 
 // One fully-specified simulation: everything the runner needs to rebuild
 // the network, construct the agents, and judge the outcome.
@@ -115,6 +143,12 @@ struct Cell {
   // unbounded one — so non-zero values join key(); the default stays out
   // of the key, keeping pre-bandwidth campaign outputs resumable.
   std::int64_t bandwidth_bits = 0;
+  // Perturbation coordinates (dynamics/perturbation.hpp): which start
+  // schedule and fault plan the runner installs. Both are coordinates — a
+  // faulted cell answers a different question — and both defaults stay out
+  // of key(), keeping pre-perturbation campaign outputs resumable.
+  StartsKind starts = StartsKind::kSynchronous;
+  FaultsKind faults = FaultsKind::kNone;
 
   bool admissible = true;   // false => the runner records "skipped"
   std::string skip_reason;  // diagnosis for inadmissible cells
@@ -123,11 +157,22 @@ struct Cell {
 
   // Stable identity used for resume:
   //   suite/agent/model/knowledge/function/schedule/n6/v0/s17
-  // with "/b<bits>" appended only when bandwidth_bits != 0.
+  // with "/b<bits>" appended only when bandwidth_bits != 0, "/w<starts>"
+  // only when starts != kSynchronous, and "/f<faults>" only when
+  // faults != kNone.
   // A cell's key is a pure function of its coordinates (never of results),
   // so a half-written campaign can be matched against a re-expansion.
   [[nodiscard]] std::string key() const;
 };
+
+// The robustness prediction table (runtime/capabilities.hpp): the reasons
+// theory predicts this cell to fail — perturbations the cell applies
+// (starts axis, faults axis, churn schedule) that its agent's declared
+// FaultTolerance does not claim to survive. Empty = predicted to succeed.
+// The runner rewrites a predicted cell's negative verdict to
+// "expected_failure"; a predicted cell that *succeeds* is a prediction
+// mismatch the campaign CLI fails on.
+[[nodiscard]] std::string predict_failure(const Cell& cell);
 
 // Where a Spec block's input vectors come from.
 enum class InputSource {
@@ -163,6 +208,11 @@ struct Spec {
   // the channel off and — because the bandwidth loop is innermost — leaves
   // the cell list of every pre-bandwidth grid unchanged, index for index.
   std::vector<std::int64_t> bandwidths = {0};
+  // Perturbation axes (Cell::starts / Cell::faults semantics). Like the
+  // bandwidth axis, the defaults degenerate their (innermost) loops so
+  // pre-perturbation grids keep their cell order and indices.
+  std::vector<StartsKind> starts = {StartsKind::kSynchronous};
+  std::vector<FaultsKind> faults = {FaultsKind::kNone};
   std::vector<OpenCell> open_cells;
 };
 
@@ -194,13 +244,16 @@ class Grid {
 
   // Deterministic flattening: blocks in insertion order; within a block the
   // loop nest is knowledge (outer) > model > function > schedule > size >
-  // variant > seed > bandwidth (inner). Fills index, inputs, admissibility.
+  // variant > seed > bandwidth > starts > faults (inner). Fills index,
+  // inputs, admissibility.
   [[nodiscard]] std::vector<Cell> expand() const;
 
   // Named grids: "table1", "table2", "tables" (both), "adversarial"
   // (explicit agents on the worst-case schedules), "bandwidth" (explicit
-  // estimators under metered and bounded channels), "smoke" (a fast
-  // sub-minute subset). Throws std::invalid_argument on unknown names.
+  // estimators under metered and bounded channels), "faults" (the scenario
+  // zoo: async starts x churn overlays x crash/drop, with theory-predicted
+  // breakdowns), "smoke" (a fast sub-minute subset). Throws
+  // std::invalid_argument on unknown names.
   [[nodiscard]] static Grid preset(const std::string& name);
   [[nodiscard]] static std::vector<std::string> preset_names();
 

@@ -41,6 +41,13 @@ class SetGossipAgent {
   // broadcast cell of Table 1, hence runnable under every model.
   static constexpr ModelCapabilities kModelCapabilities =
       ModelCapabilities::kNone;
+  // Flooding a monotone set union is idempotent: late wake-ups, lost
+  // copies and temporary absences only delay dissemination, they never
+  // corrupt it. Crash-stop is fatal — a crashed agent's known-set (and
+  // hence its output) freezes, and its value may never have been sent.
+  static constexpr FaultTolerance kFaultTolerance =
+      FaultTolerance::kAsyncStart | FaultTolerance::kMessageDrop |
+      FaultTolerance::kChurn;
 
   explicit SetGossipAgent(std::int64_t input) : input_(input) {
     known_.insert(input);

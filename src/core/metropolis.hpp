@@ -50,6 +50,14 @@ class MetropolisAgent {
   // graphs: the executor verifies symmetry every round.
   static constexpr ModelCapabilities kModelCapabilities =
       ModelCapabilities::kNeedsOutdegree | ModelCapabilities::kSymmetricOnly;
+  // The pairwise terms vanish *symmetrically* when a neighbor is inert: a
+  // sleeping or absent vertex neither sends nor transitions, so both sides
+  // of the (u, v) term are missing and the sum is still conserved — async
+  // starts and churn are safe. A one-directional message drop is not (one
+  // side applies the term, the other does not), and a crashed agent's
+  // output is stuck off-average forever.
+  static constexpr FaultTolerance kFaultTolerance =
+      FaultTolerance::kAsyncStart | FaultTolerance::kChurn;
 
   explicit MetropolisAgent(double value) : x_(value) {}
 
@@ -86,6 +94,10 @@ class FrequencyMetropolisAgent {
   // Same cell as MetropolisAgent: round degrees + symmetric networks.
   static constexpr ModelCapabilities kModelCapabilities =
       ModelCapabilities::kNeedsOutdegree | ModelCapabilities::kSymmetricOnly;
+  // Same robustness profile as MetropolisAgent: symmetric omission is
+  // conserved, one-sided loss is not.
+  static constexpr FaultTolerance kFaultTolerance =
+      FaultTolerance::kAsyncStart | FaultTolerance::kChurn;
 
   explicit FrequencyMetropolisAgent(std::int64_t input);
 

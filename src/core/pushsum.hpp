@@ -52,6 +52,13 @@ class PushSumAgent {
   // awareness); the executor rejects this agent under broadcast models.
   static constexpr ModelCapabilities kModelCapabilities =
       ModelCapabilities::kNeedsOutdegree;
+  // Mass conservation survives churn (an absent vertex holds its y, z on
+  // its self-loop and rejoins intact) but nothing else: an executor-level
+  // sleeping or crashed receiver swallows its 1/d share, and a dropped
+  // message destroys mass outright. (Graph-level async starts, where the
+  // edge is absent and the outdegree shrinks accordingly, are the variant
+  // Push-Sum does tolerate — see AsyncStartSchedule.)
+  static constexpr FaultTolerance kFaultTolerance = FaultTolerance::kChurn;
 
   // y(0) = value, z(0) = weight (> 0); x converges to Σ values / Σ weights.
   PushSumAgent(double value, double weight);
@@ -95,6 +102,8 @@ class FrequencyPushSumAgent {
   // Per-value Push-Sum inherits the 1/d split: outdegree awareness required.
   static constexpr ModelCapabilities kModelCapabilities =
       ModelCapabilities::kNeedsOutdegree;
+  // Inherits Push-Sum's robustness profile: churn only (see PushSumAgent).
+  static constexpr FaultTolerance kFaultTolerance = FaultTolerance::kChurn;
 
   // `leader_count` empty: Algorithm 1 (z defaults to 1 everywhere).
   // `leader_count` set: the Section 5.5 variant — z defaults to 1 at leaders

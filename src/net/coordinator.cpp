@@ -82,8 +82,8 @@ std::vector<CellRecord> Coordinator::run() {
   std::unordered_set<std::string> finished;
   bool had_output = false;
   if (!options_.out_path.empty() && options_.resume) {
-    std::unordered_map<std::string, int> wanted;
-    for (const Cell& cell : cells) wanted.emplace(cell.key(), cell.index);
+    std::unordered_map<std::string, const Cell*> wanted;
+    for (const Cell& cell : cells) wanted.emplace(cell.key(), &cell);
     std::unordered_set<std::string> seen;
     for (CellRecord& record : MetricsSink::read_file(options_.out_path)) {
       had_output = true;
@@ -93,7 +93,10 @@ std::vector<CellRecord> Coordinator::run() {
         foreign.push_back(std::move(record));
         continue;
       }
-      record.cell = it->second;
+      // Same reuse policy as the in-process Runner: a "timeout" facing a
+      // larger budget is dropped here so the cell is dispatched again.
+      if (!campaign::reusable_on_resume(record, *it->second)) continue;
+      record.cell = it->second->index;
       finished.insert(record.key);
       kept.push_back(std::move(record));
     }
@@ -337,6 +340,19 @@ std::vector<CellRecord> Coordinator::run() {
     // the same reassignment path, then reap them.
     for (const std::unique_ptr<Peer>& peer : peers) {
       if (!peer->socket.valid()) drop_peer(*peer);
+    }
+    // Demand-feed after the sweep. Assignment is otherwise driven only by
+    // verdict and HELLO frames, but a reap can refill the queue when every
+    // surviving (or replacement) worker has already drained its window —
+    // those workers have no verdict left to send, so nothing would ever
+    // hand them the returned cells and the campaign would hang with work
+    // queued and every worker idle.
+    for (const std::unique_ptr<Peer>& peer : peers) {
+      if (queue.empty()) break;
+      if (started && peer->greeted && peer->socket.valid() &&
+          !assign_work(*peer)) {
+        drop_peer(*peer);
+      }
     }
     std::erase_if(peers, [](const std::unique_ptr<Peer>& peer) {
       return !peer->socket.valid();

@@ -121,6 +121,67 @@ template <typename A>
   return true;
 }
 
+// What perturbations (dynamics/perturbation.hpp) an agent provably
+// survives — the robustness analogue of ModelCapabilities, consumed by the
+// campaign layer's prediction table: running an agent under a perturbation
+// it does not claim makes the cell a theory-predicted failure
+// (`expected_failure`), and a success there is a *prediction mismatch*,
+// not good news. Claims are about the executor-level perturbations:
+//
+//  - kAsyncStart: correct when agents wake at different rounds (frozen
+//    pre-wake, mass sent toward sleepers lost). SetGossip qualifies
+//    (flooding a max is idempotent); FrequencyPushSum does NOT — the 1/d
+//    split leaks mass to sleeping receivers, breaking conservation (the
+//    graph-wrapper AsyncStartSchedule, where edges are absent instead, is
+//    the variant it does tolerate).
+//  - kCrashStop: correct when an agent halts permanently with its output
+//    stuck at its last state. Nobody in src/core claims it: every family
+//    computes over *all* inputs, and a crashed agent's value can become
+//    unreachable while its frozen output stays wrong.
+//  - kMessageDrop: correct under iid message loss (self-loops immune).
+//    SetGossip qualifies (flooding is idempotent and monotone); mass- and
+//    average-conserving protocols do not (a one-directional loss breaks
+//    conservation / pairwise cancellation).
+//  - kChurn: correct under epoch join/leave where an absent vertex keeps
+//    only its self-loop and rejoins with state intact. All three core
+//    families qualify: an absent agent is just isolated for a while, which
+//    finite-dynamic-diameter arguments absorb.
+enum class FaultTolerance : std::uint8_t {
+  kNone = 0,
+  kAsyncStart = 1u << 0,
+  kCrashStop = 1u << 1,
+  kMessageDrop = 1u << 2,
+  kChurn = 1u << 3,
+};
+
+[[nodiscard]] constexpr FaultTolerance operator|(FaultTolerance a,
+                                                 FaultTolerance b) {
+  return static_cast<FaultTolerance>(static_cast<std::uint8_t>(a) |
+                                     static_cast<std::uint8_t>(b));
+}
+
+[[nodiscard]] constexpr bool tolerates(FaultTolerance set, FaultTolerance bit) {
+  return (static_cast<std::uint8_t>(set) & static_cast<std::uint8_t>(bit)) !=
+         0;
+}
+
+template <typename A>
+concept DeclaresFaultTolerance = requires {
+  { A::kFaultTolerance } -> std::convertible_to<FaultTolerance>;
+};
+
+// The declared tolerance set; undeclared agents claim nothing, so every
+// perturbed cell they run in is predicted to fail (the conservative
+// reading — a claim must be explicit to be gated on).
+template <typename A>
+[[nodiscard]] constexpr FaultTolerance agent_fault_tolerance() {
+  if constexpr (DeclaresFaultTolerance<A>) {
+    return A::kFaultTolerance;
+  } else {
+    return FaultTolerance::kNone;
+  }
+}
+
 // Compile-time model selection. Passing a tag instead of the runtime enum
 //     Executor<PushSumAgent> exec(net, agents, under<CommModel::kOutdegreeAware>);
 // turns a forbidden agent/model pairing into a static_assert instead of a

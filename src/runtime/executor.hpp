@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "dynamics/dynamic_graph.hpp"
+#include "dynamics/perturbation.hpp"
 #include "runtime/capabilities.hpp"
 #include "runtime/comm_model.hpp"
 #include "support/counter_rng.hpp"
@@ -288,6 +289,41 @@ class Executor {
     return channel_policy_;
   }
 
+  // Installs an asynchronous start schedule (dynamics/perturbation.hpp):
+  // agent v is inert until round wake_rounds[v] — it sends nothing (and is
+  // metered for nothing) and ignores deliveries, its state frozen at the
+  // initial state. The round graph itself is untouched: an awake sender
+  // still splits across its full outdegree, so messages aimed at sleepers
+  // are paid for and lost. An empty schedule (the default) disarms the
+  // gate and restores the exact unperturbed code path.
+  void set_start_schedule(StartSchedule starts) {
+    if (!starts.wake_rounds.empty() &&
+        starts.wake_rounds.size() != agents_.size()) {
+      throw std::invalid_argument(
+          "Executor: start schedule needs one wake round per agent");
+    }
+    starts_ = std::move(starts);
+    update_perturbed();
+  }
+
+  // Installs crash-stop and message-drop faults (dynamics/perturbation.hpp).
+  // A crashed agent permanently stops sending and transitioning (its last
+  // state stays readable); a dropped message is measured at the sender —
+  // channel accounting sees it — but never delivered. Drop decisions are a
+  // pure function of (drop_seed, round, edge id), so the loss pattern is
+  // identical across thread counts. Self-loops never drop. A trivial plan
+  // (the default) disarms the gate.
+  void set_fault_plan(FaultPlan faults) {
+    if (!faults.crash_rounds.empty() &&
+        faults.crash_rounds.size() != agents_.size()) {
+      throw std::invalid_argument(
+          "Executor: fault plan needs one crash round per agent");
+    }
+    faults_ = std::move(faults);
+    drop_threshold_ = drop_threshold(faults_.drop_rate);
+    update_perturbed();
+  }
+
   // Overrides the adaptive block grain (see grain_for below) with a fixed
   // item count per block for both phases; 0 restores adaptive sizing. Grain
   // choices never change results — block boundaries affect only which worker
@@ -368,6 +404,12 @@ class Executor {
       }
     }
 
+    // Perturbation gate: resolved once per round into a per-sender activity
+    // map (send blocks fill their own slots; the phase barrier publishes
+    // them to every deliver block). Unperturbed runs never touch it.
+    const bool perturbed = perturbed_;
+    if (perturbed && sender_active_.size() < n) sender_active_.resize(n);
+
     const auto n64 = static_cast<std::int64_t>(n);
     const std::int64_t send_grain = grain_for(send_ns_per_item_, n64);
     const std::int64_t send_blocks = ThreadPool::block_count(n64, send_grain);
@@ -388,6 +430,16 @@ class Executor {
                Partial local;
                for (std::int64_t i = begin; i < end; ++i) {
                  const auto v = static_cast<Vertex>(i);
+                 if (perturbed) {
+                   // Pre-wake and crashed agents send nothing: their outbox
+                   // slot stays stale and delivery skips it via this map, so
+                   // nothing is metered for them either.
+                   const bool active =
+                       starts_.awake(v, t) && !faults_.crashed(v, t);
+                   sender_active_[static_cast<std::size_t>(i)] =
+                       active ? 1 : 0;
+                   if (!active) continue;
+                 }
                  const auto out = g.out_edges(v);
                  const int d = static_cast<int>(out.size());
                  const Alg& agent = agents_[static_cast<std::size_t>(i)];
@@ -463,22 +515,44 @@ class Executor {
                Partial local;
                for (std::int64_t i = begin; i < end; ++i) {
                  const auto v = static_cast<Vertex>(i);
+                 if (perturbed &&
+                     !sender_active_[static_cast<std::size_t>(i)]) {
+                   // Pre-wake or crashed receiver: deliveries evaporate and
+                   // the state stays frozen (no transition, no counts).
+                   continue;
+                 }
                  const std::size_t base = in_offset_[static_cast<std::size_t>(i)];
                  const std::size_t deg =
                      in_offset_[static_cast<std::size_t>(i) + 1] - base;
+                 std::size_t got = 0;
                  for (std::size_t k = 0; k < deg; ++k) {
+                   if (perturbed) {
+                     // A message exists only if its sender was active this
+                     // round, and travels only if the wire keeps it: drops
+                     // are decided per (round, edge) by a counter RNG —
+                     // thread-invariant — and self-loops never drop. Either
+                     // way the sender already paid for it (metered at send).
+                     const auto src =
+                         static_cast<std::size_t>(in_source_[base + k]);
+                     if (!sender_active_[src]) continue;
+                     if (static_cast<Vertex>(src) != v &&
+                         drops_message(faults_.drop_seed, t,
+                                       in_edge_[base + k], drop_threshold_)) {
+                       continue;
+                     }
+                   }
                    // Slot-aligned topology arrays (prepare_topology): no
                    // indirection through the graph in the hot loop.
                    if (port_aware) {
                      const auto slot =
                          static_cast<std::size_t>(in_edge_[base + k]);
-                     arena_[base + k] = edge_outbox_[slot];
-                     local.payload += message_weight(arena_[base + k]);
+                     arena_[base + got] = edge_outbox_[slot];
+                     local.payload += message_weight(arena_[base + got]);
                      if (metering) local.recv_bits += edge_outbox_bits_[slot];
                    } else {
                      const auto src =
                          static_cast<std::size_t>(in_source_[base + k]);
-                     arena_[base + k] = outbox_[src];
+                     arena_[base + got] = outbox_[src];
                      if constexpr (kWeighted) {
                        local.payload += outbox_weight_[src];
                      } else {
@@ -486,30 +560,34 @@ class Executor {
                      }
                      if (metering) local.recv_bits += outbox_bits_[src];
                    }
+                   ++got;
                  }
-                 local.messages += static_cast<std::int64_t>(deg);
-                 if (deg > 1) {
+                 local.messages += static_cast<std::int64_t>(got);
+                 if (got > 1) {
                    // Fisher–Yates keyed on (seed, round, vertex): cheaper
                    // than std::shuffle's division-based bounded draws and
                    // still a pure function of the key (thread-invariant).
+                   // Under perturbation the key is unchanged and the shuffle
+                   // runs over the compacted survivor count, so the order is
+                   // still a pure function of (seed, t, v, survivors).
                    CounterRng rng(seed_, static_cast<std::uint64_t>(t),
                                   static_cast<std::uint64_t>(v));
                    Message* slice = arena_.data() + base;
-                   for (std::size_t k = deg - 1; k > 0; --k) {
+                   for (std::size_t k = got - 1; k > 0; --k) {
                      std::swap(slice[k], slice[rng.bounded(k + 1)]);
                    }
                  }
                  Alg& agent = agents_[static_cast<std::size_t>(i)];
                  if constexpr (HasSpanReceive<Alg>) {
                    agent.receive(
-                       std::span<const Message>(arena_.data() + base, deg));
+                       std::span<const Message>(arena_.data() + base, got));
                  } else {
                    const auto slice_begin =
                        arena_.begin() + static_cast<std::ptrdiff_t>(base);
                    agent.receive(std::vector<Message>(
                        std::make_move_iterator(slice_begin),
                        std::make_move_iterator(
-                           slice_begin + static_cast<std::ptrdiff_t>(deg))));
+                           slice_begin + static_cast<std::ptrdiff_t>(got))));
                  }
                }
                partials_[static_cast<std::size_t>(b)] = local;
@@ -663,6 +741,18 @@ class Executor {
   int threads_;
   std::unique_ptr<ThreadPool> pool_;
   ExecutorStats stats_;
+
+  void update_perturbed() {
+    perturbed_ = !starts_.trivial() || !faults_.trivial();
+  }
+
+  // Perturbation state (set_start_schedule / set_fault_plan). perturbed_
+  // caches "any gate armed" so the unperturbed hot path pays one branch.
+  StartSchedule starts_;
+  FaultPlan faults_;
+  std::uint64_t drop_threshold_ = 0;
+  bool perturbed_ = false;
+  std::vector<unsigned char> sender_active_;  // per-round activity map
 
   // Cooperative deadline (set_deadline): checked at the top of step().
   bool deadline_armed_ = false;

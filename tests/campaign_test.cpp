@@ -546,71 +546,47 @@ TEST(CampaignParallel, ThreadedRunMatchesSerial) {
   }
 }
 
-TEST(Campaign, SinkBatchesFlushesAndFlushesOnClose) {
-  // Fewer appends than the flush interval: the records must still be on
-  // disk after close() — close is the flush of last resort.
-  const std::string path = temp_path("batched_sink.jsonl");
-  const int count = MetricsSink::kFlushInterval / 4;
-  {
-    MetricsSink sink(path, false, /*append=*/false);
-    for (int i = 0; i < count; ++i) {
-      CellRecord record;
-      record.cell = i;
-      record.key = std::to_string(i);
-      sink.append(record);
-    }
-    sink.close();
-    const std::vector<CellRecord> flushed = MetricsSink::read_file(path);
-    EXPECT_EQ(flushed.size(), static_cast<std::size_t>(count));
-  }
-  // And crossing the interval flushes without close.
-  const std::string path2 = temp_path("batched_sink2.jsonl");
-  MetricsSink sink(path2, false, /*append=*/false);
-  for (int i = 0; i < MetricsSink::kFlushInterval; ++i) {
-    CellRecord record;
-    record.cell = i;
-    record.key = std::to_string(i);
-    sink.append(record);
-  }
-  EXPECT_EQ(MetricsSink::read_file(path2).size(),
-            static_cast<std::size_t>(MetricsSink::kFlushInterval));
-  sink.close();
-  std::remove(path.c_str());
-  std::remove(path2.c_str());
-}
-
 TEST(Campaign, SinkIsDurablePerVerdictRecord) {
-  // Remote-use contract (src/net/): a record carrying a verdict is an
-  // acknowledged cell and must be on disk the moment append() returns, so
-  // a worker killed mid-stream (no close(), no destructor) never loses a
-  // cell its coordinator already counted. Reading the file while the sink
-  // is still open is exactly what a post-kill recovery would see — the
-  // batch interval must not be holding the record in the stream buffer.
+  // Remote-use contract (src/net/): an appended record is an acknowledged
+  // cell and must be on disk the moment append() returns, so a worker
+  // killed mid-stream (no close(), no destructor) never loses a cell its
+  // coordinator already counted. Reading the file while the sink is still
+  // open is exactly what a post-kill recovery would see — there is no
+  // batching interval allowed to hold a record in the stream buffer, for
+  // *any* verdict spelling (the old interval path only triggered for
+  // verdict-bearing records and silently buffered the rest).
   const std::string path = temp_path("durable_sink.jsonl");
   MetricsSink sink(path, false, /*append=*/false);
-  for (int i = 0; i < 3; ++i) {
+  const char* verdicts[] = {"ok", "", "timeout", "expected_failure"};
+  for (int i = 0; i < 4; ++i) {
     CellRecord record;
     record.cell = i;
     record.key = "cell-" + std::to_string(i);
-    record.verdict = "ok";
+    record.verdict = verdicts[i];
     sink.append(record);
-    EXPECT_EQ(MetricsSink::read_file(path).size(),
-              static_cast<std::size_t>(i) + 1)
-        << "verdict-bearing record " << i << " not flushed on append";
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+      if (!line.empty()) ++lines;
+    }
+    EXPECT_EQ(lines, static_cast<std::size_t>(i) + 1)
+        << "record " << i << " (verdict '" << verdicts[i]
+        << "') not flushed before the next cell starts";
   }
   // Resume against the mid-stream file: every acknowledged record is
   // parseable and reusable, and new appends extend rather than clobber.
   {
     MetricsSink resumed(path, false, /*append=*/true);
     CellRecord record;
-    record.cell = 3;
-    record.key = "cell-3";
+    record.cell = 4;
+    record.key = "cell-4";
     resumed.append(record);
   }
   const std::vector<CellRecord> records = MetricsSink::read_file(path);
-  ASSERT_EQ(records.size(), 4u);
+  ASSERT_EQ(records.size(), 5u);
   EXPECT_EQ(records.front().key, "cell-0");
-  EXPECT_EQ(records.back().key, "cell-3");
+  EXPECT_EQ(records.back().key, "cell-4");
   sink.close();
   std::remove(path.c_str());
 }
@@ -1035,6 +1011,337 @@ TEST(CampaignDeterminism, BandwidthGridShardsToIdenticalCanonicalBytes) {
   }
   EXPECT_EQ(read_bytes(single), read_bytes(sharded));
   std::remove(single.c_str());
+  std::remove(sharded.c_str());
+}
+
+TEST(Campaign, PerturbationAxesExpandInnermostAndSuffixKeys) {
+  Spec spec = derived_spec();
+  spec.agents = {AgentKind::kSetGossip};
+  spec.models = {CommModel::kSimpleBroadcast};
+  spec.functions = {FunctionKind::kMax};
+  spec.seeds = {1, 2};
+  spec.starts = {StartsKind::kSynchronous, StartsKind::kStaggered};
+  spec.faults = {FaultsKind::kNone, FaultsKind::kCrash};
+  const std::vector<Cell> cells = single_spec_grid(spec).expand();
+  ASSERT_EQ(cells.size(), 8u);
+  // faults is the innermost axis, starts the next one out, both inside seed.
+  EXPECT_EQ(cells[0].faults, FaultsKind::kNone);
+  EXPECT_EQ(cells[1].faults, FaultsKind::kCrash);
+  EXPECT_EQ(cells[0].starts, StartsKind::kSynchronous);
+  EXPECT_EQ(cells[2].starts, StartsKind::kStaggered);
+  EXPECT_EQ(cells[0].seed, cells[3].seed);
+  EXPECT_NE(cells[0].seed, cells[4].seed);
+  // Unperturbed cells keep their pre-perturbation key bytes; perturbed
+  // cells append the /w (starts) and /f (faults) coordinates.
+  EXPECT_EQ(cells[0].key().find("/w"), std::string::npos);
+  EXPECT_EQ(cells[0].key().find("/f"), std::string::npos);
+  EXPECT_NE(cells[1].key().find("/fcrash"), std::string::npos);
+  EXPECT_NE(cells[2].key().find("/wstaggered"), std::string::npos);
+  EXPECT_NE(cells[3].key().find("/wstaggered"), std::string::npos);
+  EXPECT_NE(cells[3].key().find("/fcrash"), std::string::npos);
+}
+
+TEST(Campaign, DefaultGridsCarryNoPerturbationCoordinate) {
+  for (const std::string& name : {std::string("smoke"), std::string("tables"),
+                                  std::string("adversarial")}) {
+    for (const Cell& cell : Grid::preset(name).expand()) {
+      EXPECT_EQ(cell.starts, StartsKind::kSynchronous) << cell.key();
+      EXPECT_EQ(cell.faults, FaultsKind::kNone) << cell.key();
+      // No perturbation coordinate suffix on any default cell ("/f" alone
+      // is too loose a probe: "…/freq-pushsum/…" contains it).
+      for (const char* suffix : {"/wstaggered", "/wstraggler", "/fcrash",
+                                 "/fdrop", "/fcrash-drop"}) {
+        EXPECT_EQ(cell.key().find(suffix), std::string::npos)
+            << cell.key() << " carries " << suffix;
+      }
+    }
+  }
+}
+
+TEST(Campaign, ExpandValidatesThePerturbationAxes) {
+  Spec no_starts = derived_spec();
+  no_starts.agents = {AgentKind::kSetGossip};
+  no_starts.models = {CommModel::kSimpleBroadcast};
+  no_starts.starts.clear();
+  EXPECT_THROW(single_spec_grid(no_starts).expand(), std::invalid_argument);
+  Spec no_faults = derived_spec();
+  no_faults.agents = {AgentKind::kSetGossip};
+  no_faults.models = {CommModel::kSimpleBroadcast};
+  no_faults.faults.clear();
+  EXPECT_THROW(single_spec_grid(no_faults).expand(), std::invalid_argument);
+}
+
+TEST(Campaign, PerturbationSlugsRoundTrip) {
+  for (StartsKind kind : {StartsKind::kSynchronous, StartsKind::kStaggered,
+                          StartsKind::kStraggler}) {
+    EXPECT_EQ(parse_starts(slug(kind)), kind);
+  }
+  for (FaultsKind kind : {FaultsKind::kNone, FaultsKind::kCrash,
+                          FaultsKind::kDrop, FaultsKind::kCrashDrop}) {
+    EXPECT_EQ(parse_faults(slug(kind)), kind);
+  }
+  EXPECT_THROW((void)parse_starts("late"), std::invalid_argument);
+  EXPECT_THROW((void)parse_faults("byzantine"), std::invalid_argument);
+}
+
+TEST(Campaign, PerturbedAutoCellsAreSkipped) {
+  // The computability harness dispatches clean-model algorithms; perturbed
+  // cells must pin an explicit agent so the prediction table can gate them.
+  Spec spec = derived_spec();
+  spec.agents = {AgentKind::kAuto};
+  spec.models = {CommModel::kOutdegreeAware};
+  spec.faults = {FaultsKind::kDrop};
+  const std::vector<Cell> cells = single_spec_grid(spec).expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_FALSE(cells[0].admissible);
+  EXPECT_EQ(Runner::run_cell(cells[0]).verdict, "skipped");
+}
+
+TEST(Campaign, PredictFailureFollowsTheToleranceClaims) {
+  Cell cell;
+  cell.agent = AgentKind::kSetGossip;
+  cell.schedule = ScheduleKind::kRandomSymmetric;
+
+  // In-claim perturbations predict nothing.
+  cell.starts = StartsKind::kStaggered;
+  cell.faults = FaultsKind::kDrop;
+  EXPECT_EQ(predict_failure(cell), "");
+  cell.schedule = ScheduleKind::kPreferentialChurn;
+  EXPECT_EQ(predict_failure(cell), "");
+
+  // Gossip does not claim crash-stop.
+  cell.schedule = ScheduleKind::kRandomSymmetric;
+  cell.starts = StartsKind::kSynchronous;
+  cell.faults = FaultsKind::kCrash;
+  EXPECT_NE(predict_failure(cell).find("crash-stop"), std::string::npos);
+
+  // Push-Sum claims churn only: executor-level async starts and drops are
+  // both out of claim, and the reasons accumulate.
+  cell.agent = AgentKind::kFrequencyPushSum;
+  cell.schedule = ScheduleKind::kGeometricChurn;
+  cell.starts = StartsKind::kStaggered;
+  cell.faults = FaultsKind::kDrop;
+  const std::string reasons = predict_failure(cell);
+  EXPECT_NE(reasons.find("asynchronous starts"), std::string::npos);
+  EXPECT_NE(reasons.find("message drops"), std::string::npos);
+  EXPECT_EQ(reasons.find("churn"), std::string::npos);
+  EXPECT_NE(reasons.find("; "), std::string::npos);
+
+  // Metropolis claims async starts + churn but not one-sided drops.
+  cell.agent = AgentKind::kMetropolis;
+  cell.starts = StartsKind::kStraggler;
+  cell.faults = FaultsKind::kNone;
+  EXPECT_EQ(predict_failure(cell), "");
+  cell.faults = FaultsKind::kDrop;
+  EXPECT_NE(predict_failure(cell).find("message drops"), std::string::npos);
+}
+
+TEST(Campaign, RecordJsonRoundTripsPerturbationFields) {
+  CellRecord record;
+  record.cell = 3;
+  record.key = "faults/set-gossip/simple-broadcast/none/max/pref-churn/"
+               "n8/v0/s1/fcrash";
+  record.suite = "faults";
+  record.starts = "sync";
+  record.faults = "crash";
+  record.verdict = "expected_failure";
+  record.reason = "crash-stop outside the agent's tolerance claim";
+  record.predicted = true;
+  const std::string line = MetricsSink::to_json(record, false);
+  // Default starts stay out of the line; the armed faults coordinate and
+  // the prediction flag appear.
+  EXPECT_EQ(line.find("\"starts\""), std::string::npos);
+  EXPECT_NE(line.find("\"faults\":\"crash\""), std::string::npos);
+  EXPECT_NE(line.find("\"predicted\":true"), std::string::npos);
+  const auto parsed = MetricsSink::parse_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->faults, "crash");
+  EXPECT_TRUE(parsed->predicted);
+  EXPECT_EQ(parsed->verdict, "expected_failure");
+  EXPECT_EQ(MetricsSink::to_json(*parsed, false), line);
+
+  // deadline_ms round-trips on timeout records and stays out otherwise.
+  CellRecord timed = record;
+  timed.verdict = "timeout";
+  timed.deadline_ms = 50.0;
+  const std::string timed_line = MetricsSink::to_json(timed, false);
+  EXPECT_NE(timed_line.find("\"deadline_ms\":50"), std::string::npos);
+  const auto timed_parsed = MetricsSink::parse_line(timed_line);
+  ASSERT_TRUE(timed_parsed.has_value());
+  EXPECT_DOUBLE_EQ(timed_parsed->deadline_ms, 50.0);
+  EXPECT_EQ(MetricsSink::to_json(*timed_parsed, false), timed_line);
+  EXPECT_EQ(line.find("deadline_ms"), std::string::npos);
+}
+
+TEST(Campaign, CrashUnderDeadlineIsExpectedFailureNeverOk) {
+  // Deadline x perturbation interplay (both orders of breakdown):
+  // a predicted-broken cell may finish its rounds unsuccessfully OR burn
+  // its wall-clock budget — either way the verdict is "expected_failure",
+  // never a plain "ok" or a crash of the harness.
+  Cell cell;
+  cell.index = 0;
+  cell.suite = "interplay";
+  cell.agent = AgentKind::kSetGossip;
+  cell.model = CommModel::kSimpleBroadcast;
+  cell.function = FunctionKind::kMax;
+  cell.schedule = ScheduleKind::kRandomSymmetric;
+  cell.inputs = derived_inputs(8, 1);
+  cell.rounds = 50;
+  cell.faults = FaultsKind::kCrash;
+  cell.timeout_ms = 60'000.0;  // generous: the round budget ends it
+  const CellRecord finished = Runner::run_cell(cell);
+  EXPECT_EQ(finished.verdict, "expected_failure");
+  EXPECT_TRUE(finished.predicted);
+  EXPECT_FALSE(finished.success);
+  EXPECT_NE(finished.reason.find("crash-stop"), std::string::npos);
+
+  // A predicted cell that trips the deadline first: still expected_failure,
+  // with both the prediction and the deadline in the reason, and the budget
+  // recorded for resume.
+  Cell hung;
+  hung.index = 0;
+  hung.suite = "interplay";
+  hung.agent = AgentKind::kMetropolis;
+  hung.model = CommModel::kOutdegreeAware;
+  hung.function = FunctionKind::kAverage;
+  hung.schedule = ScheduleKind::kRandomSymmetric;
+  hung.inputs = derived_inputs(48, 1);
+  hung.rounds = 50'000'000;
+  hung.tolerance = -1.0;
+  hung.faults = FaultsKind::kDrop;
+  hung.timeout_ms = 50.0;
+  const CellRecord timed = Runner::run_cell(hung);
+  EXPECT_EQ(timed.verdict, "expected_failure");
+  EXPECT_TRUE(timed.predicted);
+  EXPECT_NE(timed.reason.find("message drops"), std::string::npos);
+  EXPECT_NE(timed.reason.find("deadline"), std::string::npos);
+  EXPECT_DOUBLE_EQ(timed.deadline_ms, 50.0);
+}
+
+TEST(CampaignTimeout, ResumeReattemptsTimeoutsUnderALargerBudget) {
+  // Regression: resume used to reuse "timeout" records unconditionally, so
+  // a cell that timed out once could never produce a better verdict — a
+  // rerun with a 10x budget silently kept the stale timeout. The record now
+  // carries the budget that produced it (deadline_ms) and is only reused
+  // when the current budget is no larger.
+  const std::string path = temp_path("timeout_resume.jsonl");
+  std::remove(path.c_str());
+  Spec spec = derived_spec();
+  spec.agents = {AgentKind::kMetropolis};
+  spec.models = {CommModel::kOutdegreeAware};
+  spec.schedules = {ScheduleKind::kRandomSymmetric};
+  spec.sizes = {48};
+  spec.rounds = 50'000'000;
+  spec.tolerance = -1.0;  // never converges: every budget times out
+  const Grid grid = single_spec_grid(spec);
+
+  RunnerOptions options;
+  options.out_path = path;
+  options.cell_timeout_ms = 50.0;
+  const std::vector<CellRecord> first = Runner(options).run(grid);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(first[0].verdict, "timeout");
+  EXPECT_DOUBLE_EQ(first[0].deadline_ms, 50.0);
+
+  // Tamper-sentinel: rewrite the record so reuse is observable.
+  std::vector<CellRecord> tampered = MetricsSink::read_file(path);
+  ASSERT_EQ(tampered.size(), 1u);
+  tampered[0].mechanism = "sentinel: reused, not re-run";
+  MetricsSink::write_canonical(path, std::move(tampered), false);
+
+  // Same budget: the timeout is conclusive, the record is reused.
+  const std::vector<CellRecord> same = Runner(options).run(grid);
+  ASSERT_EQ(same.size(), 1u);
+  EXPECT_EQ(same[0].mechanism, "sentinel: reused, not re-run");
+
+  // Larger budget: the cell must be re-attempted (sentinel gone), and the
+  // fresh timeout records the new budget.
+  options.cell_timeout_ms = 400.0;
+  const std::vector<CellRecord> larger = Runner(options).run(grid);
+  ASSERT_EQ(larger.size(), 1u);
+  EXPECT_NE(larger[0].mechanism, "sentinel: reused, not re-run");
+  EXPECT_EQ(larger[0].verdict, "timeout");
+  EXPECT_DOUBLE_EQ(larger[0].deadline_ms, 400.0);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, FaultsPresetPredictionsAreExactAndNothingPlainFails) {
+  // The acceptance sweep: on the faults preset every cell either succeeds
+  // ("ok" with success) or breaks exactly as the FaultTolerance table
+  // predicts ("expected_failure") — no plain "failed", no timeout, no
+  // predicted cell sneaking to success.
+  const std::vector<CellRecord> records =
+      Runner(RunnerOptions{}).run(Grid::preset("faults"));
+  ASSERT_FALSE(records.empty());
+  int expected_failures = 0;
+  for (const CellRecord& record : records) {
+    EXPECT_NE(record.verdict, "failed") << record.key << ": " << record.reason;
+    EXPECT_NE(record.verdict, "timeout") << record.key;
+    if (record.verdict == "ok") {
+      EXPECT_TRUE(record.success) << record.key;
+      EXPECT_FALSE(record.predicted) << "predicted cell succeeded: "
+                                     << record.key;
+    } else if (record.verdict == "expected_failure") {
+      ++expected_failures;
+      EXPECT_TRUE(record.predicted) << record.key;
+      EXPECT_FALSE(record.success) << record.key;
+      EXPECT_NE(record.reason.find("tolerance claim"), std::string::npos)
+          << record.key << ": " << record.reason;
+    } else {
+      ADD_FAILURE() << "unexpected verdict '" << record.verdict << "' for "
+                    << record.key;
+    }
+  }
+  EXPECT_GT(expected_failures, 0);
+}
+
+TEST(CampaignDeterminism, FaultedGridThreadsAndShardsAreByteIdentical) {
+  // The perturbation machinery (drop lottery, churn membership, start
+  // gating) must preserve the byte-reproducibility contract: 4 worker
+  // threads and 4 shards-in-turn equal the serial single-shard bytes.
+  const std::string single = temp_path("faults_single.jsonl");
+  const std::string threaded = temp_path("faults_threaded.jsonl");
+  const std::string sharded = temp_path("faults_sharded.jsonl");
+  Spec spec = derived_spec();
+  spec.suite = "faulted";
+  spec.agents = {AgentKind::kSetGossip, AgentKind::kMetropolis};
+  spec.models = {CommModel::kSimpleBroadcast, CommModel::kOutdegreeAware};
+  spec.functions = {FunctionKind::kMax, FunctionKind::kAverage};
+  spec.schedules = {ScheduleKind::kPreferentialChurn,
+                    ScheduleKind::kGeometricChurn};
+  spec.sizes = {8};
+  spec.seeds = {1, 2};
+  spec.rounds = 300;
+  spec.tolerance = 1e-3;
+  spec.starts = {StartsKind::kSynchronous, StartsKind::kStraggler};
+  spec.faults = {FaultsKind::kNone, FaultsKind::kCrash, FaultsKind::kDrop};
+  Grid grid;
+  grid.add(std::move(spec));
+
+  RunnerOptions one;
+  one.out_path = single;
+  one.resume = false;
+  const std::vector<CellRecord> records = Runner(one).run(grid);
+  ASSERT_FALSE(records.empty());
+
+  RunnerOptions four;
+  four.out_path = threaded;
+  four.resume = false;
+  four.threads = 4;
+  Runner(four).run(grid);
+  EXPECT_EQ(read_bytes(single), read_bytes(threaded));
+
+  std::remove(sharded.c_str());
+  for (int shard = 0; shard < 4; ++shard) {
+    RunnerOptions options;
+    options.shards = 4;
+    options.shard_index = shard;
+    options.out_path = sharded;
+    Runner(options).run(grid);
+  }
+  EXPECT_EQ(read_bytes(single), read_bytes(sharded));
+  std::remove(single.c_str());
+  std::remove(threaded.c_str());
   std::remove(sharded.c_str());
 }
 

@@ -382,6 +382,80 @@ TEST(NetDeterminism, WorkerDisconnectReassignsItsCellExactlyOnce) {
   std::remove(ref_path.c_str());
 }
 
+TEST(NetDeterminism, ReplacementJoinerIsFedAfterAReapWithoutAVerdict) {
+  // Regression: assignment used to be driven only by verdict and HELLO
+  // frames. A worker that grabbed the whole queue into its window and then
+  // died left the reclaimed cells stranded — a replacement that had greeted
+  // while the queue was empty had no verdict to send, so nothing ever
+  // assigned it the returned work and the campaign hung with cells queued
+  // and every worker idle. The coordinator now demand-feeds idle workers
+  // after each reap; under the old behavior this test hangs.
+  const std::string ref_path = temp_path("replacement_ref.jsonl");
+  std::remove(ref_path.c_str());
+  const std::vector<campaign::CellRecord> want = reference_records(ref_path);
+  const std::string ref_bytes = read_bytes(ref_path);
+
+  const std::string out_path = temp_path("replacement_out.jsonl");
+  std::remove(out_path.c_str());
+  CoordinatorOptions options;
+  options.grid = "smoke";
+  options.workers = 2;
+  options.out_path = out_path;
+  Coordinator coordinator(options);
+  const std::uint16_t port = coordinator.listen();
+
+  // The victim: a scripted peer whose window swallows the entire smoke
+  // grid and which dies without producing a single verdict.
+  TcpSocket victim = connect_tcp("127.0.0.1", port);
+  FrameDecoder victim_decoder;
+  std::thread victim_script([&victim, &victim_decoder, port] {
+    wire::BitWriter writer;
+    writer.write_uvarint(kMagic);
+    writer.write_uvarint(kProtocolVersion);
+    writer.write_uvarint(16);  // window >= the whole smoke grid
+    write_frame(victim, Frame{FrameType::kHello, writer.bytes()});
+    // Greeted first: the WELCOME comes back before anyone else can join,
+    // so the kickoff pass reaches this peer (and its giant window) first.
+    std::optional<Frame> frame = read_frame(victim, victim_decoder);
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(frame->type, FrameType::kWelcome);
+
+    std::thread replacement([port] {
+      WorkerOptions worker_options;
+      worker_options.port = port;
+      WorkerNode worker(worker_options);
+      EXPECT_TRUE(worker.run());
+      // Greeted with an empty queue, then fed every reclaimed cell.
+      EXPECT_EQ(worker.stats().cells_run, 8);
+    });
+
+    // Absorb the kickoff (BARRIER plus the 8 ASSIGNs aimed at our
+    // window), then die without a verdict.
+    int assigns = 0;
+    while (assigns < 8) {
+      std::optional<Frame> f = read_frame(victim, victim_decoder);
+      ASSERT_TRUE(f.has_value());
+      if (f->type == FrameType::kAssign) ++assigns;
+    }
+    victim.close();
+    replacement.join();
+  });
+
+  const std::vector<campaign::CellRecord> got = coordinator.run();
+  victim_script.join();
+
+  const CoordinatorStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.workers_joined, 2);
+  EXPECT_EQ(stats.workers_lost, 1);
+  EXPECT_EQ(stats.cells_reassigned, 8);
+  EXPECT_EQ(stats.verdicts, 8);
+  EXPECT_EQ(stats.duplicate_verdicts, 0);
+  expect_same_records(got, want);
+  EXPECT_EQ(read_bytes(out_path), ref_bytes);
+  std::remove(out_path.c_str());
+  std::remove(ref_path.c_str());
+}
+
 TEST(NetDeterminism, CoordinatorResumesFinishedCellsWithoutWorkersRedoing) {
   const std::string out_path = temp_path("resume_out.jsonl");
   std::remove(out_path.c_str());

@@ -29,6 +29,9 @@ Rule families (docs/static_analysis.md has the full table):
                      (must be lambda-local, per-slot, atomic, or padded)
   F1 float order     FP accumulation in pooled phases must go through
                      block-ordered partials (bitwise-replay contract)
+  S1 schedule purity DynamicGraph subclasses must not hold stateful
+                     generator members — at(t) is a pure function of
+                     (constructor arguments, t)
 
 Output: human-readable findings by default, `--json FILE` for the
 machine-readable form (content-addressed fingerprints). Ratchet:
@@ -70,7 +73,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="anonet_lint",
         description="whole-program model-compliance & determinism lint for "
-                    "anonet (rules D1/A1/P1/M1/W1/C1/F1; see "
+                    "anonet (rules D1/A1/P1/M1/W1/C1/F1/S1; see "
                     "docs/static_analysis.md)")
     parser.add_argument("paths", nargs="+",
                         help="files or directories to analyze")

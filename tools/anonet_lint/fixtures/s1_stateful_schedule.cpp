@@ -1,0 +1,65 @@
+// Negative fixture — anonet_lint MUST flag this file under rule S1.
+//
+// The schedule caches a mersenne twister as a member and advances it inside
+// at(): querying rounds 1,2,3 yields different graphs than querying 3,2,1
+// or 3 alone, so the topology is a function of call history rather than
+// (constructor arguments, t). Replays, the round cache, the persistent
+// worker pool and resume-from-JSONL all assume the opposite. The sanctioned
+// pattern (a LOCAL generator keyed by mix_seed(seed, t), as in
+// RandomSymmetricSchedule::at) appears below and must NOT fire.
+
+#include <cstdint>
+#include <random>
+
+namespace anonet_fixtures {
+
+using Vertex = int;
+
+struct Digraph {
+  Vertex n = 0;
+};
+
+class DynamicGraph {
+ public:
+  virtual ~DynamicGraph() = default;
+  [[nodiscard]] virtual Vertex vertex_count() const = 0;
+  [[nodiscard]] virtual Digraph at(int t) const = 0;
+};
+
+inline std::uint64_t mix_seed(std::uint64_t seed, int t) {
+  return seed ^ (static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ull);
+}
+
+// S1: the member engine makes at(t) depend on every earlier query.
+class DriftingSchedule final : public DynamicGraph {
+ public:
+  DriftingSchedule(Vertex n, std::uint64_t seed) : n_(n), rng_(seed) {}
+
+  [[nodiscard]] Vertex vertex_count() const override { return n_; }
+  [[nodiscard]] Digraph at(int /*t*/) const override {
+    return Digraph{static_cast<Vertex>(rng_() % n_)};
+  }
+
+ private:
+  Vertex n_;
+  mutable std::mt19937_64 rng_;  // S1: stateful generator member
+};
+
+// Clean: the generator is local to the round builder and keyed on (seed, t),
+// so the same round always reproduces the same graph.
+class PureSchedule final : public DynamicGraph {
+ public:
+  PureSchedule(Vertex n, std::uint64_t seed) : n_(n), seed_(seed) {}
+
+  [[nodiscard]] Vertex vertex_count() const override { return n_; }
+  [[nodiscard]] Digraph at(int t) const override {
+    std::mt19937_64 rng(mix_seed(seed_, t));
+    return Digraph{static_cast<Vertex>(rng() % n_)};
+  }
+
+ private:
+  Vertex n_;
+  std::uint64_t seed_;
+};
+
+}  // namespace anonet_fixtures

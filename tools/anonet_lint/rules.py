@@ -30,6 +30,12 @@
                        must go through block-ordered partials — atomic
                        fetch_add on FP or shared FP += breaks bitwise
                        replay even when C1-safe.
+  S1 schedule purity   DynamicGraph subclasses must not hold stateful
+                       generator members: at(t) is contractually a pure
+                       function of (constructor arguments, t), and an
+                       advancing member RNG makes the topology depend on
+                       call history and replay order. Per-call local
+                       generators keyed by mix_seed(seed, t) stay legal.
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ from callgraph import CallGraph, extract_calls
 from frontend import (ProgramIndex, WORD_RE, line_of, match_delim,
                       next_nonspace, next_token, param_names, split_top_level)
 
-ALL_RULES = ("D1", "A1", "P1", "M1", "W1", "C1", "F1")
+ALL_RULES = ("D1", "A1", "P1", "M1", "W1", "C1", "F1", "S1")
 
 # --- D1 banned tokens --------------------------------------------------------
 
@@ -77,6 +83,20 @@ A1_BANNED = {
     "Vertex", "VertexId", "vertex_id", "vertex_index", "node_id",
     "agent_index", "self_index", "my_id",
 }
+
+# S1: schedule classes (anything deriving from DynamicGraph) must keep at(t)
+# a pure function of (constructor arguments, t). Any of these engine types
+# held as a *member* advances state across calls, so the emitted topology
+# would depend on how many rounds were queried before — and in what order.
+S1_STATEFUL_RNGS = (
+    "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "knuth_b", "ranlux24", "ranlux24_base",
+    "ranlux48", "ranlux48_base", "linear_congruential_engine",
+    "mersenne_twister_engine", "subtract_with_carry_engine",
+)
+S1_SCHEDULE_CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+(\w+)[^{;]*?:\s*[^{;]*\bDynamicGraph\b[^{;]*\{")
+S1_RNG_RE = re.compile(r"\b(" + "|".join(S1_STATEFUL_RNGS) + r")\b")
 
 # C1: member calls that mutate their object.
 MUTATOR_METHODS = {
@@ -143,6 +163,9 @@ class RuleEngine:
             self.rule_w1()
         if "C1" in self.rules or "F1" in self.rules:
             self.rule_c1_f1()
+        if "S1" in self.rules:
+            for scan in self.index.scans:
+                self.rule_s1(scan)
         self.findings.sort(key=lambda f: (f.path, f.line, f.rule))
         return self.findings
 
@@ -469,6 +492,44 @@ class RuleEngine:
                             "(wire::encode/wire::decode); only transport "
                             "control frames may be packed by hand")
                         break
+
+    # --- S1: schedule purity ------------------------------------------------
+
+    def rule_s1(self, scan):
+        text = scan.text
+        for m in S1_SCHEDULE_CLASS_RE.finditer(text):
+            name = m.group(1)
+            body_open = m.end() - 1
+            body_close = match_delim(text, body_open, "{", "}")
+            body = text[body_open + 1:body_close - 1]
+            # Blank out nested brace groups (inline member-function bodies,
+            # brace initializers) while preserving offsets: a *local*
+            # generator keyed by mix_seed(seed, t) inside at()/view() is the
+            # sanctioned pattern; only engines stored as members — declared
+            # at depth 1 of the class body — persist across calls.
+            chars = list(body)
+            depth = 0
+            for i, c in enumerate(body):
+                if c == "{":
+                    depth += 1
+                    chars[i] = " "
+                elif c == "}":
+                    depth -= 1
+                    chars[i] = " "
+                elif depth > 0 and c != "\n":
+                    chars[i] = " "
+            members_only = "".join(chars)
+            for rm in S1_RNG_RE.finditer(members_only):
+                self.report(
+                    scan, body_open + 1 + rm.start(), "S1",
+                    f"schedule class {name} holds a stateful generator "
+                    f"member ({rm.group(1)}): DynamicGraph::at(t) must be a "
+                    "pure function of (constructor arguments, t), but an "
+                    "engine stored in the object advances on every query, "
+                    "so the emitted topology depends on call history and "
+                    "replay order — key a local generator (or "
+                    "support/counter_rng.hpp) on mix_seed(seed, t) inside "
+                    "the round builder instead")
 
     # --- C1 / F1 ------------------------------------------------------------
 

@@ -62,6 +62,7 @@ FIXTURE_RULES = {
     "w1_raw_payload_frame.cpp": "W1",
     "c1_shared_accumulator.cpp": "C1",
     "f1_float_accumulation.cpp": "F1",
+    "s1_stateful_schedule.cpp": "S1",
 }
 
 
